@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 12: speedup (top) and normalized EDP (bottom) of the five
+ * software schedulers under the software runtime and under TDM, all
+ * normalized to the software runtime with a FIFO scheduler.
+ *
+ * Paper reference points: OptSW +4.5%, Age+TDM +9.1%, OptTDM +12.2%
+ * average speedup; OptTDM EDP -20.3%; LIFO degrades blackscholes by
+ * ~29%; Successor+TDM lifts dedup by ~23%; Locality+TDM beats
+ * FIFO+TDM on cholesky by ~4%.
+ */
+
+#include <iostream>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+
+int
+main()
+{
+    const auto &scheds = rt::allSchedulerNames();
+
+    sim::Table ts("Figure 12 (top): speedup vs SW+FIFO");
+    sim::Table te("Figure 12 (bottom): normalized EDP vs SW+FIFO");
+    std::vector<std::string> head = {"bench", "OptSW"};
+    for (const auto &s : scheds)
+        head.push_back(s + "+TDM");
+    head.push_back("OptTDM");
+    ts.header(head);
+    te.header(head);
+
+    std::vector<std::vector<double>> sp_cols(head.size() - 1);
+    std::vector<std::vector<double>> edp_cols(head.size() - 1);
+
+    for (const auto &w : wl::allWorkloads()) {
+        driver::Experiment e;
+        e.workload = w.name;
+        e.runtime = core::RuntimeType::Software;
+        e.scheduler = "fifo";
+        auto base = driver::run(e);
+
+        // Best software scheduler.
+        double opt_sw_sp = 0.0, opt_sw_edp = 0.0;
+        for (const auto &s : scheds) {
+            e.scheduler = s;
+            auto r = driver::run(e);
+            double sp = driver::speedup(base, r);
+            if (sp > opt_sw_sp) {
+                opt_sw_sp = sp;
+                opt_sw_edp = driver::normalizedEdp(base, r);
+            }
+        }
+
+        // TDM with each scheduler.
+        e.runtime = core::RuntimeType::Tdm;
+        std::vector<double> sp(scheds.size()), edp(scheds.size());
+        double opt_tdm_sp = 0.0, opt_tdm_edp = 0.0;
+        for (std::size_t i = 0; i < scheds.size(); ++i) {
+            e.scheduler = scheds[i];
+            auto r = driver::run(e);
+            sp[i] = driver::speedup(base, r);
+            edp[i] = driver::normalizedEdp(base, r);
+            if (sp[i] > opt_tdm_sp) {
+                opt_tdm_sp = sp[i];
+                opt_tdm_edp = edp[i];
+            }
+        }
+
+        auto &rs = ts.row().cell(w.shortName).cell(opt_sw_sp, 3);
+        auto &re = te.row().cell(w.shortName).cell(opt_sw_edp, 3);
+        sp_cols[0].push_back(opt_sw_sp);
+        edp_cols[0].push_back(opt_sw_edp);
+        for (std::size_t i = 0; i < scheds.size(); ++i) {
+            rs.cell(sp[i], 3);
+            re.cell(edp[i], 3);
+            sp_cols[1 + i].push_back(sp[i]);
+            edp_cols[1 + i].push_back(edp[i]);
+        }
+        rs.cell(opt_tdm_sp, 3);
+        re.cell(opt_tdm_edp, 3);
+        sp_cols.back().push_back(opt_tdm_sp);
+        edp_cols.back().push_back(opt_tdm_edp);
+    }
+
+    auto &avg_s = ts.row().cell("AVG");
+    auto &avg_e = te.row().cell("AVG");
+    for (std::size_t c = 0; c < sp_cols.size(); ++c) {
+        avg_s.cell(driver::geomean(sp_cols[c]), 3);
+        avg_e.cell(driver::geomean(edp_cols[c]), 3);
+    }
+    ts.print(std::cout);
+    std::cout << '\n';
+    te.print(std::cout);
+    std::cout << "\npaper AVG: OptSW 1.045, Age+TDM 1.091, "
+                 "OptTDM 1.122; OptTDM EDP 0.797\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 6: execution time with different task granularities under the
+ * software runtime, normalized to the optimal granularity of each
+ * benchmark (growing granularity along the axis, as in the paper).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "driver/experiment.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+
+int
+main()
+{
+    std::cout << "== Figure 6: exec time vs task granularity "
+                 "(SW runtime, normalized to best) ==\n";
+    for (const auto &w : wl::allWorkloads()) {
+        if (w.granSweep.empty())
+            continue; // dedup/ferret: granularity fixed by pipeline
+        std::vector<double> times;
+        for (double g : w.granSweep) {
+            driver::Experiment e;
+            e.workload = w.name;
+            e.runtime = core::RuntimeType::Software;
+            e.scheduler = "fifo";
+            e.params.granularity = g;
+            auto s = driver::run(e);
+            times.push_back(s.completed ? s.timeMs : -1.0);
+        }
+        double best = 1e300;
+        for (double t : times)
+            if (t > 0)
+                best = std::min(best, t);
+        sim::Table t(w.name + " (" + w.granUnit + ")");
+        t.header({"granularity", "time ms", "normalized"});
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            t.row().cell(w.granSweep[i], 0);
+            if (times[i] > 0)
+                t.cell(times[i], 2).cell(times[i] / best, 3);
+            else
+                t.cell("n/a").cell("n/a");
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 7: performance with different TAT and DAT sizes (512..4096),
+ * normalized to an ideal DMU with unlimited entries and equal latency.
+ * Shown for the sensitive benchmarks (cholesky, ferret, histogram,
+ * LU, QR) plus the geometric mean over all nine.
+ *
+ * Paper reference point: 2048-entry TAT and DAT lose only ~0.9% vs the
+ * ideal on average.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+
+namespace {
+
+double
+runWith(const std::string &wl_name, unsigned tat, unsigned dat)
+{
+    driver::Experiment e;
+    e.workload = wl_name;
+    e.runtime = core::RuntimeType::Tdm;
+    // The Age policy executes tasks in creation order whatever the
+    // creation run-ahead, so alias-table capacity is the only variable
+    // (FIFO would conflate capacity with its own window-order effects:
+    // a small TAT accidentally improves FIFO's schedule on cholesky).
+    e.scheduler = "age";
+    e.config.dmu.tatEntries = tat;
+    e.config.dmu.datEntries = dat;
+    e.config.dmu.readyQueueEntries = tat;
+    // Paper methodology (Section V-A): unlimited list arrays, and no
+    // software creation throttle, so the alias tables are the only
+    // capacity limit.
+    e.config.dmu.slaEntries = 65536;
+    e.config.dmu.dlaEntries = 65536;
+    e.config.dmu.rlaEntries = 65536;
+    e.config.throttleTasks = 1u << 30;
+    // Isolate capacity stalls: deep creation run-ahead perturbs L2
+    // locality in our region-cache model, which would mask (and for
+    // cholesky even invert) the structural effect the paper measures.
+    e.config.enableMemModel = false;
+    auto s = driver::run(e);
+    return s.completed ? static_cast<double>(s.makespan) : -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<unsigned> sizes = {512, 1024, 2048, 4096};
+    const unsigned ideal = 65536;
+    const std::vector<std::string> shown = {"cholesky", "ferret",
+                                            "histogram", "lu", "qr"};
+
+    // Relative performance per benchmark per (tat, dat).
+    std::map<std::string, std::map<std::pair<unsigned, unsigned>,
+                                   double>> perf;
+    for (const auto &w : wl::allWorkloads()) {
+        double base = runWith(w.name, ideal, ideal);
+        for (unsigned tat : sizes) {
+            for (unsigned dat : sizes) {
+                double t = runWith(w.name, tat, dat);
+                perf[w.name][{tat, dat}] =
+                    t > 0 && base > 0 ? base / t : 0.0;
+            }
+        }
+    }
+
+    for (unsigned tat : sizes) {
+        sim::Table t("Figure 7: perf vs ideal, TAT="
+                     + std::to_string(tat));
+        std::vector<std::string> head = {"bench"};
+        for (unsigned dat : sizes)
+            head.push_back("DAT " + std::to_string(dat));
+        t.header(head);
+        for (const auto &name : shown) {
+            auto &row = t.row().cell(wl::findWorkload(name).shortName);
+            for (unsigned dat : sizes)
+                row.cell(perf[name][{tat, dat}], 3);
+        }
+        auto &avg = t.row().cell("AVG(all 9)");
+        for (unsigned dat : sizes) {
+            std::vector<double> v;
+            for (const auto &w : wl::allWorkloads())
+                v.push_back(perf[w.name][{tat, dat}]);
+            avg.cell(driver::geomean(v), 3);
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "paper: TAT=DAT=2048 -> 0.991 of ideal on average\n";
+    return 0;
+}

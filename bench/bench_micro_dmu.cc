@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Micro-benchmarks of the DMU model itself (google-benchmark): cost of
+ * the four operations and of list-array walks, in host time. These
+ * gauge simulator throughput, not simulated latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dmu/dmu.hh"
+
+using namespace tdm;
+
+namespace {
+
+constexpr std::uint64_t desc(std::uint64_t i)
+{
+    return 0x8ab000000000ULL + i * 0x140;
+}
+
+constexpr std::uint64_t addr(std::uint64_t i)
+{
+    return 0x100000000ULL + i * 16384;
+}
+
+void
+BM_CreateCommitFinish(benchmark::State &state)
+{
+    dmu::Dmu d{dmu::DmuConfig{}};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        d.createTask(desc(i));
+        d.commitTask(desc(i));
+        unsigned acc = 0;
+        benchmark::DoNotOptimize(d.getReadyTask(acc));
+        d.finishTask(desc(i));
+        ++i;
+    }
+}
+BENCHMARK(BM_CreateCommitFinish);
+
+void
+BM_AddDependenceChain(benchmark::State &state)
+{
+    // Alternating writer/reader on one region: every op touches the
+    // last-writer path.
+    dmu::Dmu d{dmu::DmuConfig{}};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        d.createTask(desc(i));
+        d.addDependence(desc(i), addr(0), 16384, i % 2 == 0);
+        d.commitTask(desc(i));
+        if (i >= 4) {
+            unsigned acc = 0;
+            while (auto info = d.getReadyTask(acc))
+                d.finishTask(info->descAddr);
+        }
+        ++i;
+    }
+}
+BENCHMARK(BM_AddDependenceChain);
+
+void
+BM_FanOutReaders(benchmark::State &state)
+{
+    // One writer, N readers; measures reader-list growth and wake-up.
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        dmu::Dmu d{dmu::DmuConfig{}};
+        d.createTask(desc(0));
+        d.addDependence(desc(0), addr(0), 16384, true);
+        d.commitTask(desc(0));
+        for (int r = 1; r <= n; ++r) {
+            d.createTask(desc(r));
+            d.addDependence(desc(r), addr(0), 16384, false);
+            d.commitTask(desc(r));
+        }
+        unsigned acc = 0;
+        d.getReadyTask(acc);
+        benchmark::DoNotOptimize(d.finishTask(desc(0)));
+        for (int r = 1; r <= n; ++r)
+            d.finishTask(desc(r));
+    }
+    state.SetItemsProcessed(state.iterations() * (n + 1));
+}
+BENCHMARK(BM_FanOutReaders)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_ListArrayPush(benchmark::State &state)
+{
+    dmu::ListArray la("bench", 1024, 8);
+    dmu::ListHead h = la.allocList();
+    std::uint16_t v = 0;
+    for (auto _ : state) {
+        unsigned acc = 0;
+        if (!la.push(h, v++, acc)) {
+            state.PauseTiming();
+            la.clear(h);
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ListArrayPush);
+
+void
+BM_AliasTableLookup(benchmark::State &state)
+{
+    dmu::AliasTable t("bench", 2048, 8, true, 0);
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        t.insert(addr(i), 16384);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(addr(i % 1024), 16384));
+        ++i;
+    }
+}
+BENCHMARK(BM_AliasTableLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Micro-benchmarks of the software dependence tracker and the
+ * scheduling policies (google-benchmark, host time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/scheduler.hh"
+#include "runtime/software_tracker.hh"
+#include "runtime/task_graph.hh"
+
+using namespace tdm;
+
+namespace {
+
+rt::TaskGraph
+chainGraph(unsigned n)
+{
+    rt::TaskGraph g("chain");
+    rt::RegionId r = g.addRegion(4096);
+    g.beginParallel();
+    for (unsigned i = 0; i < n; ++i) {
+        g.createTask(1000);
+        g.dep(r, rt::DepDir::InOut);
+    }
+    return g;
+}
+
+void
+BM_TrackerCreateFinish(benchmark::State &state)
+{
+    const unsigned n = 4096;
+    rt::TaskGraph g = chainGraph(n);
+    for (auto _ : state) {
+        rt::SoftwareTracker t(g);
+        for (rt::TaskId i = 0; i < n; ++i) {
+            t.create(i);
+            t.finish(i);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TrackerCreateFinish);
+
+void
+BM_SchedulerPushPop(benchmark::State &state)
+{
+    const std::string names[] = {"fifo", "lifo", "locality", "successor",
+                                 "age"};
+    const std::string &name = names[state.range(0)];
+    auto s = rt::makeScheduler(name, 32);
+    rt::ReadyTask t;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        t.id = static_cast<rt::TaskId>(i);
+        t.creationSeq = i * 2654435761u % 4096;
+        t.numSuccessors = static_cast<std::uint32_t>(i % 4);
+        t.producerHint = static_cast<sim::CoreId>(i % 32);
+        s->push(t);
+        if (s->size() > 512)
+            benchmark::DoNotOptimize(s->pop(i % 32));
+        if (i % 2 == 1)
+            benchmark::DoNotOptimize(s->pop(i % 32));
+        ++i;
+    }
+    state.SetLabel(name);
+}
+BENCHMARK(BM_SchedulerPushPop)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table I: configuration of the simulated machine, plus the DMU
+ * structure inventory.
+ */
+
+#include <iostream>
+
+#include "cpu/machine_config.hh"
+#include "dmu/geometry.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+
+int
+main()
+{
+    cpu::MachineConfig cfg;
+    std::cout << "== Table I: simulated machine configuration ==\n";
+    cfg.describe().dump(std::cout);
+
+    std::cout << "\n== DMU structures ==\n";
+    sim::Table t;
+    t.header({"structure", "entries", "bits/entry", "assoc", "KB"});
+    for (const auto &s : dmu::sramSpecs(cfg.dmu)) {
+        t.row()
+            .cell(s.name)
+            .cell(static_cast<std::uint64_t>(s.entries))
+            .cell(static_cast<std::uint64_t>(s.bitsPerEntry))
+            .cell(static_cast<std::uint64_t>(s.assoc))
+            .cell(s.storageKB(), 2);
+    }
+    t.print(std::cout);
+    return 0;
+}

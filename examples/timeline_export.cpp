@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduce Figure 1's execution timeline: run Cholesky under the
+ * software runtime and under TDM, record per-core task execution
+ * intervals, print a coarse ASCII timeline, and export Chrome-tracing
+ * JSON (open in chrome://tracing or Perfetto).
+ *
+ * Usage: timeline_export [workload] [sw|tdm] [out.json]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/machine.hh"
+#include "workloads/registry.hh"
+
+using namespace tdm;
+
+namespace {
+
+void
+asciiTimeline(const core::TaskTrace &trace, unsigned cores,
+              sim::Tick makespan, unsigned width = 72)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        std::string row(width, '.');
+        for (const core::TraceRecord &r : trace.records()) {
+            if (r.core != c)
+                continue;
+            auto a = static_cast<std::size_t>(
+                static_cast<double>(r.start) / makespan * width);
+            auto b = static_cast<std::size_t>(
+                static_cast<double>(r.end) / makespan * width);
+            for (std::size_t i = a; i <= b && i < width; ++i)
+                row[i] = '#';
+        }
+        std::cout << (c == 0 ? "master " : "core")
+                  << (c == 0 ? "" : std::to_string(c))
+                  << (c == 0 ? "" : "  ") << "\t" << row << '\n';
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "cholesky";
+    std::string rt_name = argc > 2 ? argv[2] : "sw";
+    std::string out = argc > 3 ? argv[3] : "timeline.json";
+
+    wl::WorkloadParams p;
+    core::RuntimeType runtime = core::runtimeFromString(rt_name);
+    p.tdmOptimal = core::traitsOf(runtime).usesDmu();
+    rt::TaskGraph g = wl::buildWorkload(workload, p);
+
+    cpu::MachineConfig cfg;
+    core::Machine m(cfg, g, runtime);
+    m.enableTrace();
+    auto res = m.run();
+    if (!res.completed) {
+        std::cerr << "run did not complete\n";
+        return 1;
+    }
+
+    std::cout << workload << " on " << rt_name << ": " << res.timeMs
+              << " ms, avg parallelism "
+              << m.trace().avgParallelism(res.makespan) << ", peak "
+              << m.trace().peakParallelism() << "\n\n";
+    asciiTimeline(m.trace(), cfg.numCores, res.makespan);
+
+    std::ofstream f(out);
+    m.trace().writeChromeTrace(f, workload.c_str());
+    std::cout << "\nwrote " << m.trace().size() << " task intervals to "
+              << out << " (chrome://tracing)\n";
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include "core/carbon_runtime.hh"
+
+#include "hwbaselines/carbon.hh"
+
+namespace tdm::core {
+
+RuntimeSpec
+carbonRuntimeSpec(const cpu::MachineConfig &cfg)
+{
+    RuntimeSpec s;
+    s.type = RuntimeType::Carbon;
+    s.displayName = "Carbon";
+    s.description =
+        "hardware task queues (fixed FIFO + stealing), software deps";
+    s.hwStorageKB = hw::carbonStorageKB(cfg.carbon, cfg.numCores);
+    s.hwAreaMm2 = hw::carbonAreaMm2(cfg.carbon, cfg.numCores);
+    return s;
+}
+
+} // namespace tdm::core

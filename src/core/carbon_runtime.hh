@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Descriptor of the Carbon baseline runtime: hardware task queues with
+ * a fixed FIFO + work-stealing policy, software dependence tracking.
+ */
+
+#ifndef TDM_CORE_CARBON_RUNTIME_HH
+#define TDM_CORE_CARBON_RUNTIME_HH
+
+#include "core/sw_runtime.hh"
+
+namespace tdm::core {
+
+/** Spec of the Carbon runtime. */
+RuntimeSpec carbonRuntimeSpec(const cpu::MachineConfig &cfg);
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_CARBON_RUNTIME_HH

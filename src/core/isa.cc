@@ -1,0 +1,89 @@
+#include "core/isa.hh"
+
+#include <sstream>
+
+namespace tdm::core {
+
+const char *
+mnemonic(TdmOpcode op)
+{
+    switch (op) {
+      case TdmOpcode::CreateTask: return "create_task";
+      case TdmOpcode::AddDependence: return "add_dependence";
+      case TdmOpcode::CommitTask: return "commit_task";
+      case TdmOpcode::FinishTask: return "finish_task";
+      case TdmOpcode::GetReadyTask: return "get_ready_task";
+    }
+    return "?";
+}
+
+std::uint32_t
+encode(const TdmInst &inst)
+{
+    std::uint32_t w = tdmMajorOpcode << 24;
+    w |= (static_cast<std::uint32_t>(inst.opcode) & 0xF) << 20;
+    w |= (inst.isOutput ? 1u : 0u) << 19;
+    std::uint32_t r1, r2;
+    if (inst.opcode == TdmOpcode::GetReadyTask) {
+        r1 = inst.rDest;
+        r2 = inst.rDest2;
+    } else {
+        r1 = inst.rTask;
+        r2 = inst.rAddr;
+    }
+    w |= (r1 & 0x1F) << 14;
+    w |= (r2 & 0x1F) << 9;
+    w |= (static_cast<std::uint32_t>(inst.rSize) & 0x1F) << 4;
+    return w;
+}
+
+std::optional<TdmInst>
+decode(std::uint32_t word)
+{
+    if ((word >> 24) != tdmMajorOpcode)
+        return std::nullopt;
+    std::uint32_t op = (word >> 20) & 0xF;
+    if (op < 0x1 || op > 0x5)
+        return std::nullopt;
+    TdmInst inst;
+    inst.opcode = static_cast<TdmOpcode>(op);
+    inst.isOutput = ((word >> 19) & 1) != 0;
+    std::uint8_t r1 = (word >> 14) & 0x1F;
+    std::uint8_t r2 = (word >> 9) & 0x1F;
+    inst.rSize = (word >> 4) & 0x1F;
+    if (inst.opcode == TdmOpcode::GetReadyTask) {
+        inst.rDest = r1;
+        inst.rDest2 = r2;
+    } else {
+        inst.rTask = r1;
+        inst.rAddr = r2;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const TdmInst &inst)
+{
+    std::ostringstream oss;
+    oss << mnemonic(inst.opcode);
+    switch (inst.opcode) {
+      case TdmOpcode::CreateTask:
+      case TdmOpcode::CommitTask:
+      case TdmOpcode::FinishTask:
+        oss << " x" << static_cast<int>(inst.rTask);
+        break;
+      case TdmOpcode::AddDependence:
+        oss << " x" << static_cast<int>(inst.rTask) << ", x"
+            << static_cast<int>(inst.rAddr) << ", x"
+            << static_cast<int>(inst.rSize) << ", "
+            << (inst.isOutput ? "out" : "in");
+        break;
+      case TdmOpcode::GetReadyTask:
+        oss << " x" << static_cast<int>(inst.rDest) << ", x"
+            << static_cast<int>(inst.rDest2);
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace tdm::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The TDM ISA extension (Section III-A).
+ *
+ * Five instructions let the runtime cooperate with the DMU (the paper
+ * lists four; commit_task completes the creation sequence, see
+ * DESIGN.md):
+ *
+ *   create_task     rT              -- rT: task descriptor address
+ *   add_dependence  rT, rA, rS, dir -- rA: dep address, rS: size
+ *   commit_task     rT
+ *   finish_task     rT
+ *   get_ready_task  -> rT, rN       -- rN: number of successors
+ *
+ * All have barrier semantics: they may not be reordered and younger
+ * instructions wait for them to commit (Section III-D).
+ *
+ * This header defines a concrete encoding in a reserved major-opcode
+ * space, plus an assembler-style formatter. The machine model issues
+ * these through the instruction stream cost model; the encoding is what
+ * a gem5 ISA patch would add.
+ */
+
+#ifndef TDM_CORE_ISA_HH
+#define TDM_CORE_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tdm::core {
+
+/** TDM opcode, placed in a reserved hint space. */
+enum class TdmOpcode : std::uint8_t
+{
+    CreateTask = 0x1,
+    AddDependence = 0x2,
+    CommitTask = 0x3,
+    FinishTask = 0x4,
+    GetReadyTask = 0x5,
+};
+
+const char *mnemonic(TdmOpcode op);
+
+/** A decoded TDM instruction. */
+struct TdmInst
+{
+    TdmOpcode opcode = TdmOpcode::CreateTask;
+    std::uint8_t rTask = 0;  ///< register holding the descriptor address
+    std::uint8_t rAddr = 0;  ///< dependence address register
+    std::uint8_t rSize = 0;  ///< dependence size register
+    bool isOutput = false;   ///< dependence direction flag
+    std::uint8_t rDest = 0;  ///< destination register (get_ready_task)
+    std::uint8_t rDest2 = 0; ///< successor-count destination register
+
+    bool operator==(const TdmInst &) const = default;
+};
+
+/**
+ * Encode to a 32-bit instruction word:
+ *   [31:24] major opcode 0xEB (reserved custom space)
+ *   [23:20] TdmOpcode
+ *   [19]    direction flag
+ *   [18:14] rTask / rDest
+ *   [13:9]  rAddr / rDest2
+ *   [8:4]   rSize
+ *   [3:0]   reserved
+ */
+std::uint32_t encode(const TdmInst &inst);
+
+/** Decode; nullopt when the word is not a TDM instruction. */
+std::optional<TdmInst> decode(std::uint32_t word);
+
+/** Assembler-style rendering, e.g. "add_dependence x3, x4, x5, out". */
+std::string disassemble(const TdmInst &inst);
+
+/** Major opcode byte used by the encoding. */
+constexpr std::uint32_t tdmMajorOpcode = 0xEB;
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_ISA_HH

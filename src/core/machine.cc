@@ -1,0 +1,756 @@
+#include "core/machine.hh"
+
+#include <algorithm>
+
+#include "dmu/geometry.hh"
+#include "sim/logging.hh"
+
+namespace tdm::core {
+
+Machine::Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
+                 RuntimeType runtime)
+    : cfg_(cfg), graph_(graph), traits_(traitsOf(runtime)),
+      phases_(cfg.numCores), mesh_(cfg.mesh), cores_(cfg.numCores)
+{
+    if (cfg_.numCores < 2)
+        sim::fatal("machine needs at least 2 cores (master + worker)");
+    if (cfg_.numCores + 1 > mesh_.numNodes())
+        sim::fatal("mesh too small for ", cfg_.numCores, " cores + DMU");
+
+    if (cfg_.enableMemModel)
+        mem_ = std::make_unique<mem::MemoryModel>(cfg_.mem, cfg_.numCores);
+
+    if (traits_.dep == DepMode::Software) {
+        tracker_ = std::make_unique<rt::SoftwareTracker>(graph_);
+    } else {
+        dmu_ = std::make_unique<dmu::Dmu>(cfg_.dmu);
+    }
+
+    switch (traits_.sched) {
+      case SchedMode::SoftwarePool:
+        pool_ = std::make_unique<rt::ReadyPool>(rt::makeScheduler(
+            cfg_.scheduler, cfg_.numCores, cfg_.succThreshold));
+        break;
+      case SchedMode::HardwareQueues:
+        hwq_ = std::make_unique<hw::HwTaskQueues>(
+            cfg_.numCores, cfg_.carbon.queueEntriesPerCore);
+        break;
+      case SchedMode::HardwareFifo:
+        break; // DMU Ready Queue is the scheduler
+    }
+
+    descToTask_.reserve(graph_.numTasks());
+    for (const rt::Task &t : graph_.tasks())
+        descToTask_.emplace(t.descAddr, t.id);
+}
+
+Machine::~Machine() = default;
+
+rt::TaskId
+Machine::taskOfDesc(std::uint64_t desc_addr) const
+{
+    auto it = descToTask_.find(desc_addr);
+    if (it == descToTask_.end())
+        sim::panic("unknown task descriptor 0x", std::hex, desc_addr);
+    return it->second;
+}
+
+std::vector<mem::MemAccess>
+Machine::footprintOf(rt::TaskId id) const
+{
+    std::vector<mem::MemAccess> fp;
+    const rt::Task &t = graph_.task(id);
+    fp.reserve(t.deps.size());
+    for (const rt::DepSpec &d : t.deps) {
+        fp.push_back(mem::MemAccess{d.region,
+                                    graph_.region(d.region).bytes,
+                                    d.writes()});
+    }
+    return fp;
+}
+
+std::uint32_t
+Machine::swSuccCount(rt::TaskId id) const
+{
+    return tracker_ ? tracker_->succCount(id) : 0;
+}
+
+sim::Tick
+Machine::dmuOpLatency(sim::CoreId core, unsigned accesses)
+{
+    noc::NodeId from = mesh_.nodeOfCore(core);
+    noc::NodeId dmu_node = mesh_.centerNode();
+    sim::Tick req = mesh_.transfer(from, dmu_node, cfg_.dmuMsgBytes);
+    sim::Tick proc = static_cast<sim::Tick>(accesses)
+                   * cfg_.dmu.accessCycles;
+    sim::Tick done = dmuPipe_.acquire(eq_.now() + req, proc);
+    sim::Tick resp = mesh_.transfer(dmu_node, from, cfg_.dmuMsgBytes);
+    return done + resp;
+}
+
+// ---------------------------------------------------------------------
+// Master: regions and task creation
+// ---------------------------------------------------------------------
+
+void
+Machine::masterAdvanceRegion()
+{
+    if (curRegion_ >= graph_.parallelRegions().size()) {
+        finished_ = true;
+        makespan_ = eq_.now();
+        return;
+    }
+    const rt::ParallelRegion &region =
+        graph_.parallelRegions()[curRegion_];
+    regionDone_ = false;
+    executedInRegion_ = 0;
+    createdInRegion_ = 0;
+    if (tracker_)
+        tracker_->resetRegion();
+    if (dmu_ && dmu_->tasksInFlight() != 0)
+        sim::panic("DMU not empty at a global synchronization point");
+
+    sim::Tick prologue = region.prologueCycles;
+    eq_.scheduleIn(prologue, [this, prologue] {
+        phases_.add(masterCore, cpu::Phase::Exec, prologue);
+        const rt::ParallelRegion &r = graph_.parallelRegions()[curRegion_];
+        if (r.numTasks == 0) {
+            ++curRegion_;
+            masterAdvanceRegion();
+        } else {
+            masterCreating_ = true;
+            masterCreateNext();
+        }
+    });
+}
+
+void
+Machine::masterCreateNext()
+{
+    const rt::ParallelRegion &region =
+        graph_.parallelRegions()[curRegion_];
+    if (createdInRegion_ == region.numTasks) {
+        masterDoneCreating();
+        return;
+    }
+    // Creation throttle: with too many tasks in flight the master
+    // behaves as a worker for one task, then reconsiders.
+    unsigned inflight = tracker_ ? tracker_->inFlight()
+                                 : dmu_->tasksInFlight();
+    if (inflight >= cfg_.throttleTasks) {
+        tryDispatch(masterCore);
+        return;
+    }
+    rt::TaskId id = region.firstTask + createdInRegion_;
+    ++createdInRegion_;
+    if (traits_.dep == DepMode::Software)
+        masterCreateSw(id);
+    else
+        masterCreateTdm(id);
+}
+
+void
+Machine::masterCreateSw(rt::TaskId id)
+{
+    sim::Tick seg_start = eq_.now();
+    rt::TrackerCreateWork work = tracker_->create(id);
+    const rt::SwCosts &c = cfg_.swCosts;
+    double f = graph_.swDepCostFactor;
+
+    // Descriptor allocation and region-map lookups happen outside the
+    // runtime lock; edge insertion and pool publication inside it.
+    sim::Tick unlocked = c.taskAllocCycles
+        + static_cast<sim::Tick>(
+              (static_cast<double>(work.depLookups) * c.depLookupCycles
+               + static_cast<double>(work.fragmentSplits)
+                     * c.fragmentSplitCycles) * f);
+    sim::Tick locked = static_cast<sim::Tick>(
+        (static_cast<double>(work.edgeInserts) * c.edgeInsertCycles
+         + static_cast<double>(work.readerScans) * c.readerScanCycles)
+        * f);
+    bool ready_now = work.readyNow;
+    if (ready_now && pool_) {
+        locked += c.poolPushCycles + pool_->policy().pushExtraCycles();
+    }
+    sim::Tick completion = lock_.acquire(seg_start + unlocked, locked);
+    eq_.scheduleAt(completion, [this, id, ready_now, seg_start,
+                                completion] {
+        phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
+        masterCreateTicks_ += completion - seg_start;
+        if (ready_now) {
+            deliverReady(rt::ReadyTask{id, swSuccCount(id),
+                                       sim::invalidCore, id, completion});
+        }
+        masterCreateNext();
+    });
+}
+
+void
+Machine::masterCreateTdm(rt::TaskId id)
+{
+    sim::Tick seg_start = eq_.now();
+    eq_.scheduleIn(cfg_.tdmCosts.taskAllocCycles, [this, id, seg_start] {
+        masterIssueCreateOp(id, seg_start);
+    });
+}
+
+void
+Machine::masterIssueCreateOp(rt::TaskId id, sim::Tick seg_start)
+{
+    const rt::Task &t = graph_.task(id);
+    dmu::DmuResult res = dmu_->createTask(t.descAddr);
+    if (res.blocked) {
+        dmuWaiters_.push_back(
+            [this, id, seg_start] { masterIssueCreateOp(id, seg_start); });
+        return;
+    }
+    sim::Tick done = dmuOpLatency(masterCore, res.accesses)
+                   + cfg_.tdmCosts.issueCycles;
+    eq_.scheduleAt(done, [this, id, seg_start] {
+        masterIssueDepOp(id, 0, seg_start);
+    });
+}
+
+void
+Machine::masterIssueDepOp(rt::TaskId id, std::size_t dep_idx,
+                          sim::Tick seg_start)
+{
+    const rt::Task &t = graph_.task(id);
+    if (dep_idx == t.deps.size()) {
+        masterIssueCommitOp(id, seg_start);
+        return;
+    }
+    const rt::DepSpec &d = t.deps[dep_idx];
+    const rt::DataRegion &region = graph_.region(d.region);
+    dmu::DmuResult res = dmu_->addDependence(t.descAddr, region.baseAddr,
+                                             region.bytes, d.writes());
+    if (res.blocked) {
+        dmuWaiters_.push_back([this, id, dep_idx, seg_start] {
+            masterIssueDepOp(id, dep_idx, seg_start);
+        });
+        return;
+    }
+    sim::Tick done = dmuOpLatency(masterCore, res.accesses)
+                   + cfg_.tdmCosts.issueCycles;
+    eq_.scheduleAt(done, [this, id, dep_idx, seg_start] {
+        masterIssueDepOp(id, dep_idx + 1, seg_start);
+    });
+}
+
+void
+Machine::masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start)
+{
+    const rt::Task &t = graph_.task(id);
+    dmu::DmuResult res = dmu_->commitTask(t.descAddr);
+    sim::Tick done = dmuOpLatency(masterCore, res.accesses)
+                   + cfg_.tdmCosts.issueCycles;
+    bool ready_now = !res.readyDescAddrs.empty();
+
+    if (ready_now && traits_.sched == SchedMode::SoftwarePool) {
+        // The task entered the hardware Ready Queue at commit; the
+        // master immediately requests it with get_ready_task and moves
+        // it into the software pool (Section III-C3). The FIFO may
+        // hand back a different ready task queued by a concurrent
+        // finish — either way one entry moves to the pool.
+        unsigned acc = 0;
+        auto info = dmu_->getReadyTask(acc);
+        if (!info)
+            sim::panic("ready task vanished from the Ready Queue");
+        rt::TaskId got = taskOfDesc(info->descAddr);
+        std::uint32_t nsucc = info->numSuccessors;
+        sim::Tick fetched = dmuOpLatency(masterCore, acc)
+                          + cfg_.tdmCosts.issueCycles;
+        sim::Tick hold = cfg_.tdmCosts.poolPushCycles
+                       + pool_->policy().pushExtraCycles();
+        sim::Tick completion = lock_.acquire(fetched, hold);
+        eq_.scheduleAt(completion, [this, got, nsucc, seg_start,
+                                    completion] {
+            phases_.add(masterCore, cpu::Phase::Deps,
+                        completion - seg_start);
+            masterCreateTicks_ += completion - seg_start;
+            deliverReady(rt::ReadyTask{got, nsucc, sim::invalidCore,
+                                       got, completion});
+            masterCreateNext();
+        });
+        (void)id;
+    } else {
+        eq_.scheduleAt(done, [this, id, seg_start, done, ready_now] {
+            phases_.add(masterCore, cpu::Phase::Deps, done - seg_start);
+            masterCreateTicks_ += done - seg_start;
+            if (ready_now && traits_.sched == SchedMode::HardwareFifo)
+                wakeOneIdle();
+            (void)id;
+            masterCreateNext();
+        });
+    }
+}
+
+void
+Machine::masterDoneCreating()
+{
+    masterCreating_ = false;
+    tryDispatch(masterCore);
+}
+
+// ---------------------------------------------------------------------
+// Workers: dispatch, execute, finish
+// ---------------------------------------------------------------------
+
+void
+Machine::dispatchEntry(sim::CoreId core)
+{
+    if (core == masterCore && masterCreating_)
+        masterCreateNext();
+    else
+        tryDispatch(core);
+}
+
+void
+Machine::tryDispatch(sim::CoreId core)
+{
+    if (finished_)
+        return;
+    sim::Tick seg_start = eq_.now();
+
+    switch (traits_.sched) {
+      case SchedMode::SoftwarePool: {
+        const sim::Tick pop_cost =
+            (traits_.dep == DepMode::Software
+                 ? cfg_.swCosts.poolPopCycles
+                 : cfg_.tdmCosts.poolPopCycles)
+            + pool_->policy().popExtraCycles();
+        sim::Tick completion = lock_.acquire(seg_start, pop_cost);
+        eq_.scheduleAt(completion, [this, core, seg_start, completion] {
+            auto t = pool_->pop(core);
+            phases_.add(core, cpu::Phase::Sched, completion - seg_start);
+            if (t) {
+                startExec(core, *t);
+            } else if (core == masterCore && !masterCreating_
+                       && regionDone_) {
+                ++curRegion_;
+                masterAdvanceRegion();
+            } else {
+                goIdle(core);
+            }
+        });
+        break;
+      }
+      case SchedMode::HardwareQueues: {
+        sim::Tick cost = cfg_.carbon.localOpCycles;
+        eq_.scheduleIn(cost, [this, core, seg_start, cost] {
+            auto t = hwq_->popLocal(core);
+            if (t) {
+                phases_.add(core, cpu::Phase::Sched, cost);
+                startExec(core, *t);
+                return;
+            }
+            sim::Tick steal_done = cost + cfg_.carbon.stealCycles;
+            eq_.scheduleIn(cfg_.carbon.stealCycles,
+                           [this, core, seg_start, steal_done] {
+                auto s = hwq_->steal(core);
+                phases_.add(core, cpu::Phase::Sched, steal_done);
+                (void)seg_start;
+                if (s) {
+                    startExec(core, *s);
+                } else if (core == masterCore && !masterCreating_
+                           && regionDone_) {
+                    ++curRegion_;
+                    masterAdvanceRegion();
+                } else {
+                    goIdle(core);
+                }
+            });
+        });
+        break;
+      }
+      case SchedMode::HardwareFifo: {
+        unsigned acc = 0;
+        auto info = dmu_->getReadyTask(acc);
+        sim::Tick done = dmuOpLatency(core, acc)
+                       + cfg_.tdmCosts.issueCycles;
+        eq_.scheduleAt(done, [this, core, seg_start, done, info] {
+            phases_.add(core, cpu::Phase::Sched, done - seg_start);
+            if (info) {
+                rt::TaskId id = taskOfDesc(info->descAddr);
+                startExec(core, rt::ReadyTask{id, info->numSuccessors,
+                                              sim::invalidCore, id, done});
+            } else if (core == masterCore && !masterCreating_
+                       && regionDone_) {
+                ++curRegion_;
+                masterAdvanceRegion();
+            } else {
+                goIdle(core);
+            }
+        });
+        break;
+      }
+    }
+}
+
+void
+Machine::startExec(sim::CoreId core, const rt::ReadyTask &task)
+{
+    const rt::Task &t = graph_.task(task.id);
+    sim::Tick stall = 0;
+    if (mem_) {
+        auto fp = footprintOf(task.id);
+        stall = mem_->taskAccessTime(core, fp);
+    }
+    sim::Tick dur = t.computeCycles + stall;
+    ++cores_[core].tasksRun;
+    eq_.scheduleIn(dur, [this, core, id = task.id, dur] {
+        phases_.add(core, cpu::Phase::Exec, dur);
+        if (traceEnabled_) {
+            trace_.record(id, core, eq_.now() - dur, eq_.now(),
+                          graph_.task(id).kernel);
+        }
+        finishTask(core, id);
+    });
+}
+
+void
+Machine::finishTask(sim::CoreId core, rt::TaskId id)
+{
+    if (traits_.dep == DepMode::Software)
+        finishSw(core, id);
+    else
+        finishDmu(core, id);
+}
+
+void
+Machine::finishSw(sim::CoreId core, rt::TaskId id)
+{
+    sim::Tick seg_start = eq_.now();
+    rt::TrackerFinishWork work = tracker_->finish(id);
+    const rt::SwCosts &c = cfg_.swCosts;
+
+    std::vector<rt::ReadyTask> ready;
+    ready.reserve(work.newlyReady.size());
+    for (rt::TaskId r : work.newlyReady) {
+        ready.push_back(
+            rt::ReadyTask{r, swSuccCount(r), core, r, seg_start});
+    }
+
+    sim::Tick unlocked = c.finishBaseCycles;
+    sim::Tick locked =
+        static_cast<sim::Tick>(work.succVisits) * c.perSuccessorCycles
+        + static_cast<sim::Tick>(work.depVisits) * c.perDepCleanupCycles;
+    sim::Tick push_cost = 0;
+    if (traits_.sched == SchedMode::SoftwarePool) {
+        push_cost = static_cast<sim::Tick>(ready.size())
+                  * (c.poolPushCycles + pool_->policy().pushExtraCycles());
+        locked += push_cost;
+    }
+    sim::Tick completion = lock_.acquire(seg_start + unlocked, locked);
+
+    if (traits_.sched == SchedMode::HardwareQueues) {
+        // Carbon publishes ready tasks to the local hardware queue
+        // after the (software) dependence bookkeeping.
+        completion += static_cast<sim::Tick>(ready.size())
+                    * cfg_.carbon.localOpCycles;
+    }
+    eq_.scheduleAt(completion, [this, core, seg_start, completion,
+                                ready = std::move(ready)] {
+        phases_.add(core, cpu::Phase::Deps, completion - seg_start);
+        for (const rt::ReadyTask &r : ready)
+            deliverReady(r);
+        onTaskExecuted();
+        afterFinish(core);
+    });
+}
+
+void
+Machine::finishDmu(sim::CoreId core, rt::TaskId id)
+{
+    sim::Tick seg_start = eq_.now();
+    const rt::Task &t = graph_.task(id);
+    dmu::DmuResult res = dmu_->finishTask(t.descAddr);
+    flushDmuWaiters();
+    sim::Tick done = dmuOpLatency(core, res.accesses)
+                   + cfg_.tdmCosts.issueCycles;
+    std::size_t n_ready = res.readyDescAddrs.size();
+    eq_.scheduleAt(done, [this, core, seg_start, done, n_ready] {
+        phases_.add(core, cpu::Phase::Deps, done - seg_start);
+        onTaskExecuted();
+        if (traits_.sched == SchedMode::SoftwarePool) {
+            getReadyLoop(core, done);
+        } else {
+            // Task Superscalar: tasks stay in the hardware Ready
+            // Queue; wake an idle core per newly ready task.
+            for (std::size_t i = 0; i < n_ready; ++i)
+                wakeOneIdle();
+            afterFinish(core);
+        }
+    });
+}
+
+void
+Machine::getReadyLoop(sim::CoreId core, sim::Tick seg_start)
+{
+    unsigned acc = 0;
+    auto info = dmu_->getReadyTask(acc);
+    sim::Tick done = dmuOpLatency(core, acc) + cfg_.tdmCosts.issueCycles;
+    if (info) {
+        rt::TaskId id = taskOfDesc(info->descAddr);
+        sim::Tick hold = cfg_.tdmCosts.poolPushCycles
+                       + pool_->policy().pushExtraCycles();
+        sim::Tick completion = lock_.acquire(done, hold);
+        std::uint32_t nsucc = info->numSuccessors;
+        eq_.scheduleAt(completion, [this, core, seg_start, id, nsucc,
+                                    completion] {
+            deliverReady(rt::ReadyTask{id, nsucc, core, id, completion});
+            getReadyLoop(core, seg_start);
+        });
+    } else {
+        eq_.scheduleAt(done, [this, core, seg_start, done] {
+            phases_.add(core, cpu::Phase::Sched, done - seg_start);
+            afterFinish(core);
+        });
+    }
+}
+
+void
+Machine::afterFinish(sim::CoreId core)
+{
+    dispatchEntry(core);
+}
+
+// ---------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------
+
+void
+Machine::deliverReady(const rt::ReadyTask &task)
+{
+    switch (traits_.sched) {
+      case SchedMode::SoftwarePool:
+        pool_->push(task);
+        break;
+      case SchedMode::HardwareQueues: {
+        // Successor tasks enqueue locally; creation-ready tasks are
+        // distributed round-robin by Carbon's Global Task Unit.
+        sim::CoreId to = task.producerHint != sim::invalidCore
+                             ? task.producerHint
+                             : static_cast<sim::CoreId>(
+                                   carbonRr_++ % cfg_.numCores);
+        if (!hwq_->pushWithSpill(to, task))
+            sim::fatal("Carbon hardware queues overflowed (increase "
+                       "queueEntriesPerCore)");
+        break;
+      }
+      case SchedMode::HardwareFifo:
+        break; // already in the DMU Ready Queue
+    }
+    wakeOneIdle();
+}
+
+void
+Machine::wakeOneIdle()
+{
+    if (finished_ || idleCores_.empty())
+        return;
+    sim::CoreId core = idleCores_.front();
+    idleCores_.pop_front();
+    wakeCore(core);
+}
+
+void
+Machine::wakeCore(sim::CoreId core)
+{
+    cpu::CoreState &cs = cores_[core];
+    if (!cs.idle)
+        return;
+    cs.idle = false;
+    phases_.add(core, cpu::Phase::Idle, eq_.now() - cs.idleSince);
+    eq_.scheduleIn(0, [this, core] { dispatchEntry(core); });
+}
+
+void
+Machine::wakeSpecific(sim::CoreId core)
+{
+    if (!cores_[core].idle)
+        return;
+    auto it = std::find(idleCores_.begin(), idleCores_.end(), core);
+    if (it != idleCores_.end())
+        idleCores_.erase(it);
+    wakeCore(core);
+}
+
+void
+Machine::goIdle(sim::CoreId core)
+{
+    if (finished_)
+        return;
+    cpu::CoreState &cs = cores_[core];
+    cs.idle = true;
+    cs.idleSince = eq_.now();
+    idleCores_.push_back(core);
+}
+
+void
+Machine::onTaskExecuted()
+{
+    ++tasksExecuted_;
+    ++executedInRegion_;
+    const rt::ParallelRegion &region =
+        graph_.parallelRegions()[curRegion_];
+    if (executedInRegion_ == region.numTasks) {
+        regionDone_ = true;
+        if (cores_[masterCore].idle) {
+            // Remove the master from the idle list and resume it.
+            auto it = std::find(idleCores_.begin(), idleCores_.end(),
+                                masterCore);
+            if (it != idleCores_.end())
+                idleCores_.erase(it);
+            cpu::CoreState &cs = cores_[masterCore];
+            cs.idle = false;
+            phases_.add(masterCore, cpu::Phase::Idle,
+                        eq_.now() - cs.idleSince);
+            eq_.scheduleIn(0, [this] {
+                ++curRegion_;
+                masterAdvanceRegion();
+            });
+        }
+    } else if (masterCreating_ && cores_[masterCore].idle) {
+        // The master parked on the creation throttle; a finish may
+        // have dropped the in-flight count below the limit.
+        wakeSpecific(masterCore);
+    }
+}
+
+void
+Machine::flushDmuWaiters()
+{
+    if (dmuWaiters_.empty())
+        return;
+    std::vector<std::function<void()>> waiters;
+    waiters.swap(dmuWaiters_);
+    for (auto &w : waiters)
+        eq_.scheduleIn(0, std::move(w));
+}
+
+void
+Machine::dumpStats(std::ostream &os)
+{
+    sim::StatGroup mesh_g("noc");
+    mesh_.regStats(mesh_g);
+    mesh_g.dump(os);
+    if (mem_) {
+        sim::StatGroup mem_g("mem");
+        mem_->regStats(mem_g);
+        mem_g.dump(os);
+    }
+    if (dmu_) {
+        sim::StatGroup dmu_g("dmu");
+        dmu_->regStats(dmu_g);
+        dmu_g.dump(os);
+    }
+    phases_.dump(os);
+}
+
+// ---------------------------------------------------------------------
+// Run + results
+// ---------------------------------------------------------------------
+
+MachineResult
+Machine::run()
+{
+    // Workers start parked; the first ready-task deliveries wake them.
+    eq_.scheduleAt(0, [this] {
+        for (sim::CoreId c = 1; c < cfg_.numCores; ++c)
+            goIdle(c);
+        masterAdvanceRegion();
+    });
+    eq_.run(cfg_.maxTicks);
+
+    MachineResult res;
+    if (!finished_) {
+        if (eq_.empty()) {
+            sim::warn("machine deadlocked: runtime blocked on DMU "
+                      "capacity with no tasks in flight");
+        } else {
+            sim::warn("machine hit the tick watchdog before completion");
+        }
+        res.makespan = eq_.now();
+        res.tasksExecuted = tasksExecuted_;
+        return res;
+    }
+    if (tasksExecuted_ != graph_.numTasks())
+        sim::panic("executed ", tasksExecuted_, " of ",
+                   graph_.numTasks(), " tasks");
+
+    res.completed = true;
+    res.makespan = makespan_;
+    res.timeMs = sim::ticksToSeconds(makespan_) * 1e3;
+    res.tasksExecuted = tasksExecuted_;
+
+    // Complete idle accounting for cores parked at the end.
+    for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
+        cpu::CoreState &cs = cores_[c];
+        if (cs.idle) {
+            phases_.add(c, cpu::Phase::Idle, makespan_ - cs.idleSince);
+            cs.idle = false;
+        }
+    }
+    res.master = phases_.master();
+    res.workersTotal = phases_.workersTotal();
+    res.chipTotal = phases_.chipTotal();
+
+    // Fraction of the run the master spent creating tasks (Fig. 10).
+    res.masterCreationFraction =
+        makespan_ > 0 ? static_cast<double>(masterCreateTicks_)
+                            / static_cast<double>(makespan_)
+                      : 0.0;
+
+    // ---- Energy ----
+    pwr::EnergyAccountant acct(cfg_.power);
+    for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
+        const cpu::PhaseBreakdown &b = phases_.core(c);
+        sim::Tick busy = std::min<sim::Tick>(b.busy(), makespan_);
+        acct.addCoreTime(busy, makespan_ - busy);
+    }
+    if (mem_) {
+        acct.addCacheLines(mem_->l1LineAccesses(), mem_->l2LineAccesses(),
+                           mem_->dramLineAccesses());
+    }
+    if (dmu_) {
+        pwr::CactiModel cacti(22);
+        auto specs = dmu::sramSpecs(cfg_.dmu);
+        const dmu::DmuAccessCounts &n = dmu_->accessCounts();
+        const std::uint64_t counts[] = {n.taskTable, n.depTable, n.tat,
+                                        n.dat, n.sla, n.dla, n.rla,
+                                        n.readyQueue};
+        double pj = 0.0;
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            pj += cacti.estimate(specs[i]).readEnergyPj
+                * static_cast<double>(counts[i]);
+        if (traits_.type == RuntimeType::TaskSuperscalar) {
+            // CAM-heavy lookups of the original pipeline.
+            pj *= 3.0;
+            acct.setAcceleratorLeakageMw(
+                hw::tssStorageKB(cfg_.tss)
+                * pwr::CactiModel::leakageMwPerKB);
+        } else {
+            acct.setAcceleratorLeakageMw(dmu::totalLeakageMw(cfg_.dmu));
+        }
+        acct.addAcceleratorPj(pj);
+        res.dmuBlockedOps = dmu_->blockedOps();
+        res.dmuAccesses = n.total();
+        res.datAvgOccupiedSets = dmu_->dat().avgOccupiedSets();
+    }
+    if (hwq_) {
+        acct.setAcceleratorLeakageMw(
+            hw::carbonStorageKB(cfg_.carbon, cfg_.numCores)
+            * pwr::CactiModel::leakageMwPerKB);
+        acct.addAcceleratorPj(
+            2.0 * static_cast<double>(hwq_->pushes() + hwq_->localPops()
+                                      + hwq_->steals()));
+        res.steals = hwq_->steals();
+    }
+    res.energyJ = acct.totalJoules(makespan_);
+    res.edp = acct.edp(makespan_);
+    res.avgWatts = acct.avgWatts(makespan_);
+    return res;
+}
+
+} // namespace tdm::core

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The full-machine model: 32 cores running a task-based runtime over a
+ * workload TaskGraph, with one of four runtime systems (Software, TDM,
+ * Carbon, Task Superscalar).
+ *
+ * The model is a deterministic discrete-event simulation at the
+ * granularity of runtime operations and task bodies:
+ *
+ *  - The master thread (core 0) executes each parallel region's
+ *    sequential prologue, then creates the region's tasks in program
+ *    order. Creation costs follow the runtime model: software
+ *    dependence matching under the runtime lock, or descriptor
+ *    allocation plus TDM ISA operations (NoC round trip + serialized
+ *    DMU processing, with blocking on full structures).
+ *  - Worker threads loop: scheduling phase (pool pop under the lock /
+ *    hardware queue pop / DMU get_ready_task), execution phase (compute
+ *    cycles + memory-hierarchy stall for the task's dependence
+ *    footprint), and finalization (software tracker wake-ups or
+ *    finish_task + get_ready_task drain).
+ *  - Per-core time is attributed to DEPS / SCHED / EXEC / IDLE exactly
+ *    as Figure 2 defines them.
+ */
+
+#ifndef TDM_CORE_MACHINE_HH
+#define TDM_CORE_MACHINE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/runtime_model.hh"
+#include "core/task_trace.hh"
+#include "cpu/core.hh"
+#include "cpu/machine_config.hh"
+#include "cpu/phase_stats.hh"
+#include "dmu/dmu.hh"
+#include "hwbaselines/hw_task_queue.hh"
+#include "mem/memory_model.hh"
+#include "noc/mesh.hh"
+#include "power/energy_accountant.hh"
+#include "runtime/ready_pool.hh"
+#include "runtime/software_tracker.hh"
+#include "runtime/task_graph.hh"
+#include "sim/event_queue.hh"
+
+namespace tdm::core {
+
+/** Aggregate result of one machine run. */
+struct MachineResult
+{
+    /** False when the run deadlocked or hit the watchdog. */
+    bool completed = false;
+
+    sim::Tick makespan = 0;
+    double timeMs = 0.0;
+
+    cpu::PhaseBreakdown master;
+    cpu::PhaseBreakdown workersTotal;
+    cpu::PhaseBreakdown chipTotal;
+
+    double energyJ = 0.0;
+    double edp = 0.0;
+    double avgWatts = 0.0;
+
+    std::uint64_t tasksExecuted = 0;
+    std::uint64_t dmuBlockedOps = 0;
+    std::uint64_t dmuAccesses = 0;
+    double datAvgOccupiedSets = 0.0;
+    std::uint64_t steals = 0;
+
+    /** Master-thread fraction of time spent creating tasks (Fig. 10). */
+    double masterCreationFraction = 0.0;
+};
+
+/**
+ * One simulated machine bound to one task graph and runtime model.
+ */
+class Machine
+{
+  public:
+    Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
+            RuntimeType runtime);
+    ~Machine();
+
+    /** Run to completion and summarize. */
+    MachineResult run();
+
+    const cpu::PhaseStats &phases() const { return phases_; }
+    const dmu::Dmu *dmuUnit() const { return dmu_.get(); }
+
+    /** Enable/inspect the execution timeline (off by default). */
+    void enableTrace() { traceEnabled_ = true; }
+    const TaskTrace &trace() const { return trace_; }
+
+    /** Dump component statistics (gem5 stats.txt style). */
+    void dumpStats(std::ostream &os);
+    const mem::MemoryModel *memory() const { return mem_.get(); }
+    const RuntimeTraits &traits() const { return traits_; }
+    sim::Tick now() const { return eq_.now(); }
+
+  private:
+    // ---- master side ----
+    void masterAdvanceRegion();
+    void masterCreateNext();
+    void masterCreateSw(rt::TaskId id);
+    void masterCreateTdm(rt::TaskId id);
+    void masterIssueCreateOp(rt::TaskId id, sim::Tick seg_start);
+    void masterIssueDepOp(rt::TaskId id, std::size_t dep_idx,
+                          sim::Tick seg_start);
+    void masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start);
+    void masterDoneCreating();
+
+    // ---- worker side ----
+    /** Entry point after a wake-up: creation throttle aware. */
+    void dispatchEntry(sim::CoreId core);
+    void tryDispatch(sim::CoreId core);
+    void startExec(sim::CoreId core, const rt::ReadyTask &task);
+    void finishTask(sim::CoreId core, rt::TaskId id);
+    void finishSw(sim::CoreId core, rt::TaskId id);
+    void finishDmu(sim::CoreId core, rt::TaskId id);
+    void getReadyLoop(sim::CoreId core, sim::Tick seg_start);
+    void afterFinish(sim::CoreId core);
+
+    // ---- shared plumbing ----
+    void deliverReady(const rt::ReadyTask &task);
+    void wakeOneIdle();
+    void wakeCore(sim::CoreId core);
+    void wakeSpecific(sim::CoreId core);
+    void goIdle(sim::CoreId core);
+    void onTaskExecuted();
+    void flushDmuWaiters();
+
+    /**
+     * Model a DMU operation issued from @p core at the current tick:
+     * request traversal of the mesh, FIFO queueing at the DMU,
+     * processing of @p accesses SRAM accesses, and the response.
+     * @return the tick at which the issuing core resumes.
+     */
+    sim::Tick dmuOpLatency(sim::CoreId core, unsigned accesses);
+
+    rt::TaskId taskOfDesc(std::uint64_t desc_addr) const;
+    std::vector<mem::MemAccess> footprintOf(rt::TaskId id) const;
+    std::uint32_t swSuccCount(rt::TaskId id) const;
+
+    cpu::MachineConfig cfg_;
+    const rt::TaskGraph &graph_;
+    RuntimeTraits traits_;
+
+    sim::EventQueue eq_;
+    cpu::PhaseStats phases_;
+    noc::Mesh mesh_;
+    std::unique_ptr<mem::MemoryModel> mem_;
+    std::unique_ptr<rt::SoftwareTracker> tracker_;
+    std::unique_ptr<rt::ReadyPool> pool_;
+    std::unique_ptr<dmu::Dmu> dmu_;
+    std::unique_ptr<hw::HwTaskQueues> hwq_;
+
+    cpu::SerialResource lock_; ///< the runtime's global lock
+    cpu::SerialResource dmuPipe_; ///< serialized DMU op processing
+
+    std::vector<cpu::CoreState> cores_;
+    std::deque<sim::CoreId> idleCores_;
+    TaskTrace trace_;
+    bool traceEnabled_ = false;
+
+    // Region / creation progress.
+    std::uint32_t curRegion_ = 0;
+    rt::TaskId nextToCreate_ = 0;
+    std::uint32_t createdInRegion_ = 0;
+    std::uint32_t executedInRegion_ = 0;
+    bool masterCreating_ = false;
+    bool regionDone_ = false;
+    bool finished_ = false;
+
+    std::unordered_map<std::uint64_t, rt::TaskId> descToTask_;
+
+    // Master blocked on DMU capacity.
+    std::vector<std::function<void()>> dmuWaiters_;
+
+    std::uint64_t tasksExecuted_ = 0;
+    std::uint64_t carbonRr_ = 0; ///< GTU round-robin cursor
+    sim::Tick masterCreateTicks_ = 0;
+    sim::Tick makespan_ = 0;
+
+    static constexpr sim::CoreId masterCore = 0;
+};
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_MACHINE_HH

@@ -1,0 +1,51 @@
+#include "core/runtime_model.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::core {
+
+namespace {
+
+const RuntimeTraits kTraits[] = {
+    {RuntimeType::Software, DepMode::Software, SchedMode::SoftwarePool,
+     "sw"},
+    {RuntimeType::Tdm, DepMode::Hardware, SchedMode::SoftwarePool, "tdm"},
+    {RuntimeType::Carbon, DepMode::Software, SchedMode::HardwareQueues,
+     "carbon"},
+    {RuntimeType::TaskSuperscalar, DepMode::Hardware,
+     SchedMode::HardwareFifo, "tss"},
+};
+
+} // namespace
+
+const RuntimeTraits &
+traitsOf(RuntimeType type)
+{
+    for (const auto &t : kTraits)
+        if (t.type == type)
+            return t;
+    sim::panic("unknown runtime type");
+}
+
+RuntimeType
+runtimeFromString(const std::string &name)
+{
+    for (const auto &t : kTraits)
+        if (name == t.name)
+            return t.type;
+    sim::fatal("unknown runtime: ", name, " (expected sw/tdm/carbon/tss)");
+}
+
+const std::vector<RuntimeType> &
+allRuntimeTypes()
+{
+    static const std::vector<RuntimeType> all = {
+        RuntimeType::Software,
+        RuntimeType::Tdm,
+        RuntimeType::Carbon,
+        RuntimeType::TaskSuperscalar,
+    };
+    return all;
+}
+
+} // namespace tdm::core

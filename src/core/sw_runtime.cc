@@ -1,0 +1,17 @@
+#include "core/sw_runtime.hh"
+
+namespace tdm::core {
+
+RuntimeSpec
+swRuntimeSpec(const cpu::MachineConfig &)
+{
+    RuntimeSpec s;
+    s.type = RuntimeType::Software;
+    s.displayName = "SW";
+    s.description = "software dependence tracking + software scheduling";
+    s.hwStorageKB = 0.0;
+    s.hwAreaMm2 = 0.0;
+    return s;
+}
+
+} // namespace tdm::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Descriptor of the pure-software baseline runtime (Nanos++-style):
+ * dependence tracking and scheduling both in software. This is the
+ * normalization baseline of every figure in the paper.
+ */
+
+#ifndef TDM_CORE_SW_RUNTIME_HH
+#define TDM_CORE_SW_RUNTIME_HH
+
+#include <string>
+
+#include "core/runtime_model.hh"
+#include "cpu/machine_config.hh"
+
+namespace tdm::core {
+
+/** Static description of one runtime system's hardware cost. */
+struct RuntimeSpec
+{
+    RuntimeType type;
+    std::string displayName;
+    std::string description;
+    double hwStorageKB = 0.0; ///< dedicated hardware storage
+    double hwAreaMm2 = 0.0;   ///< dedicated hardware area
+};
+
+/** Spec of the software runtime (no dedicated hardware). */
+RuntimeSpec swRuntimeSpec(const cpu::MachineConfig &cfg);
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_SW_RUNTIME_HH

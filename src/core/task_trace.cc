@@ -1,0 +1,62 @@
+#include "core/task_trace.hh"
+
+#include <algorithm>
+
+namespace tdm::core {
+
+double
+TaskTrace::avgParallelism(sim::Tick makespan) const
+{
+    if (makespan == 0)
+        return 0.0;
+    double busy = 0.0;
+    for (const TraceRecord &r : records_)
+        busy += static_cast<double>(r.end - r.start);
+    return busy / static_cast<double>(makespan);
+}
+
+unsigned
+TaskTrace::peakParallelism() const
+{
+    // Sweep start/end events in time order.
+    std::vector<std::pair<sim::Tick, int>> events;
+    events.reserve(records_.size() * 2);
+    for (const TraceRecord &r : records_) {
+        events.emplace_back(r.start, +1);
+        events.emplace_back(r.end, -1);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second; // ends before starts
+              });
+    int cur = 0, peak = 0;
+    for (const auto &[t, d] : events) {
+        cur += d;
+        peak = std::max(peak, cur);
+    }
+    return static_cast<unsigned>(peak);
+}
+
+void
+TaskTrace::writeChromeTrace(std::ostream &os,
+                            const char *process_name) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceRecord &r : records_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"task" << r.task << "/k" << r.kernel
+           << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":"
+           << sim::ticksToUs(r.start)
+           << ",\"dur\":" << sim::ticksToUs(r.end - r.start)
+           << ",\"pid\":\"" << process_name << "\",\"tid\":" << r.core
+           << '}';
+    }
+    os << "]}";
+}
+
+} // namespace tdm::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Task execution timeline recording — the data behind Figure 1's
+ * execution timeline. Each record is one task body execution (which
+ * core, which interval, which kernel). The trace can be exported as
+ * Chrome-tracing JSON (chrome://tracing / Perfetto) for visual
+ * inspection, and summarized into parallelism statistics.
+ */
+
+#ifndef TDM_CORE_TASK_TRACE_HH
+#define TDM_CORE_TASK_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "runtime/task.hh"
+#include "sim/types.hh"
+
+namespace tdm::core {
+
+/** One task execution interval. */
+struct TraceRecord
+{
+    rt::TaskId task = rt::invalidTask;
+    sim::CoreId core = sim::invalidCore;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    std::uint16_t kernel = 0;
+};
+
+/**
+ * Execution timeline of one machine run.
+ */
+class TaskTrace
+{
+  public:
+    void
+    record(rt::TaskId task, sim::CoreId core, sim::Tick start,
+           sim::Tick end, std::uint16_t kernel)
+    {
+        records_.push_back(TraceRecord{task, core, start, end, kernel});
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    bool empty() const { return records_.empty(); }
+    std::size_t size() const { return records_.size(); }
+
+    /** Sum of execution intervals / makespan: mean busy cores. */
+    double avgParallelism(sim::Tick makespan) const;
+
+    /** Peak number of simultaneously executing tasks. */
+    unsigned peakParallelism() const;
+
+    /**
+     * Export as Chrome-tracing "traceEvents" JSON; one row per core,
+     * microsecond timestamps.
+     */
+    void writeChromeTrace(std::ostream &os,
+                          const char *process_name = "tdm") const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_TASK_TRACE_HH

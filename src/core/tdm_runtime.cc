@@ -1,0 +1,19 @@
+#include "core/tdm_runtime.hh"
+
+#include "dmu/geometry.hh"
+
+namespace tdm::core {
+
+RuntimeSpec
+tdmRuntimeSpec(const cpu::MachineConfig &cfg)
+{
+    RuntimeSpec s;
+    s.type = RuntimeType::Tdm;
+    s.displayName = "TDM";
+    s.description = "DMU dependence tracking + software scheduling";
+    s.hwStorageKB = dmu::totalStorageKB(cfg.dmu);
+    s.hwAreaMm2 = dmu::totalAreaMm2(cfg.dmu);
+    return s;
+}
+
+} // namespace tdm::core

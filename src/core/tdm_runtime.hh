@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Descriptor of the TDM runtime: DMU dependence tracking + flexible
+ * software scheduling (the paper's contribution).
+ */
+
+#ifndef TDM_CORE_TDM_RUNTIME_HH
+#define TDM_CORE_TDM_RUNTIME_HH
+
+#include "core/sw_runtime.hh"
+
+namespace tdm::core {
+
+/** Spec of the TDM runtime: the DMU is the dedicated hardware. */
+RuntimeSpec tdmRuntimeSpec(const cpu::MachineConfig &cfg);
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_TDM_RUNTIME_HH

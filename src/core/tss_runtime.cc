@@ -1,0 +1,39 @@
+#include "core/tss_runtime.hh"
+
+#include "core/carbon_runtime.hh"
+#include "core/tdm_runtime.hh"
+#include "hwbaselines/task_superscalar.hh"
+#include "sim/logging.hh"
+
+namespace tdm::core {
+
+RuntimeSpec
+tssRuntimeSpec(const cpu::MachineConfig &cfg)
+{
+    RuntimeSpec s;
+    s.type = RuntimeType::TaskSuperscalar;
+    s.displayName = "TaskSS";
+    s.description =
+        "hardware dependence tracking + fixed hardware FIFO scheduling";
+    s.hwStorageKB = hw::tssStorageKB(cfg.tss);
+    s.hwAreaMm2 = hw::tssAreaMm2(cfg.tss);
+    return s;
+}
+
+RuntimeSpec
+runtimeSpec(RuntimeType type, const cpu::MachineConfig &cfg)
+{
+    switch (type) {
+      case RuntimeType::Software:
+        return swRuntimeSpec(cfg);
+      case RuntimeType::Tdm:
+        return tdmRuntimeSpec(cfg);
+      case RuntimeType::Carbon:
+        return carbonRuntimeSpec(cfg);
+      case RuntimeType::TaskSuperscalar:
+        return tssRuntimeSpec(cfg);
+    }
+    sim::panic("unknown runtime type");
+}
+
+} // namespace tdm::core

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Descriptor of the Task Superscalar baseline runtime: dependence
+ * tracking and scheduling both in hardware, fixed FIFO policy.
+ */
+
+#ifndef TDM_CORE_TSS_RUNTIME_HH
+#define TDM_CORE_TSS_RUNTIME_HH
+
+#include "core/sw_runtime.hh"
+
+namespace tdm::core {
+
+/** Spec of the Task Superscalar runtime. */
+RuntimeSpec tssRuntimeSpec(const cpu::MachineConfig &cfg);
+
+/** Spec of any runtime type. */
+RuntimeSpec runtimeSpec(RuntimeType type, const cpu::MachineConfig &cfg);
+
+} // namespace tdm::core
+
+#endif // TDM_CORE_TSS_RUNTIME_HH

@@ -1,0 +1,7 @@
+#include "cpu/core.hh"
+
+namespace tdm::cpu {
+
+// Header-only; anchors the translation unit.
+
+} // namespace tdm::cpu

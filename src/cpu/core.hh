@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Core-side state of the machine model: the runtime state machine each
+ * hardware thread runs, plus the serialized-resource helper used to
+ * model the runtime lock and the DMU's sequential operation processing.
+ */
+
+#ifndef TDM_CPU_CORE_HH
+#define TDM_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tdm::cpu {
+
+/**
+ * A resource that serves one request at a time (runtime lock, DMU
+ * pipeline). Callers reserve an interval; the returned completion time
+ * includes queueing delay.
+ */
+class SerialResource
+{
+  public:
+    /**
+     * Reserve the resource for @p duration ticks, starting no earlier
+     * than @p earliest. @return the completion tick.
+     */
+    sim::Tick
+    acquire(sim::Tick earliest, sim::Tick duration)
+    {
+        sim::Tick start = earliest > busyUntil_ ? earliest : busyUntil_;
+        busyUntil_ = start + duration;
+        totalBusy_ += duration;
+        return busyUntil_;
+    }
+
+    /** Next tick at which the resource is free. */
+    sim::Tick busyUntil() const { return busyUntil_; }
+
+    /** Total ticks the resource has been held. */
+    sim::Tick totalBusy() const { return totalBusy_; }
+
+  private:
+    sim::Tick busyUntil_ = 0;
+    sim::Tick totalBusy_ = 0;
+};
+
+/** Runtime state of one core. */
+struct CoreState
+{
+    bool idle = false;
+    sim::Tick idleSince = 0;
+
+    /** Tasks this core has executed. */
+    std::uint64_t tasksRun = 0;
+};
+
+} // namespace tdm::cpu
+
+#endif // TDM_CPU_CORE_HH

@@ -1,0 +1,36 @@
+#include "cpu/machine_config.hh"
+
+namespace tdm::cpu {
+
+sim::Config
+MachineConfig::describe() const
+{
+    sim::Config c;
+    c.set("chip.cores", static_cast<std::uint64_t>(numCores));
+    c.set("chip.freq_ghz", 2.0);
+    c.set("core.type", std::string("out-of-order, 4-wide, 128-entry ROB"));
+    c.set("l1d.size_kb",
+          static_cast<std::uint64_t>(mem.l1Bytes / 1024));
+    c.set("l1d.hit_cycles", static_cast<std::uint64_t>(mem.l1HitCycles));
+    c.set("l2.size_mb",
+          static_cast<std::uint64_t>(mem.l2Bytes / (1024 * 1024)));
+    c.set("l2.hit_cycles", static_cast<std::uint64_t>(mem.l2HitCycles));
+    c.set("dram.cycles", static_cast<std::uint64_t>(mem.dramCycles));
+    c.set("noc.mesh", std::to_string(mesh.width) + "x"
+                          + std::to_string(mesh.height));
+    c.set("dmu.tat_entries", static_cast<std::uint64_t>(dmu.tatEntries));
+    c.set("dmu.tat_assoc", static_cast<std::uint64_t>(dmu.tatAssoc));
+    c.set("dmu.dat_entries", static_cast<std::uint64_t>(dmu.datEntries));
+    c.set("dmu.dat_assoc", static_cast<std::uint64_t>(dmu.datAssoc));
+    c.set("dmu.list_array_entries",
+          static_cast<std::uint64_t>(dmu.slaEntries));
+    c.set("dmu.elems_per_entry",
+          static_cast<std::uint64_t>(dmu.elemsPerEntry));
+    c.set("dmu.access_cycles",
+          static_cast<std::uint64_t>(dmu.accessCycles));
+    c.set("dmu.dynamic_dat_index", dmu.dynamicDatIndex);
+    c.set("sched.policy", scheduler);
+    return c;
+}
+
+} // namespace tdm::cpu

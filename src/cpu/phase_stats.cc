@@ -1,0 +1,88 @@
+#include "cpu/phase_stats.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::cpu {
+
+const char *
+toString(Phase p)
+{
+    switch (p) {
+      case Phase::Deps: return "DEPS";
+      case Phase::Sched: return "SCHED";
+      case Phase::Exec: return "EXEC";
+      case Phase::Idle: return "IDLE";
+    }
+    return "?";
+}
+
+double
+PhaseBreakdown::fraction(Phase p) const
+{
+    sim::Tick t = total();
+    if (t == 0)
+        return 0.0;
+    sim::Tick v = 0;
+    switch (p) {
+      case Phase::Deps: v = deps; break;
+      case Phase::Sched: v = sched; break;
+      case Phase::Exec: v = exec; break;
+      case Phase::Idle: v = idle; break;
+    }
+    return static_cast<double>(v) / static_cast<double>(t);
+}
+
+PhaseBreakdown &
+PhaseBreakdown::operator+=(const PhaseBreakdown &o)
+{
+    deps += o.deps;
+    sched += o.sched;
+    exec += o.exec;
+    idle += o.idle;
+    return *this;
+}
+
+PhaseStats::PhaseStats(unsigned num_cores) : per_(num_cores) {}
+
+void
+PhaseStats::add(sim::CoreId core, Phase p, sim::Tick ticks)
+{
+    if (core >= per_.size())
+        sim::panic("phase stats: core ", core, " out of range");
+    switch (p) {
+      case Phase::Deps: per_[core].deps += ticks; break;
+      case Phase::Sched: per_[core].sched += ticks; break;
+      case Phase::Exec: per_[core].exec += ticks; break;
+      case Phase::Idle: per_[core].idle += ticks; break;
+    }
+}
+
+PhaseBreakdown
+PhaseStats::workersTotal() const
+{
+    PhaseBreakdown sum;
+    for (std::size_t c = 1; c < per_.size(); ++c)
+        sum += per_[c];
+    return sum;
+}
+
+PhaseBreakdown
+PhaseStats::chipTotal() const
+{
+    PhaseBreakdown sum;
+    for (const auto &b : per_)
+        sum += b;
+    return sum;
+}
+
+void
+PhaseStats::dump(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < per_.size(); ++c) {
+        const PhaseBreakdown &b = per_[c];
+        os << "core" << c << " deps=" << b.deps << " sched=" << b.sched
+           << " exec=" << b.exec << " idle=" << b.idle << '\n';
+    }
+}
+
+} // namespace tdm::cpu

@@ -1,0 +1,48 @@
+#include "dmu/dep_table.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::dmu {
+
+DepTable::DepTable(unsigned entries)
+{
+    entries_.resize(entries);
+}
+
+DepEntry &
+DepTable::operator[](DepHwId id)
+{
+    if (id >= entries_.size())
+        sim::panic("dep table: id ", id, " out of range");
+    return entries_[id];
+}
+
+const DepEntry &
+DepTable::operator[](DepHwId id) const
+{
+    if (id >= entries_.size())
+        sim::panic("dep table: id ", id, " out of range");
+    return entries_[id];
+}
+
+void
+DepTable::init(DepHwId id, ListHead reader_list)
+{
+    DepEntry &e = (*this)[id];
+    if (e.valid)
+        sim::panic("dep table: double init of id ", id);
+    e = DepEntry{invalidHwId, reader_list, true};
+    ++live_;
+}
+
+void
+DepTable::free(DepHwId id)
+{
+    DepEntry &e = (*this)[id];
+    if (!e.valid)
+        sim::panic("dep table: free of invalid id ", id);
+    e.valid = false;
+    --live_;
+}
+
+} // namespace tdm::dmu

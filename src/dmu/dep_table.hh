@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The DMU Dependence Table: last-writer task id and reader-list pointer
+ * per in-flight dependence (Figure 4 of the paper).
+ */
+
+#ifndef TDM_DMU_DEP_TABLE_HH
+#define TDM_DMU_DEP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dmu/geometry.hh"
+#include "dmu/list_array.hh"
+
+namespace tdm::dmu {
+
+/** One Dependence Table entry. */
+struct DepEntry
+{
+    TaskHwId lastWriter = invalidHwId; ///< all-ones = invalid
+    ListHead readerList = invalidHwId;
+    bool valid = false;
+
+    bool hasWriter() const { return lastWriter != invalidHwId; }
+};
+
+/**
+ * Direct-access dependence information store.
+ */
+class DepTable
+{
+  public:
+    explicit DepTable(unsigned entries);
+
+    DepEntry &operator[](DepHwId id);
+    const DepEntry &operator[](DepHwId id) const;
+
+    void init(DepHwId id, ListHead reader_list);
+    void free(DepHwId id);
+
+    unsigned live() const { return live_; }
+    unsigned capacity() const {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    std::vector<DepEntry> entries_;
+    unsigned live_ = 0;
+};
+
+} // namespace tdm::dmu
+
+#endif // TDM_DMU_DEP_TABLE_HH

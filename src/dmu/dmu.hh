@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The Dependence Management Unit (Section III of the paper).
+ *
+ * Functional + timing model of the DMU: maintains the TAT/DAT alias
+ * tables, Task and Dependence Tables, the three list arrays and the
+ * Ready Queue, and executes the four ISA operations. Every operation
+ * reports the number of SRAM accesses a hardware implementation would
+ * perform (list walks cost one access per chained entry), which the
+ * machine multiplies by the structure access latency to obtain the DMU
+ * processing time.
+ *
+ * Capacity semantics follow Section III-D: an operation that needs an
+ * unavailable entry blocks (no partial side effects here: the needed
+ * resources are pre-checked exactly) until a finish_task frees space.
+ * finish_task and get_ready_task never block, which guarantees forward
+ * progress.
+ */
+
+#ifndef TDM_DMU_DMU_HH
+#define TDM_DMU_DMU_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dmu/alias_table.hh"
+#include "dmu/dep_table.hh"
+#include "dmu/geometry.hh"
+#include "dmu/list_array.hh"
+#include "dmu/ready_queue.hh"
+#include "dmu/task_table.hh"
+#include "sim/stats.hh"
+
+namespace tdm::dmu {
+
+/** Why an operation blocked. */
+enum class BlockReason
+{
+    None,
+    TatFull,     ///< TAT set conflict or no free task id
+    DatFull,     ///< DAT set conflict or no free dependence id
+    SlaFull,
+    DlaFull,
+    RlaFull,
+};
+
+const char *toString(BlockReason r);
+
+/** Cumulative SRAM accesses per structure (for the energy model). */
+struct DmuAccessCounts
+{
+    std::uint64_t tat = 0, dat = 0;
+    std::uint64_t taskTable = 0, depTable = 0;
+    std::uint64_t sla = 0, dla = 0, rla = 0;
+    std::uint64_t readyQueue = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return tat + dat + taskTable + depTable + sla + dla + rla
+             + readyQueue;
+    }
+};
+
+/** Result of a DMU operation. */
+struct DmuResult
+{
+    bool blocked = false;
+    BlockReason reason = BlockReason::None;
+    unsigned accesses = 0;
+
+    /** Tasks whose predecessor count reached zero (finish_task). */
+    std::vector<std::uint64_t> readyDescAddrs;
+};
+
+/** Payload of get_ready_task. */
+struct ReadyTaskInfo
+{
+    std::uint64_t descAddr = 0;
+    std::uint32_t numSuccessors = 0;
+};
+
+/**
+ * The DMU model.
+ */
+class Dmu
+{
+  public:
+    explicit Dmu(const DmuConfig &cfg);
+
+    /**
+     * create_task(task_desc). @p pid is the OS process tag of the
+     * multiprogramming extension (Section III-D); single-process
+     * callers use the default.
+     */
+    DmuResult createTask(std::uint64_t desc_addr, std::uint32_t pid = 0);
+
+    /** add_dependence(task_desc, dep_addr, size, direction). */
+    DmuResult addDependence(std::uint64_t desc_addr, std::uint64_t dep_addr,
+                            std::uint64_t size_bytes, bool is_output,
+                            std::uint32_t pid = 0);
+
+    /**
+     * commit_task(task_desc): the runtime signals that all of the
+     * task's dependences have been registered. If the task has no
+     * unresolved predecessors it enters the Ready Queue now. Never
+     * blocks. (The paper folds this into the creation sequence; we
+     * model it as an explicit cheap operation, see DESIGN.md.)
+     */
+    DmuResult commitTask(std::uint64_t desc_addr, std::uint32_t pid = 0);
+
+    /** finish_task(task_desc). Never blocks. */
+    DmuResult finishTask(std::uint64_t desc_addr, std::uint32_t pid = 0);
+
+    /**
+     * get_ready_task() -> (task_desc, #succ). Never blocks.
+     * @param accesses SRAM accesses performed.
+     */
+    std::optional<ReadyTaskInfo> getReadyTask(unsigned &accesses);
+
+    /** Tasks currently tracked. */
+    unsigned tasksInFlight() const { return taskTable_.live(); }
+
+    /** Dependences currently tracked. */
+    unsigned depsInFlight() const { return depTable_.live(); }
+
+    /** Ready tasks queued. */
+    std::size_t readyCount() const { return readyQueue_.size(); }
+
+    /** Monotonic counter bumped whenever capacity is released. */
+    std::uint64_t capacityEpoch() const { return capacityEpoch_; }
+
+    const DmuAccessCounts &accessCounts() const { return counts_; }
+    const DmuConfig &config() const { return cfg_; }
+
+    const AliasTable &tat() const { return tat_; }
+    const AliasTable &dat() const { return dat_; }
+    AliasTable &dat() { return dat_; }
+    const TaskTable &taskTable() const { return taskTable_; }
+    const ListArray &sla() const { return sla_; }
+    const ListArray &dla() const { return dla_; }
+    const ListArray &rla() const { return rla_; }
+
+    /** Successor count of an in-flight task (tests/verification). */
+    std::uint32_t succCountOf(std::uint64_t desc_addr);
+
+    /** Blocked-operation statistics. */
+    std::uint64_t blockedOps() const { return blockedOps_; }
+
+    void regStats(sim::StatGroup &g);
+
+  private:
+    TaskHwId requireTask(std::uint64_t desc_addr, std::uint32_t pid,
+                         unsigned &accesses);
+
+    DmuConfig cfg_;
+    AliasTable tat_;
+    AliasTable dat_;
+    TaskTable taskTable_;
+    DepTable depTable_;
+    ListArray sla_;
+    ListArray dla_;
+    ListArray rla_;
+    ReadyQueue readyQueue_;
+
+    /**
+     * Shadow metadata: address/size of each live dependence id, needed
+     * to invalidate the DAT entry on cleanup. A hardware DMU keeps the
+     * address in the DAT entry itself (where we account its bits); the
+     * shadow copy here is a modelling convenience, not extra storage.
+     */
+    std::vector<std::uint64_t> depAddrOf_;
+    std::vector<std::uint64_t> depSizeOf_;
+    std::vector<std::uint32_t> depPidOf_;
+    std::vector<std::uint32_t> taskPidOf_;
+
+    DmuAccessCounts counts_;
+    std::uint64_t capacityEpoch_ = 0;
+    std::uint64_t blockedOps_ = 0;
+
+    sim::Scalar statOps_, statBlocked_, statAccesses_;
+};
+
+} // namespace tdm::dmu
+
+#endif // TDM_DMU_DMU_HH

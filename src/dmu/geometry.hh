@@ -1,0 +1,84 @@
+/**
+ * @file
+ * DMU configuration and storage geometry.
+ *
+ * Bit accounting follows Section III-B and Table III of the paper:
+ * internal task/dependence IDs are log2(table entries) bits (11 for 2048
+ * entries), list-array pointers are log2(list entries) bits (10 for
+ * 1024), the alias tables store full 64-bit addresses plus the internal
+ * ID, and the Task Table stores a 48-bit canonical descriptor address
+ * plus counts and list pointers. With the paper's sizes this reproduces
+ * Table III exactly: 23 KB + 5.25 KB + 2x18.75 KB + 3x12.25 KB +
+ * 2.75 KB = 105.25 KB.
+ */
+
+#ifndef TDM_DMU_GEOMETRY_HH
+#define TDM_DMU_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "power/cacti_model.hh"
+#include "sim/types.hh"
+
+namespace tdm::dmu {
+
+/** Hardware-internal task identifier (index into the Task Table). */
+using TaskHwId = std::uint16_t;
+
+/** Hardware-internal dependence identifier. */
+using DepHwId = std::uint16_t;
+
+/** Sentinel id ("all ones", as the paper encodes invalid elements). */
+constexpr std::uint16_t invalidHwId = 0xffff;
+
+/** Sizing and timing parameters of the DMU (defaults follow Table I). */
+struct DmuConfig
+{
+    unsigned tatEntries = 2048;
+    unsigned tatAssoc = 8;
+    unsigned datEntries = 2048;
+    unsigned datAssoc = 8;
+    unsigned slaEntries = 1024; ///< successor list array
+    unsigned dlaEntries = 1024; ///< dependence list array
+    unsigned rlaEntries = 1024; ///< reader list array
+    unsigned elemsPerEntry = 8; ///< ids per list-array entry
+    unsigned readyQueueEntries = 2048;
+
+    /** Access latency of every DMU SRAM structure, cycles. */
+    unsigned accessCycles = 1;
+
+    /**
+     * Dynamic index-bit selection for the DAT (Section III-B1): the set
+     * index starts at bit log2(dependence size). When false, the index
+     * starts at staticIndexBit (Figure 11's static variants).
+     */
+    bool dynamicDatIndex = true;
+    unsigned staticDatIndexBit = 0;
+
+    /** Task Table size is tied to TAT size, Dependence Table to DAT. */
+    unsigned taskTableEntries() const { return tatEntries; }
+    unsigned depTableEntries() const { return datEntries; }
+
+    unsigned taskIdBits() const { return sim::bitsFor(tatEntries); }
+    unsigned depIdBits() const { return sim::bitsFor(datEntries); }
+    unsigned slaPtrBits() const { return sim::bitsFor(slaEntries); }
+    unsigned dlaPtrBits() const { return sim::bitsFor(dlaEntries); }
+    unsigned rlaPtrBits() const { return sim::bitsFor(rlaEntries); }
+};
+
+/** Per-structure SRAM specs for area/energy estimation (Table III). */
+std::vector<pwr::SramSpec> sramSpecs(const DmuConfig &cfg);
+
+/** Total storage in KB across all structures. */
+double totalStorageKB(const DmuConfig &cfg);
+
+/** Total area in mm^2 with the fitted 22nm model. */
+double totalAreaMm2(const DmuConfig &cfg);
+
+/** Total leakage in mW. */
+double totalLeakageMw(const DmuConfig &cfg);
+
+} // namespace tdm::dmu
+
+#endif // TDM_DMU_GEOMETRY_HH

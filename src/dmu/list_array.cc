@@ -1,0 +1,206 @@
+#include "dmu/list_array.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::dmu {
+
+ListArray::ListArray(std::string name, unsigned entries,
+                     unsigned elems_per_entry)
+    : name_(std::move(name)), entries_(entries), elemsPer_(elems_per_entry)
+{
+    if (entries_ == 0 || elemsPer_ == 0)
+        sim::fatal("list array ", name_, ": bad geometry");
+    pool_.resize(entries_);
+    for (unsigned i = 0; i < entries_; ++i) {
+        pool_[i].slots.assign(elemsPer_, invalidHwId);
+        pool_[i].next = static_cast<std::uint16_t>(i);
+        freeEntries_.push_back(static_cast<std::uint16_t>(i));
+    }
+}
+
+ListHead
+ListArray::allocList()
+{
+    if (freeEntries_.empty())
+        return invalidHwId;
+    std::uint16_t e = freeEntries_.front();
+    freeEntries_.pop_front();
+    Entry &entry = pool_[e];
+    entry.allocated = true;
+    entry.next = e;
+    std::fill(entry.slots.begin(), entry.slots.end(), invalidHwId);
+    ++inUse_;
+    peak_ = std::max(peak_, inUse_);
+    return e;
+}
+
+unsigned
+ListArray::chainLength(ListHead head) const
+{
+    unsigned n = 1;
+    std::uint16_t cur = head;
+    while (pool_[cur].next != cur) {
+        cur = pool_[cur].next;
+        ++n;
+    }
+    return n;
+}
+
+bool
+ListArray::pushNeedsEntry(ListHead head) const
+{
+    return tailFreeSlots(head) == 0;
+}
+
+unsigned
+ListArray::tailFreeSlots(ListHead head) const
+{
+    std::uint16_t cur = head;
+    while (pool_[cur].next != cur)
+        cur = pool_[cur].next;
+    const Entry &tail = pool_[cur];
+    unsigned free = 0;
+    for (unsigned i = 0; i < elemsPer_; ++i)
+        if (tail.slots[i] == invalidHwId)
+            ++free;
+    return free;
+}
+
+unsigned
+ListArray::entriesNeededFor(ListHead head, unsigned pushes) const
+{
+    unsigned free = tailFreeSlots(head);
+    if (pushes <= free)
+        return 0;
+    return (pushes - free + elemsPer_ - 1) / elemsPer_;
+}
+
+bool
+ListArray::push(ListHead head, std::uint16_t value, unsigned &accesses)
+{
+    if (head == invalidHwId || !pool_[head].allocated)
+        sim::panic("list array ", name_, ": push to invalid list");
+    // Walk to the tail; one SRAM access per chain entry.
+    std::uint16_t cur = head;
+    ++accesses;
+    while (pool_[cur].next != cur) {
+        cur = pool_[cur].next;
+        ++accesses;
+    }
+    Entry &tail = pool_[cur];
+    for (unsigned i = 0; i < elemsPer_; ++i) {
+        if (tail.slots[i] == invalidHwId) {
+            tail.slots[i] = value;
+            return true; // write folded into the tail access
+        }
+    }
+    // Need a continuation entry.
+    if (freeEntries_.empty())
+        return false;
+    std::uint16_t e = freeEntries_.front();
+    freeEntries_.pop_front();
+    Entry &cont = pool_[e];
+    cont.allocated = true;
+    cont.next = e;
+    std::fill(cont.slots.begin(), cont.slots.end(), invalidHwId);
+    cont.slots[0] = value;
+    tail.next = e;
+    ++inUse_;
+    peak_ = std::max(peak_, inUse_);
+    ++accesses; // write of the new entry
+    return true;
+}
+
+unsigned
+ListArray::forEach(ListHead head,
+                   const std::function<void(std::uint16_t)> &fn) const
+{
+    if (head == invalidHwId)
+        return 0;
+    unsigned accesses = 0;
+    std::uint16_t cur = head;
+    while (true) {
+        const Entry &e = pool_[cur];
+        ++accesses;
+        for (unsigned i = 0; i < elemsPer_; ++i)
+            if (e.slots[i] != invalidHwId)
+                fn(e.slots[i]);
+        if (e.next == cur)
+            break;
+        cur = e.next;
+    }
+    return accesses;
+}
+
+unsigned
+ListArray::size(ListHead head) const
+{
+    unsigned n = 0;
+    forEach(head, [&](std::uint16_t) { ++n; });
+    return n;
+}
+
+unsigned
+ListArray::remove(ListHead head, std::uint16_t value)
+{
+    if (head == invalidHwId)
+        return 0;
+    unsigned accesses = 0;
+    std::uint16_t cur = head;
+    while (true) {
+        Entry &e = pool_[cur];
+        ++accesses;
+        for (unsigned i = 0; i < elemsPer_; ++i) {
+            if (e.slots[i] == value) {
+                e.slots[i] = invalidHwId;
+                return accesses;
+            }
+        }
+        if (e.next == cur)
+            break;
+        cur = e.next;
+    }
+    return accesses;
+}
+
+unsigned
+ListArray::clear(ListHead head)
+{
+    if (head == invalidHwId)
+        return 0;
+    unsigned accesses = 1;
+    Entry &h = pool_[head];
+    std::uint16_t cur = h.next;
+    // Free continuation entries.
+    while (cur != head) {
+        Entry &e = pool_[cur];
+        std::uint16_t next = e.next;
+        bool last = next == cur;
+        e.allocated = false;
+        e.next = cur;
+        freeEntries_.push_back(cur);
+        --inUse_;
+        ++accesses;
+        if (last)
+            break;
+        cur = next;
+    }
+    std::fill(h.slots.begin(), h.slots.end(), invalidHwId);
+    h.next = head;
+    return accesses;
+}
+
+unsigned
+ListArray::freeList(ListHead head)
+{
+    if (head == invalidHwId)
+        return 0;
+    unsigned accesses = clear(head);
+    Entry &h = pool_[head];
+    h.allocated = false;
+    freeEntries_.push_back(head);
+    --inUse_;
+    return accesses;
+}
+
+} // namespace tdm::dmu

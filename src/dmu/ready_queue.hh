@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The DMU Ready Queue: a hardware FIFO of internal task ids that have
+ * become ready (all predecessors satisfied).
+ */
+
+#ifndef TDM_DMU_READY_QUEUE_HH
+#define TDM_DMU_READY_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "dmu/geometry.hh"
+
+namespace tdm::dmu {
+
+/**
+ * Bounded FIFO of task ids.
+ */
+class ReadyQueue
+{
+  public:
+    explicit ReadyQueue(unsigned capacity);
+
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return fifo_.size() >= capacity_; }
+    std::size_t size() const { return fifo_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Push a ready task id. @return false if the queue is full. */
+    bool push(TaskHwId id);
+
+    /** Pop the oldest ready task id; invalidHwId when empty. */
+    TaskHwId pop();
+
+    /** High-water mark. */
+    std::size_t peakSize() const { return peak_; }
+
+  private:
+    unsigned capacity_;
+    std::deque<TaskHwId> fifo_;
+    std::size_t peak_ = 0;
+};
+
+} // namespace tdm::dmu
+
+#endif // TDM_DMU_READY_QUEUE_HH

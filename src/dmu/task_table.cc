@@ -1,0 +1,49 @@
+#include "dmu/task_table.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::dmu {
+
+TaskTable::TaskTable(unsigned entries)
+{
+    entries_.resize(entries);
+}
+
+TaskEntry &
+TaskTable::operator[](TaskHwId id)
+{
+    if (id >= entries_.size())
+        sim::panic("task table: id ", id, " out of range");
+    return entries_[id];
+}
+
+const TaskEntry &
+TaskTable::operator[](TaskHwId id) const
+{
+    if (id >= entries_.size())
+        sim::panic("task table: id ", id, " out of range");
+    return entries_[id];
+}
+
+void
+TaskTable::init(TaskHwId id, std::uint64_t desc_addr, ListHead succ_list,
+                ListHead dep_list)
+{
+    TaskEntry &e = (*this)[id];
+    if (e.valid)
+        sim::panic("task table: double init of id ", id);
+    e = TaskEntry{desc_addr, 0, 0, succ_list, dep_list, true, false};
+    ++live_;
+}
+
+void
+TaskTable::free(TaskHwId id)
+{
+    TaskEntry &e = (*this)[id];
+    if (!e.valid)
+        sim::panic("task table: free of invalid id ", id);
+    e.valid = false;
+    --live_;
+}
+
+} // namespace tdm::dmu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The DMU Task Table: direct-mapped SRAM indexed by internal task id,
+ * holding descriptor address, predecessor/successor counts and the list
+ * pointers (Figure 4 of the paper).
+ */
+
+#ifndef TDM_DMU_TASK_TABLE_HH
+#define TDM_DMU_TASK_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dmu/geometry.hh"
+#include "dmu/list_array.hh"
+
+namespace tdm::dmu {
+
+/** One Task Table entry. */
+struct TaskEntry
+{
+    std::uint64_t descAddr = 0;
+    std::uint32_t predCount = 0;
+    std::uint32_t succCount = 0;
+    ListHead succList = invalidHwId;
+    ListHead depList = invalidHwId;
+    bool valid = false;
+
+    /**
+     * Set once the runtime has finished sending the task's dependences
+     * (commit_task). A task whose predecessor count drops to zero
+     * before it is committed must not enter the Ready Queue yet, or it
+     * could be scheduled while its dependence list is still being
+     * built.
+     */
+    bool committed = false;
+};
+
+/**
+ * Direct-access task information store.
+ */
+class TaskTable
+{
+  public:
+    explicit TaskTable(unsigned entries);
+
+    TaskEntry &operator[](TaskHwId id);
+    const TaskEntry &operator[](TaskHwId id) const;
+
+    /** Initialize an entry for a new task. */
+    void init(TaskHwId id, std::uint64_t desc_addr, ListHead succ_list,
+              ListHead dep_list);
+
+    /** Invalidate an entry. */
+    void free(TaskHwId id);
+
+    unsigned live() const { return live_; }
+    unsigned capacity() const {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    std::vector<TaskEntry> entries_;
+    unsigned live_ = 0;
+};
+
+} // namespace tdm::dmu
+
+#endif // TDM_DMU_TASK_TABLE_HH

@@ -1,0 +1,53 @@
+#include "driver/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::driver {
+
+RunSummary
+run(const Experiment &exp)
+{
+    wl::WorkloadParams params = exp.params;
+    const core::RuntimeTraits &traits = core::traitsOf(exp.runtime);
+    if (params.granularity == 0.0 && traits.usesDmu())
+        params.tdmOptimal = true;
+
+    rt::TaskGraph graph = wl::buildWorkload(exp.workload, params);
+
+    cpu::MachineConfig cfg = exp.config;
+    cfg.scheduler = exp.scheduler;
+
+    core::Machine machine(cfg, graph, exp.runtime);
+    core::MachineResult mr = machine.run();
+
+    RunSummary s;
+    s.completed = mr.completed;
+    s.makespan = mr.makespan;
+    s.timeMs = mr.timeMs;
+    s.energyJ = mr.energyJ;
+    s.edp = mr.edp;
+    s.avgWatts = mr.avgWatts;
+    s.numTasks = graph.numTasks();
+    s.avgTaskUs = graph.avgTaskUs();
+    s.machine = mr;
+    return s;
+}
+
+double
+speedup(const RunSummary &base, const RunSummary &test)
+{
+    if (test.makespan == 0)
+        return 0.0;
+    return static_cast<double>(base.makespan)
+         / static_cast<double>(test.makespan);
+}
+
+double
+normalizedEdp(const RunSummary &base, const RunSummary &test)
+{
+    if (base.edp == 0.0)
+        return 0.0;
+    return test.edp / base.edp;
+}
+
+} // namespace tdm::driver

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment driver: builds a workload, a machine and a runtime model,
+ * runs the simulation, and summarizes the metrics the paper reports.
+ */
+
+#ifndef TDM_DRIVER_EXPERIMENT_HH
+#define TDM_DRIVER_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/machine.hh"
+#include "cpu/machine_config.hh"
+#include "workloads/registry.hh"
+
+namespace tdm::driver {
+
+/** One experiment = workload x runtime x scheduler x machine config. */
+struct Experiment
+{
+    std::string workload = "cholesky";
+    wl::WorkloadParams params{};
+    core::RuntimeType runtime = core::RuntimeType::Software;
+    std::string scheduler = "fifo";
+    cpu::MachineConfig config{};
+};
+
+/** Summary of one run. */
+struct RunSummary
+{
+    bool completed = false;
+    sim::Tick makespan = 0;
+    double timeMs = 0.0;
+    double energyJ = 0.0;
+    double edp = 0.0;
+    double avgWatts = 0.0;
+
+    std::uint32_t numTasks = 0;
+    double avgTaskUs = 0.0;
+
+    core::MachineResult machine{};
+};
+
+/**
+ * Run one experiment. When the runtime uses the DMU, params.tdmOptimal
+ * is implied for default granularities unless explicitly set by the
+ * caller.
+ */
+RunSummary run(const Experiment &exp);
+
+/** Speedup of @p test over @p base (makespans). */
+double speedup(const RunSummary &base, const RunSummary &test);
+
+/** EDP of @p test normalized to @p base. */
+double normalizedEdp(const RunSummary &base, const RunSummary &test);
+
+} // namespace tdm::driver
+
+#endif // TDM_DRIVER_EXPERIMENT_HH

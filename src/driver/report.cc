@@ -1,0 +1,43 @@
+#include "driver/report.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tdm::driver {
+
+double
+geomean(const std::vector<double> &values)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            acc += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / static_cast<double>(n)) : 0.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+std::string
+percent(double ratio_minus_one, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << ratio_minus_one * 100.0 << "%";
+    return oss.str();
+}
+
+} // namespace tdm::driver

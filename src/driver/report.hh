@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Small reporting helpers shared by the bench binaries.
+ */
+
+#ifndef TDM_DRIVER_REPORT_HH
+#define TDM_DRIVER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace tdm::driver {
+
+/** Geometric mean; ignores non-positive entries. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** "12.3%" style formatting of a ratio-1. */
+std::string percent(double ratio_minus_one, int precision = 1);
+
+} // namespace tdm::driver
+
+#endif // TDM_DRIVER_REPORT_HH

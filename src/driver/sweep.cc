@@ -1,0 +1,29 @@
+#include "driver/sweep.hh"
+
+namespace tdm::driver {
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepResult> out;
+    out.reserve(points.size());
+    for (const SweepPoint &p : points)
+        out.push_back(SweepResult{p.label, run(p.exp)});
+    return out;
+}
+
+std::vector<SweepResult>
+runSweep(const Experiment &base, const std::vector<std::string> &labels,
+         const std::function<void(std::size_t, Experiment &)> &mutate)
+{
+    std::vector<SweepResult> out;
+    out.reserve(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        Experiment e = base;
+        mutate(i, e);
+        out.push_back(SweepResult{labels[i], run(e)});
+    }
+    return out;
+}
+
+} // namespace tdm::driver

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Carbon baseline (Kumar et al., ISCA 2007) — hardware scheduling,
+ * software dependence management. Conceptually the opposite of TDM
+ * (Section VI-C of the paper).
+ *
+ * The machine model composes Carbon from HwTaskQueues plus the software
+ * tracker; this header provides the configuration and the hardware-cost
+ * accounting used in the comparison figures.
+ */
+
+#ifndef TDM_HWBASELINES_CARBON_HH
+#define TDM_HWBASELINES_CARBON_HH
+
+#include "hwbaselines/hw_task_queue.hh"
+
+namespace tdm::hw {
+
+/** Carbon hardware parameters. */
+struct CarbonConfig
+{
+    unsigned queueEntriesPerCore = 256;
+
+    /** Local task-queue ISA operation latency, cycles. */
+    unsigned localOpCycles = 4;
+
+    /** Steal probe + transfer latency, cycles. */
+    unsigned stealCycles = 24;
+};
+
+/** Storage (KB) of Carbon's hardware queues for @p num_cores cores. */
+double carbonStorageKB(const CarbonConfig &cfg, unsigned num_cores);
+
+/** Area (mm^2) of Carbon's hardware queues (fitted 22 nm model). */
+double carbonAreaMm2(const CarbonConfig &cfg, unsigned num_cores);
+
+} // namespace tdm::hw
+
+#endif // TDM_HWBASELINES_CARBON_HH

@@ -1,0 +1,94 @@
+#include "mem/memory_model.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::mem {
+
+MemoryModel::MemoryModel(const MemConfig &cfg, unsigned num_cores)
+    : cfg_(cfg), l2_(cfg.l2Bytes)
+{
+    if (num_cores == 0)
+        sim::fatal("memory model needs at least one core");
+    l1_.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        l1_.push_back(std::make_unique<RegionCache>(cfg_.l1Bytes));
+}
+
+int
+MemoryModel::levelOf(sim::CoreId core, RegionId region) const
+{
+    if (l1_[core]->contains(region))
+        return 1;
+    if (l2_.contains(region))
+        return 2;
+    return 3;
+}
+
+sim::Tick
+MemoryModel::taskAccessTime(sim::CoreId core,
+                            std::span<const MemAccess> accesses)
+{
+    if (core >= l1_.size())
+        sim::panic("core id ", core, " out of range");
+    double stall = 0.0;
+    for (const MemAccess &a : accesses) {
+        if (a.bytes == 0)
+            continue;
+        std::uint64_t lines = sim::divCeil<std::uint64_t>(a.bytes,
+                                                          cfg_.lineBytes);
+        int level = levelOf(core, a.region);
+        double per_line;
+        switch (level) {
+          case 1:
+            per_line = cfg_.l1HitCycles;
+            ++l1Hits_;
+            l1LineAcc_ += lines;
+            break;
+          case 2:
+            per_line = cfg_.l2HitCycles;
+            ++l1Misses_;
+            ++l2Hits_;
+            l1LineAcc_ += lines;
+            l2LineAcc_ += lines;
+            break;
+          default:
+            per_line = cfg_.dramCycles;
+            ++l1Misses_;
+            ++l2Misses_;
+            l1LineAcc_ += lines;
+            l2LineAcc_ += lines;
+            dramLineAcc_ += lines;
+            break;
+        }
+        // Hits in L1 are mostly hidden by the OoO core; misses overlap
+        // up to the modelled MLP.
+        double overlap = level == 1 ? 2.0 : cfg_.mlp;
+        stall += static_cast<double>(lines) * per_line / overlap;
+
+        // Update residency.
+        l1_[core]->touch(a.region, a.bytes);
+        l2_.touch(a.region, a.bytes);
+        if (a.write) {
+            for (std::size_t c = 0; c < l1_.size(); ++c) {
+                if (c != core)
+                    l1_[c]->invalidate(a.region);
+            }
+        }
+    }
+    statL1Hits_.set(static_cast<double>(l1Hits_));
+    statL1Misses_.set(static_cast<double>(l1Misses_));
+    statL2Hits_.set(static_cast<double>(l2Hits_));
+    statL2Misses_.set(static_cast<double>(l2Misses_));
+    return static_cast<sim::Tick>(stall);
+}
+
+void
+MemoryModel::regStats(sim::StatGroup &g)
+{
+    g.addScalar("l1_hits", &statL1Hits_, "region hits in any L1");
+    g.addScalar("l1_misses", &statL1Misses_, "region misses in L1");
+    g.addScalar("l2_hits", &statL2Hits_, "region hits in shared L2");
+    g.addScalar("l2_misses", &statL2Misses_, "region misses to DRAM");
+}
+
+} // namespace tdm::mem

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Chip memory hierarchy model: per-core L1s, a shared L2, and DRAM,
+ * all at region granularity.
+ *
+ * A task's memory time is computed when it starts executing: every
+ * dependence region is classified as L1 / L2 / DRAM resident and charged
+ *   lines(region) * latency(level) / memLevelParallelism
+ * cycles. Writes invalidate the region in all other cores' L1s, which is
+ * what makes locality-aware scheduling profitable (a consumer scheduled
+ * on the producer's core hits in L1; elsewhere it pays an L2 access).
+ */
+
+#ifndef TDM_MEM_MEMORY_MODEL_HH
+#define TDM_MEM_MEMORY_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mem/region_cache.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tdm::mem {
+
+/** One region access performed by a task. */
+struct MemAccess
+{
+    RegionId region = 0;
+    std::uint64_t bytes = 0;
+    bool write = false;
+};
+
+/** Memory hierarchy parameters (defaults follow the paper's Table I). */
+struct MemConfig
+{
+    std::uint64_t l1Bytes = 32 * 1024;       ///< per-core data L1
+    std::uint64_t l2Bytes = 4 * 1024 * 1024; ///< shared L2
+    unsigned lineBytes = 64;
+    unsigned l1HitCycles = 2;
+    unsigned l2HitCycles = 14;
+    unsigned dramCycles = 110;
+    /** Effective memory-level parallelism for streaming task footprints. */
+    double mlp = 8.0;
+};
+
+/**
+ * The full hierarchy. Deterministic and purely functional: all methods
+ * return cycle costs; the caller integrates them into the event timeline.
+ */
+class MemoryModel
+{
+  public:
+    MemoryModel(const MemConfig &cfg, unsigned num_cores);
+
+    /**
+     * Charge a task's working set touched from @p core.
+     * Updates residency state and returns the stall cycles.
+     */
+    sim::Tick taskAccessTime(sim::CoreId core,
+                             std::span<const MemAccess> accesses);
+
+    /** Classify a region for @p core without modifying state: 1/2/3. */
+    int levelOf(sim::CoreId core, RegionId region) const;
+
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l1Misses() const { return l1Misses_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t l2Misses() const { return l2Misses_; }
+
+    /** Line-grain access counts, for the energy model. */
+    std::uint64_t l1LineAccesses() const { return l1LineAcc_; }
+    std::uint64_t l2LineAccesses() const { return l2LineAcc_; }
+    std::uint64_t dramLineAccesses() const { return dramLineAcc_; }
+
+    const MemConfig &config() const { return cfg_; }
+
+    void regStats(sim::StatGroup &g);
+
+  private:
+    MemConfig cfg_;
+    std::vector<std::unique_ptr<RegionCache>> l1_;
+    RegionCache l2_;
+
+    std::uint64_t l1Hits_ = 0, l1Misses_ = 0;
+    std::uint64_t l2Hits_ = 0, l2Misses_ = 0;
+    std::uint64_t l1LineAcc_ = 0, l2LineAcc_ = 0, dramLineAcc_ = 0;
+
+    sim::Scalar statL1Hits_, statL1Misses_, statL2Hits_, statL2Misses_;
+};
+
+} // namespace tdm::mem
+
+#endif // TDM_MEM_MEMORY_MODEL_HH

@@ -1,0 +1,78 @@
+#include "mem/region_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::mem {
+
+RegionCache::RegionCache(std::uint64_t capacityBytes)
+    : capacity_(capacityBytes)
+{
+    if (capacity_ == 0)
+        sim::fatal("region cache capacity must be nonzero");
+}
+
+void
+RegionCache::evictFor(std::uint64_t bytes)
+{
+    while (used_ + bytes > capacity_ && !lru_.empty()) {
+        Node &victim = lru_.back();
+        used_ -= victim.bytes;
+        map_.erase(victim.id);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+bool
+RegionCache::touch(RegionId id, std::uint64_t bytes)
+{
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+        // Hit: move to MRU; size may have changed (re-declared region).
+        used_ -= it->second->bytes;
+        lru_.erase(it->second);
+        map_.erase(it);
+        std::uint64_t eff = std::min(bytes, capacity_);
+        evictFor(eff);
+        lru_.push_front(Node{id, eff});
+        map_[id] = lru_.begin();
+        used_ += eff;
+        ++hits_;
+        return true;
+    }
+    std::uint64_t eff = std::min(bytes, capacity_);
+    evictFor(eff);
+    lru_.push_front(Node{id, eff});
+    map_[id] = lru_.begin();
+    used_ += eff;
+    ++misses_;
+    return false;
+}
+
+bool
+RegionCache::contains(RegionId id) const
+{
+    return map_.count(id) != 0;
+}
+
+bool
+RegionCache::invalidate(RegionId id)
+{
+    auto it = map_.find(id);
+    if (it == map_.end())
+        return false;
+    used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+}
+
+void
+RegionCache::flush()
+{
+    lru_.clear();
+    map_.clear();
+    used_ = 0;
+}
+
+} // namespace tdm::mem

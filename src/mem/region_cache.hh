@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Region-granularity LRU cache model.
+ *
+ * Task working sets are described as dependence regions (base address +
+ * size); tasks touch whole regions. Simulating line-level caches for
+ * 42k tasks x 256 KB footprints is wasteful, so the memory model keeps an
+ * LRU over *regions* with a byte-capacity budget. A region larger than
+ * the capacity occupies the whole cache (and evicts everything else),
+ * matching the streaming behaviour of a real cache at task granularity.
+ */
+
+#ifndef TDM_MEM_REGION_CACHE_HH
+#define TDM_MEM_REGION_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "mem/set_assoc_cache.hh"
+
+namespace tdm::mem {
+
+/** Identifier of a data region (assigned by the workload). */
+using RegionId = std::uint64_t;
+
+/**
+ * LRU set of regions bounded by total bytes.
+ */
+class RegionCache
+{
+  public:
+    explicit RegionCache(std::uint64_t capacityBytes);
+
+    /**
+     * Touch a region: returns true if it was resident (hit). Allocates
+     * it (possibly evicting LRU regions) either way.
+     */
+    bool touch(RegionId id, std::uint64_t bytes);
+
+    /** Probe without state change. */
+    bool contains(RegionId id) const;
+
+    /** Remove a region if present. @return true if it was resident. */
+    bool invalidate(RegionId id);
+
+    /** Drop everything. */
+    void flush();
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t usedBytes() const { return used_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::size_t residentRegions() const { return map_.size(); }
+
+  private:
+    struct Node
+    {
+        RegionId id;
+        std::uint64_t bytes;
+    };
+
+    void evictFor(std::uint64_t bytes);
+
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::list<Node> lru_; // front = most recent
+    std::unordered_map<RegionId, std::list<Node>::iterator> map_;
+    std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+} // namespace tdm::mem
+
+#endif // TDM_MEM_REGION_CACHE_HH

@@ -1,0 +1,96 @@
+#include "mem/set_assoc_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::mem {
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geo) : geo_(geo)
+{
+    if (!sim::isPowerOf2(geo_.lineBytes))
+        sim::fatal("cache line size must be a power of two");
+    if (geo_.numLines() % geo_.assoc != 0)
+        sim::fatal("cache size not divisible by associativity");
+    ways_.assign(geo_.numSets() * geo_.assoc, Way{});
+}
+
+std::uint64_t
+SetAssocCache::setOf(Addr addr) const
+{
+    return (addr / geo_.lineBytes) % geo_.numSets();
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return (addr / geo_.lineBytes) / geo_.numSets();
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    ++tick_;
+    std::uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    Way *base = &ways_[set * geo_.assoc];
+    Way *lru = base;
+    for (unsigned w = 0; w < geo_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            lru = &way;
+        } else if (lru->valid && way.lastUse < lru->lastUse) {
+            lru = &way;
+        }
+    }
+    ++misses_;
+    if (lru->valid)
+        ++evictions_;
+    else
+        ++occupancy_;
+    lru->valid = true;
+    lru->tag = tag;
+    lru->lastUse = tick_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    std::uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    const Way *base = &ways_[set * geo_.assoc];
+    for (unsigned w = 0; w < geo_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    std::uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    Way *base = &ways_[set * geo_.assoc];
+    for (unsigned w = 0; w < geo_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            --occupancy_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+    occupancy_ = 0;
+}
+
+} // namespace tdm::mem

@@ -1,0 +1,123 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tdm::noc {
+
+Mesh::Mesh(const MeshConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.width == 0 || cfg_.height == 0)
+        sim::fatal("mesh dimensions must be nonzero");
+    // 4 directed links per node (N/E/S/W); edge links exist but are
+    // simply never traversed.
+    linkFlits_.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+}
+
+unsigned
+Mesh::hops(NodeId from, NodeId to) const
+{
+    unsigned dx = xOf(from) > xOf(to) ? xOf(from) - xOf(to)
+                                      : xOf(to) - xOf(from);
+    unsigned dy = yOf(from) > yOf(to) ? yOf(from) - yOf(to)
+                                      : yOf(to) - yOf(from);
+    return dx + dy;
+}
+
+NodeId
+Mesh::centerNode() const
+{
+    unsigned cx = cfg_.width / 2;
+    unsigned cy = cfg_.height / 2;
+    return cy * cfg_.width + cx;
+}
+
+NodeId
+Mesh::nodeOfCore(sim::CoreId core) const
+{
+    // Cores fill the mesh row-major, skipping the center node which is
+    // reserved for the DMU / shared-L2 controller.
+    NodeId center = centerNode();
+    NodeId n = core;
+    if (n >= center)
+        ++n;
+    if (n >= numNodes())
+        sim::panic("core ", core, " does not fit in the mesh");
+    return n;
+}
+
+std::size_t
+Mesh::linkIndex(NodeId node, unsigned dir) const
+{
+    return static_cast<std::size_t>(node) * 4 + dir;
+}
+
+template <typename Fn>
+void
+Mesh::walkPath(NodeId from, NodeId to, Fn &&fn) const
+{
+    // XY routing: move in X first, then in Y.
+    unsigned x = xOf(from), y = yOf(from);
+    unsigned tx = xOf(to), ty = yOf(to);
+    while (x != tx) {
+        unsigned dir = x < tx ? 1u : 3u; // E : W
+        fn(linkIndex(y * cfg_.width + x, dir));
+        x = x < tx ? x + 1 : x - 1;
+    }
+    while (y != ty) {
+        unsigned dir = y < ty ? 2u : 0u; // S : N
+        fn(linkIndex(y * cfg_.width + x, dir));
+        y = y < ty ? y + 1 : y - 1;
+    }
+}
+
+sim::Tick
+Mesh::latency(NodeId from, NodeId to, unsigned bytes) const
+{
+    unsigned h = hops(from, to);
+    unsigned flits = std::max(1u, (bytes + cfg_.flitBytes - 1)
+                                      / cfg_.flitBytes);
+    sim::Tick base = static_cast<sim::Tick>(cfg_.routerLatency) * (h + 1)
+                   + static_cast<sim::Tick>(cfg_.linkLatency) * h
+                   + (flits - 1);
+    if (cfg_.congestionWeight > 0.0 && messages_ > 0) {
+        double avgLink = static_cast<double>(flitHops_)
+                       / static_cast<double>(linkFlits_.size());
+        base += static_cast<sim::Tick>(cfg_.congestionWeight * avgLink
+                                       / (messages_ + 1));
+    }
+    return base;
+}
+
+sim::Tick
+Mesh::transfer(NodeId from, NodeId to, unsigned bytes)
+{
+    sim::Tick lat = latency(from, to, bytes);
+    unsigned flits = std::max(1u, (bytes + cfg_.flitBytes - 1)
+                                      / cfg_.flitBytes);
+    walkPath(from, to, [&](std::size_t link) {
+        linkFlits_[link] += flits;
+        flitHops_ += flits;
+    });
+    ++messages_;
+    statMessages_.set(static_cast<double>(messages_));
+    statFlitHops_.set(static_cast<double>(flitHops_));
+    return lat;
+}
+
+std::uint64_t
+Mesh::maxLinkFlits() const
+{
+    auto it = std::max_element(linkFlits_.begin(), linkFlits_.end());
+    return it == linkFlits_.end() ? 0 : *it;
+}
+
+void
+Mesh::regStats(sim::StatGroup &g)
+{
+    g.addScalar("messages", &statMessages_, "messages routed");
+    g.addScalar("flit_hops", &statFlitHops_, "flit-hops traversed");
+}
+
+} // namespace tdm::noc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 2D mesh network-on-chip latency model.
+ *
+ * The chip is laid out as a WxH mesh of nodes; cores occupy nodes in
+ * row-major order and the DMU/L2 controller sits at a configurable node
+ * (center by default, following the centralized-DMU design of the paper).
+ *
+ * The model is analytic: a message of S flits from A to B costs
+ *   routerLatency * (hops + 1) + linkLatency * hops + (S - 1)
+ * cycles (wormhole pipelining), plus a congestion term derived from a
+ * running per-link utilization estimate. Per-link traffic counters feed
+ * the stats used in tests and benches.
+ */
+
+#ifndef TDM_NOC_MESH_HH
+#define TDM_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tdm::noc {
+
+/** Identifier of a mesh node. */
+using NodeId = std::uint32_t;
+
+/** Mesh configuration. */
+struct MeshConfig
+{
+    unsigned width = 6;       ///< mesh columns
+    unsigned height = 6;      ///< mesh rows
+    unsigned routerLatency = 1; ///< cycles per router traversal
+    unsigned linkLatency = 1;   ///< cycles per link traversal
+    unsigned flitBytes = 16;    ///< payload bytes per flit
+    /** weight of the congestion penalty term (0 disables). */
+    double congestionWeight = 0.0;
+};
+
+/**
+ * Analytic 2D mesh with XY dimension-ordered routing.
+ */
+class Mesh
+{
+  public:
+    explicit Mesh(const MeshConfig &cfg);
+
+    /** Number of nodes. */
+    unsigned numNodes() const { return cfg_.width * cfg_.height; }
+
+    /** Node coordinates. */
+    unsigned xOf(NodeId n) const { return n % cfg_.width; }
+    unsigned yOf(NodeId n) const { return n / cfg_.width; }
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hops(NodeId from, NodeId to) const;
+
+    /** Node closest to the mesh center (DMU home). */
+    NodeId centerNode() const;
+
+    /** Mesh node hosting core @p core (row-major placement). */
+    NodeId nodeOfCore(sim::CoreId core) const;
+
+    /**
+     * Latency in cycles of a message of @p bytes payload from @p from to
+     * @p to; also records traffic on every traversed link.
+     */
+    sim::Tick transfer(NodeId from, NodeId to, unsigned bytes);
+
+    /** Latency without recording traffic (pure query). */
+    sim::Tick latency(NodeId from, NodeId to, unsigned bytes) const;
+
+    /** Total flit-hops routed so far. */
+    std::uint64_t flitHops() const { return flitHops_; }
+
+    /** Total messages routed. */
+    std::uint64_t messages() const { return messages_; }
+
+    /** Traffic (flits) on the busiest link. */
+    std::uint64_t maxLinkFlits() const;
+
+    /** Register stats on @p g with prefix already applied by caller. */
+    void regStats(sim::StatGroup &g);
+
+  private:
+    /** Index of the link leaving @p node in direction @p dir (0..3). */
+    std::size_t linkIndex(NodeId node, unsigned dir) const;
+
+    /** Enumerate links on the XY path; calls fn(linkIdx). */
+    template <typename Fn>
+    void walkPath(NodeId from, NodeId to, Fn &&fn) const;
+
+    MeshConfig cfg_;
+    std::vector<std::uint64_t> linkFlits_;
+    std::uint64_t flitHops_ = 0;
+    std::uint64_t messages_ = 0;
+    sim::Scalar statMessages_;
+    sim::Scalar statFlitHops_;
+};
+
+} // namespace tdm::noc
+
+#endif // TDM_NOC_MESH_HH

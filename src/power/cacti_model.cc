@@ -1,0 +1,40 @@
+#include "power/cacti_model.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::pwr {
+
+CactiModel::CactiModel(unsigned node_nm) : nodeNm_(node_nm)
+{
+    if (node_nm == 0)
+        sim::fatal("invalid process node");
+    // Ideal area scaling relative to the fitted 22 nm node.
+    double r = static_cast<double>(nodeNm_) / 22.0;
+    scale_ = r * r;
+}
+
+SramEstimate
+CactiModel::estimate(const SramSpec &spec) const
+{
+    SramEstimate e;
+    e.storageKB = spec.storageKB();
+
+    double area = fixedAreaMm2
+        + static_cast<double>(spec.totalBits()) * cellAreaMm2PerBit;
+    double cmp_energy = 0.0;
+    if (spec.assoc > 1) {
+        double cmp_bits = static_cast<double>(spec.assoc)
+                        * static_cast<double>(spec.compareBits);
+        area += cmp_bits * comparatorAreaMm2PerBit;
+        cmp_energy = cmp_bits * compareEnergyPj;
+    }
+    e.areaMm2 = area * scale_;
+
+    double bits = static_cast<double>(spec.bitsPerEntry);
+    e.readEnergyPj = fixedEnergyPj + bits * bitEnergyPj + cmp_energy;
+    e.writeEnergyPj = fixedEnergyPj + bits * bitEnergyPj * 1.2;
+    e.leakageMw = e.storageKB * leakageMwPerKB;
+    return e;
+}
+
+} // namespace tdm::pwr

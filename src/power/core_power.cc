@@ -1,0 +1,12 @@
+#include "power/core_power.hh"
+
+namespace tdm::pwr {
+
+double
+coreEnergyJ(const CorePowerParams &p, sim::Tick active, sim::Tick idle)
+{
+    return p.activeWatts * sim::ticksToSeconds(active)
+         + p.idleWatts * sim::ticksToSeconds(idle);
+}
+
+} // namespace tdm::pwr

@@ -1,0 +1,53 @@
+#include "power/energy_accountant.hh"
+
+namespace tdm::pwr {
+
+void
+EnergyAccountant::addCoreTime(sim::Tick active, sim::Tick idle)
+{
+    activeTicks_ += active;
+    idleTicks_ += idle;
+}
+
+void
+EnergyAccountant::addCacheLines(std::uint64_t l1, std::uint64_t l2,
+                                std::uint64_t dram)
+{
+    l1Lines_ += l1;
+    l2Lines_ += l2;
+    dramLines_ += dram;
+}
+
+void
+EnergyAccountant::addAcceleratorPj(double pj)
+{
+    accelPj_ += pj;
+}
+
+double
+EnergyAccountant::totalJoules(sim::Tick makespan) const
+{
+    double j = coreEnergyJ(params_, activeTicks_, idleTicks_);
+    j += params_.uncoreWatts * sim::ticksToSeconds(makespan);
+    j += static_cast<double>(l1Lines_) * params_.l1LineNj * 1e-9;
+    j += static_cast<double>(l2Lines_) * params_.l2LineNj * 1e-9;
+    j += static_cast<double>(dramLines_) * params_.dramLineNj * 1e-9;
+    j += accelPj_ * 1e-12;
+    j += accelLeakMw_ * 1e-3 * sim::ticksToSeconds(makespan);
+    return j;
+}
+
+double
+EnergyAccountant::edp(sim::Tick makespan) const
+{
+    return totalJoules(makespan) * sim::ticksToSeconds(makespan);
+}
+
+double
+EnergyAccountant::avgWatts(sim::Tick makespan) const
+{
+    double s = sim::ticksToSeconds(makespan);
+    return s > 0.0 ? totalJoules(makespan) / s : 0.0;
+}
+
+} // namespace tdm::pwr

@@ -1,0 +1,8 @@
+#include "runtime/cost_model.hh"
+
+namespace tdm::rt {
+
+// The cost models are header-only aggregates; this translation unit
+// exists so the library has a home for future out-of-line helpers.
+
+} // namespace tdm::rt

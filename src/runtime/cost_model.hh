@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cycle cost models of runtime-system operations.
+ *
+ * These constants stand in for the measured cost of Nanos++-style
+ * runtime activity on the simulated 2 GHz OoO core. They are the main
+ * calibration surface of the reproduction: the software dependence-
+ * matching costs are chosen so that the software-runtime breakdown
+ * reproduces the pattern of Figure 2 (see DESIGN.md §5), and the
+ * TDM-side costs follow the ISA/NoC/DMU path of Section III.
+ */
+
+#ifndef TDM_RUNTIME_COST_MODEL_HH
+#define TDM_RUNTIME_COST_MODEL_HH
+
+#include "runtime/software_tracker.hh"
+#include "sim/types.hh"
+
+namespace tdm::rt {
+
+/** Costs of the pure-software runtime path. */
+struct SwCosts
+{
+    /** Allocate + initialize a task descriptor. */
+    sim::Tick taskAllocCycles = 1500;
+
+    /** Region-map lookup for one dependence. */
+    sim::Tick depLookupCycles = 1200;
+
+    /** Insert one TDG edge / reader registration. */
+    sim::Tick edgeInsertCycles = 300;
+
+    /** Visit one reader during a WAR scan. */
+    sim::Tick readerScanCycles = 120;
+
+    /** Region-map split/merge for a fragmented dependence. */
+    sim::Tick fragmentSplitCycles = 22000;
+
+    /** Fixed part of task finalization. */
+    sim::Tick finishBaseCycles = 400;
+
+    /** Per-successor wake-up work at finalization. */
+    sim::Tick perSuccessorCycles = 170;
+
+    /** Per-dependence cleanup at finalization. */
+    sim::Tick perDepCleanupCycles = 130;
+
+    /** Runtime lock hold time for pool operations. */
+    sim::Tick poolPushCycles = 80;
+    sim::Tick poolPopCycles = 110;
+
+    /** Checking an empty pool (scheduling poll). */
+    sim::Tick schedPollCycles = 90;
+
+    /** Cycles for creating one task given tracker work. */
+    sim::Tick
+    createCycles(const TrackerCreateWork &w, double dep_factor) const
+    {
+        double dep_work =
+            static_cast<double>(w.depLookups) * depLookupCycles
+            + static_cast<double>(w.edgeInserts) * edgeInsertCycles
+            + static_cast<double>(w.readerScans) * readerScanCycles
+            + static_cast<double>(w.fragmentSplits) * fragmentSplitCycles;
+        return taskAllocCycles
+             + static_cast<sim::Tick>(dep_work * dep_factor);
+    }
+
+    /** Cycles for finishing a task given tracker work. */
+    sim::Tick
+    finishCycles(const TrackerFinishWork &w) const
+    {
+        return finishBaseCycles
+             + static_cast<sim::Tick>(w.succVisits) * perSuccessorCycles
+             + static_cast<sim::Tick>(w.depVisits) * perDepCleanupCycles;
+    }
+};
+
+/** Costs of the TDM path (software side of the co-design). */
+struct TdmCosts
+{
+    /** Descriptor allocation still happens in software. */
+    sim::Tick taskAllocCycles = 1500;
+
+    /** Issue/commit overhead of one TDM ISA instruction (barrier
+     *  semantics: the pipeline drains around it). */
+    sim::Tick issueCycles = 6;
+
+    /** Software pool costs (scheduling stays in software). */
+    sim::Tick poolPushCycles = 80;
+    sim::Tick poolPopCycles = 110;
+    sim::Tick schedPollCycles = 90;
+};
+
+/** Costs of hardware task-queue scheduling (Carbon / Task Superscalar). */
+struct HwQueueCosts
+{
+    /** Enqueue/dequeue instruction on the local hardware queue. */
+    sim::Tick localOpCycles = 4;
+
+    /** Probe + steal from a remote queue (Carbon work stealing). */
+    sim::Tick stealCycles = 24;
+};
+
+} // namespace tdm::rt
+
+#endif // TDM_RUNTIME_COST_MODEL_HH

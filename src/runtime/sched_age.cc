@@ -1,0 +1,4 @@
+#include "runtime/sched_age.hh"
+
+namespace tdm::rt {
+} // namespace tdm::rt

@@ -1,0 +1,5 @@
+#include "runtime/sched_fifo.hh"
+
+// Header-only implementation; this translation unit anchors the vtable.
+namespace tdm::rt {
+} // namespace tdm::rt

@@ -1,0 +1,4 @@
+#include "runtime/sched_locality.hh"
+
+namespace tdm::rt {
+} // namespace tdm::rt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Locality-aware scheduler (Section VI): when a task finishes on a core
+ * and readies a successor, that successor is preferred by the same core
+ * so it finds its inputs in the local cache. Cores fall back to the
+ * global FIFO queue, and finally to stealing another core's local list.
+ */
+
+#ifndef TDM_RUNTIME_SCHED_LOCALITY_HH
+#define TDM_RUNTIME_SCHED_LOCALITY_HH
+
+#include <deque>
+#include <vector>
+
+#include "runtime/scheduler.hh"
+
+namespace tdm::rt {
+
+class LocalityScheduler : public Scheduler
+{
+  public:
+    explicit LocalityScheduler(unsigned num_cores)
+        : perCore_(num_cores)
+    {}
+
+    const char *name() const override { return "locality"; }
+
+    void
+    push(const ReadyTask &task) override
+    {
+        if (task.producerHint != sim::invalidCore
+            && task.producerHint < perCore_.size()) {
+            perCore_[task.producerHint].push_back(task);
+        } else {
+            global_.push_back(task);
+        }
+        ++size_;
+    }
+
+    std::optional<ReadyTask>
+    pop(sim::CoreId core) override
+    {
+        // 1. own successor list
+        if (core < perCore_.size() && !perCore_[core].empty())
+            return take(perCore_[core]);
+        // 2. global queue
+        if (!global_.empty())
+            return take(global_);
+        // 3. steal the oldest entry of the fullest local list
+        std::size_t best = perCore_.size();
+        std::size_t best_len = 0;
+        for (std::size_t c = 0; c < perCore_.size(); ++c) {
+            if (perCore_[c].size() > best_len) {
+                best = c;
+                best_len = perCore_[c].size();
+            }
+        }
+        if (best < perCore_.size())
+            return take(perCore_[best]);
+        return std::nullopt;
+    }
+
+    bool empty() const override { return size_ == 0; }
+    std::size_t size() const override { return size_; }
+
+    sim::Tick pushExtraCycles() const override { return 30; }
+    sim::Tick popExtraCycles() const override { return 40; }
+
+  private:
+    std::optional<ReadyTask>
+    take(std::deque<ReadyTask> &q)
+    {
+        ReadyTask t = q.front();
+        q.pop_front();
+        --size_;
+        return t;
+    }
+
+    std::vector<std::deque<ReadyTask>> perCore_;
+    std::deque<ReadyTask> global_;
+    std::size_t size_ = 0;
+};
+
+} // namespace tdm::rt
+
+#endif // TDM_RUNTIME_SCHED_LOCALITY_HH

@@ -1,0 +1,4 @@
+#include "runtime/sched_successor.hh"
+
+namespace tdm::rt {
+} // namespace tdm::rt

@@ -1,0 +1,60 @@
+#include "runtime/scheduler.hh"
+
+#include <vector>
+
+#include "runtime/sched_age.hh"
+#include "runtime/sched_fifo.hh"
+#include "runtime/sched_lifo.hh"
+#include "runtime/sched_locality.hh"
+#include "runtime/sched_successor.hh"
+#include "sim/logging.hh"
+
+#include <map>
+
+namespace tdm::rt {
+
+namespace {
+std::map<std::string, SchedulerFactory> &
+customRegistry()
+{
+    static std::map<std::string, SchedulerFactory> registry;
+    return registry;
+}
+} // namespace
+
+void
+registerScheduler(const std::string &name, SchedulerFactory factory)
+{
+    customRegistry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &name, unsigned num_cores,
+              std::uint32_t succ_threshold)
+{
+    auto it = customRegistry().find(name);
+    if (it != customRegistry().end())
+        return it->second(num_cores, succ_threshold);
+    if (name == "fifo")
+        return std::make_unique<FifoScheduler>();
+    if (name == "lifo")
+        return std::make_unique<LifoScheduler>();
+    if (name == "locality")
+        return std::make_unique<LocalityScheduler>(num_cores);
+    if (name == "successor")
+        return std::make_unique<SuccessorScheduler>(succ_threshold);
+    if (name == "age")
+        return std::make_unique<AgeScheduler>();
+    sim::fatal("unknown scheduler policy: ", name);
+}
+
+const std::vector<std::string> &
+allSchedulerNames()
+{
+    static const std::vector<std::string> names = {
+        "fifo", "lifo", "locality", "successor", "age",
+    };
+    return names;
+}
+
+} // namespace tdm::rt

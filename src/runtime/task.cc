@@ -1,0 +1,19 @@
+#include "runtime/task.hh"
+
+namespace tdm::rt {
+
+const char *
+toString(DepDir dir)
+{
+    switch (dir) {
+      case DepDir::In:
+        return "in";
+      case DepDir::Out:
+        return "out";
+      case DepDir::InOut:
+        return "inout";
+    }
+    return "?";
+}
+
+} // namespace tdm::rt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Task descriptors and dependence specifications.
+ *
+ * Mirrors the task model of OpenMP 4.0 / OmpSs as described in Section II
+ * of the paper: tasks are created in program order and annotated with
+ * input/output/inout dependences on data regions.
+ */
+
+#ifndef TDM_RUNTIME_TASK_HH
+#define TDM_RUNTIME_TASK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tdm::rt {
+
+/** Index of a task within its TaskGraph (creation/program order). */
+using TaskId = std::uint32_t;
+
+/** Sentinel task id. */
+constexpr TaskId invalidTask = 0xffffffffu;
+
+/** Identifier of a data region declared by the workload. */
+using RegionId = std::uint32_t;
+
+/** Dependence direction, as written by the programmer. */
+enum class DepDir : std::uint8_t { In, Out, InOut };
+
+/** Human-readable name of a direction. */
+const char *toString(DepDir dir);
+
+/**
+ * One dependence annotation of a task.
+ */
+struct DepSpec
+{
+    RegionId region = 0;   ///< data region the dependence names
+    DepDir dir = DepDir::In;
+
+    /**
+     * Marks a dependence whose region does not exactly match previously
+     * registered regions (strided / partially overlapping). A software
+     * region-map pays a heavy split/merge cost for these (Nanos++-style);
+     * the DMU is unaffected because it matches on the base address.
+     */
+    bool fragmented = false;
+
+    /** True if this dependence writes the region. */
+    bool writes() const { return dir != DepDir::In; }
+};
+
+/**
+ * A task: compute cost, dependences, and identity. The descriptor
+ * address stands in for the 64-bit pointer the real runtime would pass
+ * to the DMU.
+ */
+struct Task
+{
+    TaskId id = invalidTask;
+    std::uint64_t descAddr = 0;   ///< task descriptor address
+    sim::Tick computeCycles = 0;  ///< pure compute time of the task body
+    std::vector<DepSpec> deps;
+    std::uint16_t kernel = 0;     ///< workload-defined kernel tag
+
+    /** Parallel region this task belongs to. */
+    std::uint32_t parRegion = 0;
+};
+
+} // namespace tdm::rt
+
+#endif // TDM_RUNTIME_TASK_HH

@@ -1,0 +1,105 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tdm::sim {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    map_[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    map_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, std::uint64_t value)
+{
+    map_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss << value;
+    map_[key] = oss.str();
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    map_[key] = value ? "true" : "false";
+}
+
+bool
+Config::contains(const std::string &key) const
+{
+    return map_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return dflt;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return dflt;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return dflt;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return dflt;
+    return it->second == "true" || it->second == "1";
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.map_)
+        map_[k] = v;
+}
+
+void
+Config::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : map_)
+        os << k << " = " << v << '\n';
+}
+
+} // namespace tdm::sim

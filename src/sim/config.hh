@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Flat string-keyed configuration store with typed accessors.
+ *
+ * Experiments describe their parameters as Config entries; bench binaries
+ * print them alongside results so every table is self-describing.
+ */
+
+#ifndef TDM_SIM_CONFIG_HH
+#define TDM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace tdm::sim {
+
+/** Ordered key→value configuration with typed getters. */
+class Config
+{
+  public:
+    Config() = default;
+
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    bool contains(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt = 0) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t dflt = 0) const;
+    double getDouble(const std::string &key, double dflt = 0.0) const;
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    /** Merge @p other on top of this config (other wins). */
+    void merge(const Config &other);
+
+    /** Write "key = value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, std::string> &entries() const {
+        return map_;
+    }
+
+  private:
+    std::map<std::string, std::string> map_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_CONFIG_HH

@@ -1,0 +1,44 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace tdm::sim {
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past: ", when, " < ", curTick_);
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top returns const&; move out via const_cast, the
+    // entry is popped immediately afterwards.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    curTick_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    if (curTick_ < limit && heap_.empty())
+        return curTick_;
+    if (!heap_.empty())
+        curTick_ = limit;
+    return curTick_;
+}
+
+} // namespace tdm::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Events are (tick, sequence, callback) triples ordered first by tick and
+ * then by insertion sequence, so simulations are bit-reproducible
+ * regardless of heap internals.
+ */
+
+#ifndef TDM_SIM_EVENT_QUEUE_HH
+#define TDM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tdm::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A deterministic event-driven simulator kernel.
+ *
+ * Single-threaded: all model code runs inside event callbacks. Ties at the
+ * same tick fire in schedule order.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Schedule @p fn to run at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, EventFn fn) {
+        scheduleAt(curTick_ + delay, std::move(fn));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Execute at most one event. @return false if queue was empty. */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,64 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace tdm::sim {
+
+namespace {
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Info)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace tdm::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal simulator bug; aborts.
+ * fatal()  - a user error (bad configuration, invalid argument); exits.
+ * warn()   - questionable but survivable condition.
+ * inform() - status message.
+ *
+ * All take printf-free, ostream-composable message pieces.
+ */
+
+#ifndef TDM_SIM_LOGGING_HH
+#define TDM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace tdm::sim {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Quiet, Warn, Info, Debug };
+
+/** Get/set the global verbosity (default: Warn). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...),
+                      __builtin_FILE(), __builtin_LINE());
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...),
+                      __builtin_FILE(), __builtin_LINE());
+}
+
+/** Report a survivable but suspicious condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose debugging output (enabled at LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_LOGGING_HH

@@ -1,0 +1,157 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace tdm::sim {
+
+Distribution::Distribution(double lo, double hi, unsigned buckets)
+{
+    init(lo, hi, buckets);
+}
+
+void
+Distribution::init(double lo, double hi, unsigned buckets)
+{
+    if (hi <= lo)
+        panic("Distribution: hi <= lo (", hi, " <= ", lo, ")");
+    if (buckets == 0)
+        panic("Distribution: zero buckets");
+    lo_ = lo;
+    hi_ = hi;
+    width_ = (hi - lo) / buckets;
+    buckets_.assign(buckets, 0);
+    reset();
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    sum_ += v;
+    sumSq_ += v * v;
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+double
+Distribution::stdev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = (sumSq_ - sum_ * sum_ / n) / (n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = 0;
+    sum_ = sumSq_ = 0.0;
+    min_ = max_ = 0.0;
+    count_ = 0;
+}
+
+void
+StatGroup::addScalar(const std::string &n, const Scalar *s,
+                     const std::string &desc)
+{
+    items_[n] = Item{Kind::ScalarK, s, desc};
+}
+
+void
+StatGroup::addAverage(const std::string &n, const Average *a,
+                      const std::string &desc)
+{
+    items_[n] = Item{Kind::AverageK, a, desc};
+}
+
+void
+StatGroup::addDistribution(const std::string &n, const Distribution *d,
+                           const std::string &desc)
+{
+    items_[n] = Item{Kind::DistK, d, desc};
+}
+
+void
+StatGroup::addFormula(const std::string &n, const Formula *f,
+                      const std::string &desc)
+{
+    items_[n] = Item{Kind::FormulaK, f, desc};
+}
+
+bool
+StatGroup::contains(const std::string &n) const
+{
+    return items_.count(n) != 0;
+}
+
+double
+StatGroup::lookup(const std::string &n) const
+{
+    auto it = items_.find(n);
+    if (it == items_.end())
+        return 0.0;
+    switch (it->second.kind) {
+      case Kind::ScalarK:
+        return static_cast<const Scalar *>(it->second.ptr)->value();
+      case Kind::AverageK:
+        return static_cast<const Average *>(it->second.ptr)->mean();
+      case Kind::DistK:
+        return static_cast<const Distribution *>(it->second.ptr)->mean();
+      case Kind::FormulaK:
+        return static_cast<const Formula *>(it->second.ptr)->value();
+    }
+    return 0.0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[n, item] : items_) {
+        os << name_ << '.' << n << ' ';
+        switch (item.kind) {
+          case Kind::ScalarK:
+            os << static_cast<const Scalar *>(item.ptr)->value();
+            break;
+          case Kind::AverageK: {
+            auto *a = static_cast<const Average *>(item.ptr);
+            os << a->mean() << " (n=" << a->count() << ')';
+            break;
+          }
+          case Kind::DistK: {
+            auto *d = static_cast<const Distribution *>(item.ptr);
+            os << "mean=" << d->mean() << " stdev=" << d->stdev()
+               << " min=" << d->minSample() << " max=" << d->maxSample()
+               << " (n=" << d->count() << ')';
+            break;
+          }
+          case Kind::FormulaK:
+            os << static_cast<const Formula *>(item.ptr)->value();
+            break;
+        }
+        if (!item.desc.empty())
+            os << " # " << item.desc;
+        os << '\n';
+    }
+}
+
+} // namespace tdm::sim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics package, loosely modelled on gem5's.
+ *
+ * Stats are named values registered with a StatGroup. A group can dump
+ * all of its stats to a stream. Supported kinds: Scalar (counter /
+ * accumulator), Average (mean of samples), Distribution (fixed-width
+ * histogram plus moments), and Formula (lazily evaluated function of
+ * other stats).
+ */
+
+#ifndef TDM_SIM_STATS_HH
+#define TDM_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdm::sim {
+
+class StatGroup;
+
+/** A named scalar accumulator. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Histogram over [min, max) with a fixed number of equal-width buckets,
+ * tracking mean/stdev and underflow/overflow.
+ */
+class Distribution
+{
+  public:
+    Distribution() : Distribution(0.0, 1.0, 8) {}
+
+    Distribution(double lo, double hi, unsigned buckets);
+
+    void init(double lo, double hi, unsigned buckets);
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double stdev() const;
+    double minSample() const { return min_; }
+    double maxSample() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    void reset();
+
+  private:
+    double lo_ = 0.0, hi_ = 1.0, width_ = 1.0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0, overflow_ = 0;
+    double sum_ = 0.0, sumSq_ = 0.0;
+    double min_ = 0.0, max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Lazily evaluated stat computed from other stats. */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+    void define(std::function<double()> fn) { fn_ = std::move(fn); }
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of stats; owns nothing, registers pointers.
+ *
+ * Groups are the unit of dumping; nesting is expressed through dotted
+ * names ("dmu.tat.hits").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void addScalar(const std::string &n, const Scalar *s,
+                   const std::string &desc = "");
+    void addAverage(const std::string &n, const Average *a,
+                    const std::string &desc = "");
+    void addDistribution(const std::string &n, const Distribution *d,
+                         const std::string &desc = "");
+    void addFormula(const std::string &n, const Formula *f,
+                    const std::string &desc = "");
+
+    /** Look up a scalar's current value by name (0 if absent). */
+    double lookup(const std::string &n) const;
+
+    /** True if a stat with this name is registered. */
+    bool contains(const std::string &n) const;
+
+    /** Write "name value # desc" lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+  private:
+    enum class Kind { ScalarK, AverageK, DistK, FormulaK };
+
+    struct Item
+    {
+        Kind kind;
+        const void *ptr;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::map<std::string, Item> items_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_STATS_HH

@@ -1,0 +1,93 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tdm::sim {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return cell(oss.str());
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string c = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << c;
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        line(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        line(r);
+}
+
+} // namespace tdm::sim

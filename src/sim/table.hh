@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table writer used by bench binaries to print paper-style tables.
+ */
+
+#ifndef TDM_SIM_TABLE_HH
+#define TDM_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdm::sim {
+
+/**
+ * Column-aligned text table. Add a header, then rows of cells; numeric
+ * helpers format with fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Start a new row. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &s);
+
+    /** Append a formatted numeric cell. */
+    Table &cell(double v, int precision = 3);
+    Table &cell(std::uint64_t v);
+    Table &cell(std::int64_t v);
+    Table &cell(int v);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Rendered rows (for tests). */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_TABLE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the line-level cache and the region cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/region_cache.hh"
+#include "mem/set_assoc_cache.hh"
+
+using namespace tdm;
+
+TEST(SetAssocCache, HitAfterMiss)
+{
+    mem::SetAssocCache c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, SameLineDifferentOffsetHits)
+{
+    mem::SetAssocCache c({1024, 2, 64});
+    c.access(0x1000);
+    EXPECT_TRUE(c.access(0x103F));
+    EXPECT_FALSE(c.access(0x1040)); // next line
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet)
+{
+    // 2 sets x 2 ways, 64B lines: addresses with the same set bits
+    // conflict after 2 distinct tags.
+    mem::SetAssocCache c({256, 2, 64});
+    EXPECT_EQ(c.geometry().numSets(), 2u);
+    c.access(0x0000);          // set 0, tag 0
+    c.access(0x0080);          // set 0, tag 1
+    EXPECT_TRUE(c.access(0x0000)); // refresh tag 0
+    c.access(0x0100);          // set 0, tag 2 -> evicts tag 1 (LRU)
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x0080));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(SetAssocCache, InvalidateAndFlush)
+{
+    mem::SetAssocCache c({1024, 4, 64});
+    c.access(0x2000);
+    EXPECT_TRUE(c.invalidate(0x2000));
+    EXPECT_FALSE(c.invalidate(0x2000));
+    EXPECT_FALSE(c.contains(0x2000));
+    c.access(0x2000);
+    c.access(0x3000);
+    c.flush();
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(RegionCache, HitTracking)
+{
+    mem::RegionCache rc(1024);
+    EXPECT_FALSE(rc.touch(1, 256));
+    EXPECT_TRUE(rc.touch(1, 256));
+    EXPECT_EQ(rc.hits(), 1u);
+    EXPECT_EQ(rc.misses(), 1u);
+    EXPECT_EQ(rc.usedBytes(), 256u);
+}
+
+TEST(RegionCache, LruEvictionByBytes)
+{
+    mem::RegionCache rc(1000);
+    rc.touch(1, 400);
+    rc.touch(2, 400);
+    rc.touch(1, 400); // 1 becomes MRU
+    rc.touch(3, 400); // evicts 2
+    EXPECT_TRUE(rc.contains(1));
+    EXPECT_FALSE(rc.contains(2));
+    EXPECT_TRUE(rc.contains(3));
+    EXPECT_EQ(rc.evictions(), 1u);
+}
+
+TEST(RegionCache, OversizedRegionOccupiesWholeCache)
+{
+    mem::RegionCache rc(1000);
+    rc.touch(1, 100);
+    rc.touch(2, 5000); // larger than capacity: clamped, evicts all
+    EXPECT_FALSE(rc.contains(1));
+    EXPECT_TRUE(rc.contains(2));
+    EXPECT_LE(rc.usedBytes(), 1000u);
+}
+
+TEST(RegionCache, InvalidateAndFlush)
+{
+    mem::RegionCache rc(1024);
+    rc.touch(7, 64);
+    EXPECT_TRUE(rc.invalidate(7));
+    EXPECT_FALSE(rc.invalidate(7));
+    rc.touch(8, 64);
+    rc.flush();
+    EXPECT_EQ(rc.residentRegions(), 0u);
+    EXPECT_EQ(rc.usedBytes(), 0u);
+}
+
+TEST(RegionCache, ResizeOnRetouch)
+{
+    mem::RegionCache rc(1024);
+    rc.touch(1, 100);
+    rc.touch(1, 300);
+    EXPECT_EQ(rc.usedBytes(), 300u);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Randomized stress tests of the DMU under tight capacities: blocked
+ * operations must have no side effects, resources must be conserved,
+ * and after draining everything the unit must be completely empty.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "dmu/dmu.hh"
+#include "sim/rng.hh"
+
+using namespace tdm;
+
+namespace {
+
+constexpr std::uint64_t desc(std::uint64_t i)
+{
+    return 0xb000000000ULL + i * 0x140;
+}
+
+constexpr std::uint64_t addr(std::uint64_t i)
+{
+    return 0x400000000ULL + i * 8192;
+}
+
+struct FuzzParam
+{
+    std::uint64_t seed;
+    unsigned tat, dat, lists, elems;
+    unsigned regions;
+    unsigned steps;
+};
+
+class DmuFuzz : public ::testing::TestWithParam<FuzzParam>
+{};
+
+struct Snapshot
+{
+    unsigned tasks, deps, sla, dla, rla;
+    std::size_t ready;
+};
+
+Snapshot
+snap(const dmu::Dmu &d)
+{
+    return {d.tasksInFlight(), d.depsInFlight(), d.sla().entriesInUse(),
+            d.dla().entriesInUse(), d.rla().entriesInUse(),
+            d.readyCount()};
+}
+
+bool
+operator==(const Snapshot &a, const Snapshot &b)
+{
+    return a.tasks == b.tasks && a.deps == b.deps && a.sla == b.sla
+        && a.dla == b.dla && a.rla == b.rla && a.ready == b.ready;
+}
+
+} // namespace
+
+TEST_P(DmuFuzz, InvariantsUnderPressure)
+{
+    const FuzzParam &p = GetParam();
+    dmu::DmuConfig cfg;
+    cfg.tatEntries = p.tat;
+    cfg.tatAssoc = std::min(8u, p.tat);
+    cfg.datEntries = p.dat;
+    cfg.datAssoc = std::min(8u, p.dat);
+    cfg.slaEntries = p.lists;
+    cfg.dlaEntries = p.lists;
+    cfg.rlaEntries = p.lists;
+    cfg.elemsPerEntry = p.elems;
+    cfg.readyQueueEntries = p.tat;
+    dmu::Dmu d(cfg);
+
+    sim::Rng rng(p.seed);
+    std::uint64_t next_task = 0;
+    // Tasks popped from the Ready Queue, executing, not yet finished.
+    // (The runtime contract: only dispatched tasks may finish.)
+    std::deque<std::uint64_t> running;
+    std::uint64_t created_ok = 0, blocked_seen = 0;
+
+    for (unsigned step = 0; step < p.steps; ++step) {
+        bool do_create = rng.uniform() < 0.55;
+        if (do_create) {
+            // Try to create a task with 1..3 deps; on any block, give
+            // up on the whole task after verifying no state change.
+            std::uint64_t id = next_task;
+            Snapshot before = snap(d);
+            auto cres = d.createTask(desc(id));
+            if (cres.blocked) {
+                ++blocked_seen;
+                EXPECT_TRUE(snap(d) == before);
+            } else {
+                ++next_task;
+                unsigned ndeps = 1 + rng.below(3);
+                for (unsigned k = 0; k < ndeps; ++k) {
+                    std::uint64_t r = rng.below(p.regions);
+                    bool out = rng.uniform() < 0.5;
+                    Snapshot b2 = snap(d);
+                    auto ares =
+                        d.addDependence(desc(id), addr(r), 8192, out);
+                    if (ares.blocked) {
+                        ++blocked_seen;
+                        EXPECT_TRUE(snap(d) == b2);
+                        break;
+                    }
+                }
+                d.commitTask(desc(id));
+                ++created_ok;
+            }
+        }
+        // Dispatch: pop a ready task now and then.
+        if (rng.uniform() < 0.6) {
+            unsigned acc = 0;
+            if (auto info = d.getReadyTask(acc))
+                running.push_back((info->descAddr - 0xb000000000ULL)
+                                  / 0x140);
+        }
+        // Finish a running task half of the time.
+        if (!running.empty() && rng.uniform() < 0.5) {
+            std::uint64_t id = running.front();
+            running.pop_front();
+            d.finishTask(desc(id));
+        }
+    }
+    // Drain everything: keep dispatching and finishing until empty.
+    while (d.tasksInFlight() > 0) {
+        unsigned acc = 0;
+        while (auto info = d.getReadyTask(acc))
+            running.push_back((info->descAddr - 0xb000000000ULL)
+                              / 0x140);
+        ASSERT_FALSE(running.empty()) << "ready tasks vanished";
+        d.finishTask(desc(running.front()));
+        running.pop_front();
+    }
+    EXPECT_EQ(d.tasksInFlight(), 0u);
+    EXPECT_EQ(d.depsInFlight(), 0u);
+    EXPECT_EQ(d.sla().entriesInUse(), 0u);
+    EXPECT_EQ(d.dla().entriesInUse(), 0u);
+    EXPECT_EQ(d.rla().entriesInUse(), 0u);
+    EXPECT_EQ(d.tat().liveEntries(), 0u);
+    EXPECT_EQ(d.dat().liveEntries(), 0u);
+    EXPECT_GT(created_ok, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, DmuFuzz,
+    ::testing::Values(
+        FuzzParam{1, 16, 16, 16, 2, 8, 2000},
+        FuzzParam{2, 8, 8, 8, 2, 4, 2000},
+        FuzzParam{3, 32, 16, 8, 4, 12, 3000},
+        FuzzParam{4, 64, 64, 64, 8, 24, 4000},
+        FuzzParam{5, 16, 64, 32, 2, 6, 3000},
+        FuzzParam{6, 64, 16, 16, 4, 4, 3000},
+        FuzzParam{7, 8, 32, 64, 8, 16, 2000},
+        FuzzParam{8, 128, 128, 32, 2, 40, 5000}),
+    [](const ::testing::TestParamInfo<FuzzParam> &info) {
+        return "seed" + std::to_string(info.param.seed);
+    });

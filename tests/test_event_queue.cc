@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+using namespace tdm;
+
+TEST(EventQueue, StartsAtZero)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeDelay)
+{
+    sim::EventQueue eq;
+    sim::Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    sim::EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.scheduleAt(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAt(1000, [&] { ++fired; });
+    eq.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepExecutesSingleEvent)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1, [&] { ++fired; });
+    eq.scheduleAt(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    sim::EventQueue eq;
+    eq.scheduleAt(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the TDM ISA encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/isa.hh"
+
+using namespace tdm;
+
+TEST(Isa, EncodeDecodeRoundTrip)
+{
+    core::TdmInst inst;
+    inst.opcode = core::TdmOpcode::AddDependence;
+    inst.rTask = 3;
+    inst.rAddr = 4;
+    inst.rSize = 5;
+    inst.isOutput = true;
+    auto word = core::encode(inst);
+    auto back = core::decode(word);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, inst);
+}
+
+TEST(Isa, RoundTripAllOpcodes)
+{
+    using core::TdmOpcode;
+    for (auto op : {TdmOpcode::CreateTask, TdmOpcode::AddDependence,
+                    TdmOpcode::CommitTask, TdmOpcode::FinishTask,
+                    TdmOpcode::GetReadyTask}) {
+        core::TdmInst inst;
+        inst.opcode = op;
+        if (op == TdmOpcode::GetReadyTask) {
+            inst.rDest = 7;
+            inst.rDest2 = 8;
+        } else {
+            inst.rTask = 9;
+        }
+        auto back = core::decode(core::encode(inst));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->opcode, op);
+    }
+}
+
+TEST(Isa, RejectsForeignWords)
+{
+    EXPECT_FALSE(core::decode(0x00000000).has_value());
+    EXPECT_FALSE(core::decode(0xFFFFFFFF).has_value());
+    // Right major opcode, invalid minor opcode.
+    EXPECT_FALSE(core::decode(core::tdmMajorOpcode << 24).has_value());
+}
+
+TEST(Isa, Disassembly)
+{
+    core::TdmInst inst;
+    inst.opcode = core::TdmOpcode::AddDependence;
+    inst.rTask = 3;
+    inst.rAddr = 4;
+    inst.rSize = 5;
+    inst.isOutput = true;
+    EXPECT_EQ(core::disassemble(inst), "add_dependence x3, x4, x5, out");
+
+    core::TdmInst get;
+    get.opcode = core::TdmOpcode::GetReadyTask;
+    get.rDest = 1;
+    get.rDest2 = 2;
+    EXPECT_EQ(core::disassemble(get), "get_ready_task x1, x2");
+
+    core::TdmInst fin;
+    fin.opcode = core::TdmOpcode::FinishTask;
+    fin.rTask = 6;
+    EXPECT_EQ(core::disassemble(fin), "finish_task x6");
+}
+
+TEST(Isa, MnemonicsStable)
+{
+    EXPECT_STREQ(core::mnemonic(core::TdmOpcode::CreateTask),
+                 "create_task");
+    EXPECT_STREQ(core::mnemonic(core::TdmOpcode::CommitTask),
+                 "commit_task");
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy model: residency levels,
+ * invalidation on writes, and the locality effect the Locality
+ * scheduler exploits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_model.hh"
+
+using namespace tdm;
+
+namespace {
+
+mem::MemConfig
+smallConfig()
+{
+    mem::MemConfig c;
+    c.l1Bytes = 4 * 1024;
+    c.l2Bytes = 64 * 1024;
+    return c;
+}
+
+} // namespace
+
+TEST(MemoryModel, ColdAccessGoesToDram)
+{
+    mem::MemoryModel m(smallConfig(), 2);
+    EXPECT_EQ(m.levelOf(0, 1), 3);
+    mem::MemAccess a{1, 1024, false};
+    m.taskAccessTime(0, std::span(&a, 1));
+    EXPECT_EQ(m.levelOf(0, 1), 1);
+    EXPECT_EQ(m.levelOf(1, 1), 2); // other core: L2
+}
+
+TEST(MemoryModel, DramCostsMoreThanL1)
+{
+    mem::MemoryModel m(smallConfig(), 2);
+    mem::MemAccess a{1, 2048, false};
+    sim::Tick cold = m.taskAccessTime(0, std::span(&a, 1));
+    sim::Tick warm = m.taskAccessTime(0, std::span(&a, 1));
+    EXPECT_GT(cold, warm);
+}
+
+TEST(MemoryModel, WriteInvalidatesOtherL1s)
+{
+    mem::MemoryModel m(smallConfig(), 2);
+    mem::MemAccess rd{1, 1024, false};
+    m.taskAccessTime(0, std::span(&rd, 1));
+    m.taskAccessTime(1, std::span(&rd, 1));
+    EXPECT_EQ(m.levelOf(0, 1), 1);
+    EXPECT_EQ(m.levelOf(1, 1), 1);
+    mem::MemAccess wr{1, 1024, true};
+    m.taskAccessTime(0, std::span(&wr, 1));
+    EXPECT_EQ(m.levelOf(0, 1), 1);
+    EXPECT_EQ(m.levelOf(1, 1), 2); // invalidated from core 1's L1
+}
+
+TEST(MemoryModel, ConsumerOnProducerCoreIsFaster)
+{
+    // The locality-scheduler effect: running the consumer where the
+    // producer ran hits in L1; elsewhere it pays L2.
+    mem::MemoryModel m(smallConfig(), 2);
+    mem::MemAccess wr{1, 2048, true};
+    m.taskAccessTime(0, std::span(&wr, 1));
+
+    mem::MemAccess rd{1, 2048, false};
+    sim::Tick same_core = m.taskAccessTime(0, std::span(&rd, 1));
+
+    mem::MemoryModel m2(smallConfig(), 2);
+    m2.taskAccessTime(0, std::span(&wr, 1));
+    sim::Tick other_core = m2.taskAccessTime(1, std::span(&rd, 1));
+    EXPECT_GT(other_core, same_core);
+}
+
+TEST(MemoryModel, CountsLineTraffic)
+{
+    mem::MemoryModel m(smallConfig(), 1);
+    mem::MemAccess a{1, 640, false}; // 10 lines
+    m.taskAccessTime(0, std::span(&a, 1));
+    EXPECT_EQ(m.l1LineAccesses(), 10u);
+    EXPECT_EQ(m.dramLineAccesses(), 10u);
+    m.taskAccessTime(0, std::span(&a, 1));
+    EXPECT_EQ(m.l1LineAccesses(), 20u);
+    EXPECT_EQ(m.dramLineAccesses(), 10u); // second touch hits L1
+}
+
+TEST(MemoryModel, ZeroByteAccessIsFree)
+{
+    mem::MemoryModel m(smallConfig(), 1);
+    mem::MemAccess a{1, 0, false};
+    EXPECT_EQ(m.taskAccessTime(0, std::span(&a, 1)), 0u);
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the 2D mesh NoC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+using namespace tdm;
+
+TEST(Mesh, HopCountIsManhattan)
+{
+    noc::Mesh m(noc::MeshConfig{6, 6, 1, 1, 16, 0.0});
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 5), 5u);
+    EXPECT_EQ(m.hops(0, 35), 10u);
+    EXPECT_EQ(m.hops(7, 14), 2u); // (1,1) -> (2,2)
+}
+
+TEST(Mesh, CenterNode)
+{
+    noc::Mesh m(noc::MeshConfig{6, 6, 1, 1, 16, 0.0});
+    EXPECT_EQ(m.centerNode(), 21u); // (3,3)
+}
+
+TEST(Mesh, CoresSkipCenterNode)
+{
+    noc::Mesh m(noc::MeshConfig{6, 6, 1, 1, 16, 0.0});
+    noc::NodeId center = m.centerNode();
+    for (sim::CoreId c = 0; c < 32; ++c)
+        EXPECT_NE(m.nodeOfCore(c), center);
+    EXPECT_EQ(m.nodeOfCore(0), 0u);
+    EXPECT_EQ(m.nodeOfCore(20), 20u);
+    EXPECT_EQ(m.nodeOfCore(21), 22u); // shifted past the center
+}
+
+TEST(Mesh, LatencyGrowsWithDistanceAndSize)
+{
+    noc::Mesh m(noc::MeshConfig{6, 6, 1, 1, 16, 0.0});
+    sim::Tick near = m.latency(0, 1, 16);
+    sim::Tick far = m.latency(0, 35, 16);
+    EXPECT_GT(far, near);
+    sim::Tick small = m.latency(0, 35, 16);
+    sim::Tick big = m.latency(0, 35, 160);
+    EXPECT_GT(big, small);
+}
+
+TEST(Mesh, ZeroHopLatencyIsRouterOnly)
+{
+    noc::Mesh m(noc::MeshConfig{4, 4, 2, 1, 16, 0.0});
+    EXPECT_EQ(m.latency(5, 5, 16), 2u);
+}
+
+TEST(Mesh, TransferAccumulatesTraffic)
+{
+    noc::Mesh m(noc::MeshConfig{4, 4, 1, 1, 16, 0.0});
+    EXPECT_EQ(m.messages(), 0u);
+    m.transfer(0, 3, 16); // 3 hops, 1 flit
+    EXPECT_EQ(m.messages(), 1u);
+    EXPECT_EQ(m.flitHops(), 3u);
+    m.transfer(0, 3, 32); // 2 flits
+    EXPECT_EQ(m.flitHops(), 9u);
+    EXPECT_GE(m.maxLinkFlits(), 3u);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the energy accounting: core active/idle split, cache and
+ * accelerator contributions, EDP arithmetic, and the paper's
+ * "constant power" property (power varies little across schedulers, so
+ * EDP follows time squared).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/core_power.hh"
+#include "power/energy_accountant.hh"
+
+using namespace tdm;
+
+TEST(CorePower, ActiveCostsMoreThanIdle)
+{
+    pwr::CorePowerParams p;
+    sim::Tick one_ms = sim::usToTicks(1000);
+    EXPECT_GT(pwr::coreEnergyJ(p, one_ms, 0),
+              pwr::coreEnergyJ(p, 0, one_ms));
+}
+
+TEST(CorePower, EnergyScalesLinearly)
+{
+    pwr::CorePowerParams p;
+    sim::Tick t = sim::usToTicks(500);
+    double e1 = pwr::coreEnergyJ(p, t, t);
+    double e2 = pwr::coreEnergyJ(p, 2 * t, 2 * t);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(EnergyAccountant, TotalsAddUp)
+{
+    pwr::CorePowerParams p;
+    p.uncoreWatts = 0.0;
+    pwr::EnergyAccountant a(p);
+    sim::Tick span = sim::usToTicks(1000);
+    a.addCoreTime(span, 0);
+    double base = a.totalJoules(span);
+    EXPECT_NEAR(base, p.activeWatts * 0.001, 1e-9);
+
+    a.addCacheLines(1000, 0, 0);
+    EXPECT_NEAR(a.totalJoules(span) - base, 1000 * p.l1LineNj * 1e-9,
+                1e-12);
+}
+
+TEST(EnergyAccountant, AcceleratorContributions)
+{
+    pwr::EnergyAccountant a;
+    sim::Tick span = sim::usToTicks(1000); // 1 ms
+    double before = a.totalJoules(span);
+    a.addAcceleratorPj(1e6); // 1 uJ
+    EXPECT_NEAR(a.totalJoules(span) - before, 1e-6, 1e-12);
+    a.setAcceleratorLeakageMw(2.0);
+    EXPECT_NEAR(a.totalJoules(span) - before, 1e-6 + 2e-3 * 1e-3, 1e-9);
+}
+
+TEST(EnergyAccountant, EdpIsEnergyTimesDelay)
+{
+    pwr::EnergyAccountant a;
+    sim::Tick span = sim::usToTicks(2000);
+    a.addCoreTime(span, 0);
+    double e = a.totalJoules(span);
+    EXPECT_NEAR(a.edp(span), e * 0.002, 1e-12);
+    EXPECT_NEAR(a.avgWatts(span), e / 0.002, 1e-9);
+}
+
+TEST(EnergyAccountant, ConstantPowerMakesEdpQuadratic)
+{
+    // If a run gets S times faster at roughly constant power, EDP
+    // improves by about S^2 — the relation the paper's 12.3% speedup /
+    // 20.4% EDP numbers satisfy.
+    pwr::CorePowerParams p;
+    p.idleWatts = p.activeWatts; // constant power
+    p.uncoreWatts = 0.0;
+
+    auto edp_of = [&](double ms) {
+        pwr::EnergyAccountant a(p);
+        sim::Tick span = sim::usToTicks(ms * 1000.0);
+        a.addCoreTime(span / 2, span - span / 2);
+        return a.edp(span);
+    };
+    double ratio = edp_of(100.0) / edp_of(89.0); // 12.3% speedup
+    EXPECT_NEAR(ratio, (100.0 / 89.0) * (100.0 / 89.0), 1e-6);
+    EXPECT_NEAR(1.0 - 1.0 / ratio, 0.208, 0.01); // ~20% EDP reduction
+}

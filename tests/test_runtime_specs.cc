@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the runtime-model descriptors: traits, axes, names, and
+ * the hardware-cost figures used in Section VI-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tss_runtime.hh"
+#include "cpu/machine_config.hh"
+
+using namespace tdm;
+
+TEST(RuntimeTraits, AxesMatchThePaperTable)
+{
+    using core::DepMode;
+    using core::RuntimeType;
+    using core::SchedMode;
+    const auto &sw = core::traitsOf(RuntimeType::Software);
+    EXPECT_EQ(sw.dep, DepMode::Software);
+    EXPECT_EQ(sw.sched, SchedMode::SoftwarePool);
+    EXPECT_TRUE(sw.flexibleScheduling());
+    EXPECT_FALSE(sw.usesDmu());
+
+    const auto &tdm = core::traitsOf(RuntimeType::Tdm);
+    EXPECT_EQ(tdm.dep, DepMode::Hardware);
+    EXPECT_EQ(tdm.sched, SchedMode::SoftwarePool);
+    EXPECT_TRUE(tdm.flexibleScheduling());
+    EXPECT_TRUE(tdm.usesDmu());
+
+    const auto &carbon = core::traitsOf(RuntimeType::Carbon);
+    EXPECT_EQ(carbon.dep, DepMode::Software);
+    EXPECT_EQ(carbon.sched, SchedMode::HardwareQueues);
+    EXPECT_FALSE(carbon.flexibleScheduling());
+
+    const auto &tss = core::traitsOf(RuntimeType::TaskSuperscalar);
+    EXPECT_EQ(tss.dep, DepMode::Hardware);
+    EXPECT_EQ(tss.sched, SchedMode::HardwareFifo);
+    EXPECT_FALSE(tss.flexibleScheduling());
+}
+
+TEST(RuntimeTraits, RoundTripNames)
+{
+    for (auto t : core::allRuntimeTypes()) {
+        const auto &tr = core::traitsOf(t);
+        EXPECT_EQ(core::runtimeFromString(tr.name), t);
+    }
+    EXPECT_EQ(core::allRuntimeTypes().size(), 4u);
+}
+
+TEST(RuntimeTraitsDeath, UnknownNameFatal)
+{
+    EXPECT_DEATH((void)core::runtimeFromString("gpu"), "unknown runtime");
+}
+
+TEST(RuntimeSpecs, HardwareCostOrdering)
+{
+    cpu::MachineConfig cfg;
+    auto sw = core::runtimeSpec(core::RuntimeType::Software, cfg);
+    auto tdm = core::runtimeSpec(core::RuntimeType::Tdm, cfg);
+    auto carbon = core::runtimeSpec(core::RuntimeType::Carbon, cfg);
+    auto tss = core::runtimeSpec(core::RuntimeType::TaskSuperscalar, cfg);
+
+    EXPECT_DOUBLE_EQ(sw.hwStorageKB, 0.0);
+    EXPECT_LT(carbon.hwStorageKB, tdm.hwStorageKB);
+    EXPECT_LT(tdm.hwStorageKB, tss.hwStorageKB);
+    EXPECT_NEAR(tss.hwStorageKB / tdm.hwStorageKB, 7.3, 0.1);
+
+    EXPECT_EQ(sw.displayName, "SW");
+    EXPECT_EQ(tdm.displayName, "TDM");
+    EXPECT_FALSE(tdm.description.empty());
+}
+
+TEST(RuntimeSpecs, TdmStorageTracksDmuConfig)
+{
+    cpu::MachineConfig small;
+    small.dmu.tatEntries = 512;
+    small.dmu.datEntries = 512;
+    cpu::MachineConfig big;
+    EXPECT_LT(core::runtimeSpec(core::RuntimeType::Tdm, small).hwStorageKB,
+              core::runtimeSpec(core::RuntimeType::Tdm, big).hwStorageKB);
+}
+
+TEST(MachineConfigDescribe, TableIFieldsPresent)
+{
+    cpu::MachineConfig cfg;
+    sim::Config c = cfg.describe();
+    EXPECT_EQ(c.getUint("chip.cores"), 32u);
+    EXPECT_EQ(c.getUint("dmu.tat_entries"), 2048u);
+    EXPECT_EQ(c.getUint("dmu.dat_assoc"), 8u);
+    EXPECT_EQ(c.getUint("l1d.size_kb"), 32u);
+    EXPECT_EQ(c.getUint("l2.size_mb"), 4u);
+    EXPECT_TRUE(c.getBool("dmu.dynamic_dat_index"));
+    EXPECT_EQ(c.getString("sched.policy"), "fifo");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for types helpers, Config, Rng and Table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/table.hh"
+#include "sim/types.hh"
+
+using namespace tdm;
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(sim::usToTicks(1.0), 2000u);    // 2 GHz
+    EXPECT_DOUBLE_EQ(sim::ticksToUs(2000), 1.0);
+    EXPECT_DOUBLE_EQ(sim::ticksToSeconds(2000000000ULL), 1.0);
+}
+
+TEST(Types, BitsFor)
+{
+    EXPECT_EQ(sim::bitsFor(2048), 11u);
+    EXPECT_EQ(sim::bitsFor(1024), 10u);
+    EXPECT_EQ(sim::bitsFor(2), 1u);
+    EXPECT_EQ(sim::bitsFor(1), 1u);
+    EXPECT_EQ(sim::bitsFor(3), 2u);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(sim::isPowerOf2(64));
+    EXPECT_FALSE(sim::isPowerOf2(65));
+    EXPECT_FALSE(sim::isPowerOf2(0));
+    EXPECT_EQ(sim::floorLog2(16384), 14u);
+    EXPECT_EQ(sim::floorLog2(1), 0u);
+    EXPECT_EQ(sim::divCeil(10, 8), 2);
+    EXPECT_EQ(sim::divCeil(16, 8), 2);
+}
+
+TEST(Config, TypedRoundTrip)
+{
+    sim::Config c;
+    c.set("a", std::int64_t{-5});
+    c.set("b", std::uint64_t{7});
+    c.set("c", 2.5);
+    c.set("d", true);
+    c.set("e", std::string("hello"));
+    EXPECT_EQ(c.getInt("a"), -5);
+    EXPECT_EQ(c.getUint("b"), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("c"), 2.5);
+    EXPECT_TRUE(c.getBool("d"));
+    EXPECT_EQ(c.getString("e"), "hello");
+    EXPECT_EQ(c.getInt("missing", 9), 9);
+    EXPECT_TRUE(c.contains("a"));
+    EXPECT_FALSE(c.contains("zz"));
+}
+
+TEST(Config, MergeOverrides)
+{
+    sim::Config a, b;
+    a.set("x", std::int64_t{1});
+    a.set("y", std::int64_t{2});
+    b.set("y", std::int64_t{3});
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 3);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    sim::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    sim::Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NoiseFactorCentersAroundOne)
+{
+    sim::Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.noiseFactor(0.1);
+    EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, HashUnitStable)
+{
+    EXPECT_DOUBLE_EQ(sim::hashUnit(123), sim::hashUnit(123));
+    EXPECT_NE(sim::hashUnit(123), sim::hashUnit(124));
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    sim::Table t("demo");
+    t.header({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("b").cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace tdm;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    sim::Scalar s;
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    sim::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Distribution, BucketsAndMoments)
+{
+    sim::Distribution d(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(i + 0.5);
+    EXPECT_EQ(d.count(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 1u);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+}
+
+TEST(Distribution, UnderflowOverflow)
+{
+    sim::Distribution d(0.0, 1.0, 4);
+    d.sample(-1.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSample(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 2.0);
+}
+
+TEST(Distribution, StdevOfConstantIsZero)
+{
+    sim::Distribution d(0.0, 10.0, 4);
+    d.sample(3.0);
+    d.sample(3.0);
+    d.sample(3.0);
+    EXPECT_NEAR(d.stdev(), 0.0, 1e-12);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    sim::Scalar a, b;
+    sim::Formula f([&] { return a.value() / (b.value() + 1.0); });
+    a += 10.0;
+    b += 4.0;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    a += 10.0;
+    EXPECT_DOUBLE_EQ(f.value(), 4.0);
+}
+
+TEST(StatGroup, DumpAndLookup)
+{
+    sim::StatGroup g("dmu");
+    sim::Scalar ops;
+    ops += 42.0;
+    g.addScalar("ops", &ops, "operations");
+    EXPECT_TRUE(g.contains("ops"));
+    EXPECT_FALSE(g.contains("nope"));
+    EXPECT_DOUBLE_EQ(g.lookup("ops"), 42.0);
+
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("dmu.ops 42"), std::string::npos);
+    EXPECT_NE(oss.str().find("# operations"), std::string::npos);
+}

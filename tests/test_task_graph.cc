@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for TaskGraph construction and ground-truth edge
+ * derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/task_graph.hh"
+
+using namespace tdm;
+
+TEST(TaskGraph, RegionsAreContiguous)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(16384);
+    rt::RegionId b = g.addRegion(16384);
+    EXPECT_EQ(g.region(b).baseAddr, g.region(a).baseAddr + 16384);
+}
+
+TEST(TaskGraph, DescriptorsAreDistinct)
+{
+    rt::TaskGraph g("t");
+    g.beginParallel();
+    g.createTask(1);
+    g.createTask(1);
+    EXPECT_NE(g.task(0).descAddr, g.task(1).descAddr);
+}
+
+TEST(TaskGraph, RawEdge)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In);
+    auto e = g.buildEdges();
+    ASSERT_EQ(e.successors[0].size(), 1u);
+    EXPECT_EQ(e.successors[0][0], 1u);
+    EXPECT_EQ(e.numPreds[1], 1u);
+    EXPECT_EQ(e.edgeCount, 1u);
+}
+
+TEST(TaskGraph, WarAndWawEdges)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1); // writer
+    g.dep(a, rt::DepDir::Out);
+    g.createTask(1); // reader
+    g.dep(a, rt::DepDir::In);
+    g.createTask(1); // writer again: WAW on 0 is hidden by WAR on 1
+    g.dep(a, rt::DepDir::Out);
+    auto e = g.buildEdges();
+    EXPECT_EQ(e.numPreds[2], 2u); // 0 (last writer) and 1 (reader)
+}
+
+TEST(TaskGraph, EdgesDeduplicated)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64), b = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+    g.dep(b, rt::DepDir::Out);
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In);
+    g.dep(b, rt::DepDir::In);
+    auto e = g.buildEdges();
+    EXPECT_EQ(e.successors[0].size(), 1u); // one deduplicated edge
+    EXPECT_EQ(e.numPreds[1], 1u);
+}
+
+TEST(TaskGraph, BarrierResetsDependences)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In);
+    auto e = g.buildEdges();
+    EXPECT_EQ(e.edgeCount, 0u); // barrier between writer and reader
+    EXPECT_EQ(g.parallelRegions().size(), 2u);
+    EXPECT_EQ(g.parallelRegions()[0].numTasks, 1u);
+    EXPECT_EQ(g.parallelRegions()[1].numTasks, 1u);
+}
+
+TEST(TaskGraph, CriticalPathOfChain)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    for (int i = 0; i < 5; ++i) {
+        g.createTask(100);
+        g.dep(a, rt::DepDir::InOut);
+    }
+    EXPECT_EQ(g.criticalPathCycles(), 500u);
+}
+
+TEST(TaskGraph, CriticalPathOfForkJoin)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId src = g.addRegion(64);
+    std::vector<rt::RegionId> mid;
+    for (int i = 0; i < 4; ++i)
+        mid.push_back(g.addRegion(64));
+    g.beginParallel();
+    g.createTask(100); // source
+    g.dep(src, rt::DepDir::Out);
+    for (int i = 0; i < 4; ++i) {
+        g.createTask(50); // parallel middle
+        g.dep(src, rt::DepDir::In);
+        g.dep(mid[i], rt::DepDir::Out);
+    }
+    g.createTask(100); // sink
+    for (int i = 0; i < 4; ++i)
+        g.dep(mid[i], rt::DepDir::In);
+    EXPECT_EQ(g.criticalPathCycles(), 250u);
+}
+
+TEST(TaskGraph, TotalsAndAverages)
+{
+    rt::TaskGraph g("t");
+    g.beginParallel();
+    g.createTask(sim::usToTicks(100));
+    g.createTask(sim::usToTicks(300));
+    EXPECT_EQ(g.totalComputeCycles(), sim::usToTicks(400));
+    EXPECT_DOUBLE_EQ(g.avgTaskUs(), 200.0);
+    EXPECT_EQ(g.maxTasksInRegion(), 2u);
+}
+
+TEST(TaskGraphDeath, DepWithoutTaskPanics)
+{
+    rt::TaskGraph g("t");
+    rt::RegionId a = g.addRegion(64);
+    EXPECT_DEATH(g.dep(a, rt::DepDir::In), "before any createTask");
+}

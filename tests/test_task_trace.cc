@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the execution timeline recorder and its machine
+ * integration: every task appears exactly once, per-core intervals
+ * never overlap, and parallelism statistics are sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/machine.hh"
+#include "workloads/registry.hh"
+
+using namespace tdm;
+
+TEST(TaskTrace, ParallelismStats)
+{
+    core::TaskTrace t;
+    t.record(0, 0, 0, 100, 0);
+    t.record(1, 1, 0, 100, 0);
+    t.record(2, 0, 100, 200, 0);
+    EXPECT_DOUBLE_EQ(t.avgParallelism(200), 1.5);
+    EXPECT_EQ(t.peakParallelism(), 2u);
+}
+
+TEST(TaskTrace, PeakCountsBackToBackOnce)
+{
+    core::TaskTrace t;
+    t.record(0, 0, 0, 100, 0);
+    t.record(1, 0, 100, 200, 0); // same core, adjacent
+    EXPECT_EQ(t.peakParallelism(), 1u);
+}
+
+TEST(TaskTrace, ChromeExportWellFormed)
+{
+    core::TaskTrace t;
+    t.record(3, 2, 2000, 4000, 7);
+    std::ostringstream oss;
+    t.writeChromeTrace(oss, "demo");
+    std::string s = oss.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(s.find("task3/k7"), std::string::npos);
+    EXPECT_NE(s.find("\"tid\":2"), std::string::npos);
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_EQ(s.back(), '}');
+}
+
+TEST(TaskTraceMachine, EveryTaskTracedOnce)
+{
+    wl::WorkloadParams p;
+    p.granularity = 262144; // small cholesky
+    rt::TaskGraph g = wl::buildWorkload("cholesky", p);
+    cpu::MachineConfig cfg;
+    cfg.numCores = 8;
+    core::Machine m(cfg, g, core::RuntimeType::Tdm);
+    m.enableTrace();
+    auto res = m.run();
+    ASSERT_TRUE(res.completed);
+
+    ASSERT_EQ(m.trace().size(), g.numTasks());
+    std::vector<unsigned> seen(g.numTasks(), 0);
+    for (const auto &r : m.trace().records()) {
+        ASSERT_LT(r.task, g.numTasks());
+        ++seen[r.task];
+        EXPECT_LT(r.start, r.end);
+        EXPECT_LE(r.end, res.makespan);
+        EXPECT_LT(r.core, cfg.numCores);
+    }
+    for (unsigned s : seen)
+        EXPECT_EQ(s, 1u);
+}
+
+TEST(TaskTraceMachine, PerCoreIntervalsDisjoint)
+{
+    wl::WorkloadParams p;
+    p.granularity = 262144;
+    rt::TaskGraph g = wl::buildWorkload("cholesky", p);
+    cpu::MachineConfig cfg;
+    cfg.numCores = 8;
+    core::Machine m(cfg, g, core::RuntimeType::Software);
+    m.enableTrace();
+    ASSERT_TRUE(m.run().completed);
+
+    std::map<sim::CoreId, std::vector<std::pair<sim::Tick, sim::Tick>>>
+        per_core;
+    for (const auto &r : m.trace().records())
+        per_core[r.core].emplace_back(r.start, r.end);
+    for (auto &[core_id, ivals] : per_core) {
+        std::sort(ivals.begin(), ivals.end());
+        for (std::size_t i = 1; i < ivals.size(); ++i)
+            EXPECT_LE(ivals[i - 1].second, ivals[i].first)
+                << "overlap on core " << core_id;
+    }
+}
+
+TEST(TaskTraceMachine, ParallelismBoundedByCores)
+{
+    wl::WorkloadParams p;
+    p.granularity = 262144;
+    rt::TaskGraph g = wl::buildWorkload("cholesky", p);
+    cpu::MachineConfig cfg;
+    cfg.numCores = 8;
+    core::Machine m(cfg, g, core::RuntimeType::Tdm);
+    m.enableTrace();
+    auto res = m.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_LE(m.trace().peakParallelism(), cfg.numCores);
+    EXPECT_LE(m.trace().avgParallelism(res.makespan), cfg.numCores);
+    EXPECT_GT(m.trace().avgParallelism(res.makespan), 1.0);
+}
+
+TEST(TaskTraceMachine, RespectsDependenceOrder)
+{
+    // In a chain graph, trace intervals must be strictly ordered.
+    rt::TaskGraph g("chain");
+    rt::RegionId r = g.addRegion(1024);
+    g.beginParallel();
+    for (int i = 0; i < 10; ++i) {
+        g.createTask(sim::usToTicks(20));
+        g.dep(r, rt::DepDir::InOut);
+    }
+    cpu::MachineConfig cfg;
+    cfg.numCores = 4;
+    core::Machine m(cfg, g, core::RuntimeType::Tdm);
+    m.enableTrace();
+    ASSERT_TRUE(m.run().completed);
+    std::vector<sim::Tick> start(10), end(10);
+    for (const auto &rec : m.trace().records()) {
+        start[rec.task] = rec.start;
+        end[rec.task] = rec.end;
+    }
+    for (int i = 1; i < 10; ++i)
+        EXPECT_GE(start[i], end[i - 1]);
+}

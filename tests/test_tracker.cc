@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the software dependence tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/software_tracker.hh"
+#include "runtime/task_graph.hh"
+
+using namespace tdm;
+
+namespace {
+
+rt::TaskGraph
+chainGraph()
+{
+    rt::TaskGraph g("chain");
+    rt::RegionId r = g.addRegion(1024);
+    g.beginParallel();
+    for (int i = 0; i < 4; ++i) {
+        g.createTask(1000);
+        g.dep(r, rt::DepDir::InOut);
+    }
+    return g;
+}
+
+} // namespace
+
+TEST(Tracker, ChainReadiness)
+{
+    rt::TaskGraph g = chainGraph();
+    rt::SoftwareTracker t(g);
+    EXPECT_TRUE(t.create(0).readyNow);
+    EXPECT_FALSE(t.create(1).readyNow);
+    EXPECT_FALSE(t.create(2).readyNow);
+
+    auto f0 = t.finish(0);
+    ASSERT_EQ(f0.newlyReady.size(), 1u);
+    EXPECT_EQ(f0.newlyReady[0], 1u);
+    auto f1 = t.finish(1);
+    ASSERT_EQ(f1.newlyReady.size(), 1u);
+    EXPECT_EQ(f1.newlyReady[0], 2u);
+}
+
+TEST(Tracker, CountsWorkObservables)
+{
+    rt::TaskGraph g("w");
+    rt::RegionId a = g.addRegion(64), b = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In);
+    g.dep(b, rt::DepDir::In);
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+
+    rt::SoftwareTracker t(g);
+    auto w0 = t.create(0);
+    EXPECT_EQ(w0.depLookups, 2u);
+    EXPECT_EQ(w0.edgeInserts, 0u);
+    auto w1 = t.create(1);
+    EXPECT_EQ(w1.depLookups, 1u);
+    EXPECT_EQ(w1.readerScans, 1u); // scanned task 0 as reader
+    EXPECT_EQ(w1.edgeInserts, 1u); // WAR edge
+}
+
+TEST(Tracker, FragmentedDepsCounted)
+{
+    rt::TaskGraph g("f");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In, /*fragmented=*/true);
+    rt::SoftwareTracker t(g);
+    EXPECT_EQ(t.create(0).fragmentSplits, 1u);
+}
+
+TEST(Tracker, SuccCountMatchesEdges)
+{
+    rt::TaskGraph g("s");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+    for (int i = 0; i < 3; ++i) {
+        g.createTask(1);
+        g.dep(a, rt::DepDir::In);
+    }
+    rt::SoftwareTracker t(g);
+    for (rt::TaskId i = 0; i < 4; ++i)
+        t.create(i);
+    EXPECT_EQ(t.succCount(0), 3u);
+    EXPECT_EQ(t.predCount(3), 1u);
+}
+
+TEST(Tracker, ResetRegionForgetsState)
+{
+    rt::TaskGraph g("r");
+    rt::RegionId a = g.addRegion(64);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::Out);
+    g.beginParallel();
+    g.createTask(1);
+    g.dep(a, rt::DepDir::In);
+
+    rt::SoftwareTracker t(g);
+    t.create(0);
+    t.finish(0);
+    t.resetRegion();
+    // After the barrier, the reader of `a` must be ready immediately.
+    EXPECT_TRUE(t.create(1).readyNow);
+}
+
+TEST(Tracker, InFlightAccounting)
+{
+    rt::TaskGraph g = chainGraph();
+    rt::SoftwareTracker t(g);
+    t.create(0);
+    t.create(1);
+    EXPECT_EQ(t.inFlight(), 2u);
+    t.finish(0);
+    EXPECT_EQ(t.inFlight(), 1u);
+}
+
+TEST(TrackerDeath, DoubleCreatePanics)
+{
+    rt::TaskGraph g = chainGraph();
+    rt::SoftwareTracker t(g);
+    t.create(0);
+    EXPECT_DEATH(t.create(0), "double create");
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * tdm_run — command-line front end to the simulator.
+ *
+ * Usage:
+ *   tdm_run [options]
+ *
+ * Options:
+ *   --workload NAME      benchmark (default cholesky); see --list
+ *   --runtime sw|tdm|carbon|tss   (default tdm)
+ *   --scheduler NAME     fifo|lifo|locality|successor|age (default fifo)
+ *   --cores N            core count (default 32)
+ *   --granularity G      benchmark-specific granularity (default: optimal)
+ *   --seed S             duration-noise seed (default 1)
+ *   --tat N --dat N      alias table entries
+ *   --lists N            list-array entries (all three)
+ *   --access-cycles N    DMU structure latency
+ *   --throttle N         runtime creation throttle
+ *   --no-mem             disable the memory hierarchy model
+ *   --trace FILE         write a Chrome-tracing JSON timeline
+ *   --stats              dump component statistics
+ *   --list               list workloads and exit
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/machine.hh"
+#include "dmu/geometry.hh"
+#include "driver/experiment.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--workload W] [--runtime sw|tdm|carbon|tss]"
+                 " [--scheduler S] [--cores N] [--granularity G]"
+                 " [--seed S] [--tat N] [--dat N] [--lists N]"
+                 " [--access-cycles N] [--throttle N] [--no-mem]"
+                 " [--trace FILE] [--stats] [--list]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "cholesky";
+    std::string runtime = "tdm";
+    std::string scheduler = "fifo";
+    std::string trace_file;
+    bool dump_stats = false;
+    cpu::MachineConfig cfg;
+    wl::WorkloadParams params;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--workload")) {
+            workload = need(i);
+        } else if (!std::strcmp(a, "--runtime")) {
+            runtime = need(i);
+        } else if (!std::strcmp(a, "--scheduler")) {
+            scheduler = need(i);
+        } else if (!std::strcmp(a, "--cores")) {
+            cfg.numCores = std::stoul(need(i));
+            unsigned dim = 2;
+            while (dim * dim < cfg.numCores + 1)
+                ++dim;
+            cfg.mesh.width = cfg.mesh.height = dim;
+        } else if (!std::strcmp(a, "--granularity")) {
+            params.granularity = std::stod(need(i));
+        } else if (!std::strcmp(a, "--seed")) {
+            params.seed = std::stoull(need(i));
+        } else if (!std::strcmp(a, "--tat")) {
+            cfg.dmu.tatEntries = std::stoul(need(i));
+            cfg.dmu.readyQueueEntries = cfg.dmu.tatEntries;
+        } else if (!std::strcmp(a, "--dat")) {
+            cfg.dmu.datEntries = std::stoul(need(i));
+        } else if (!std::strcmp(a, "--lists")) {
+            unsigned n = std::stoul(need(i));
+            cfg.dmu.slaEntries = n;
+            cfg.dmu.dlaEntries = n;
+            cfg.dmu.rlaEntries = n;
+        } else if (!std::strcmp(a, "--access-cycles")) {
+            cfg.dmu.accessCycles = std::stoul(need(i));
+        } else if (!std::strcmp(a, "--throttle")) {
+            cfg.throttleTasks = std::stoul(need(i));
+        } else if (!std::strcmp(a, "--no-mem")) {
+            cfg.enableMemModel = false;
+        } else if (!std::strcmp(a, "--trace")) {
+            trace_file = need(i);
+        } else if (!std::strcmp(a, "--stats")) {
+            dump_stats = true;
+        } else if (!std::strcmp(a, "--list")) {
+            sim::Table t("workloads");
+            t.header({"name", "short", "granularity unit", "SW opt",
+                      "TDM opt"});
+            for (const auto &w : wl::allWorkloads())
+                t.row().cell(w.name).cell(w.shortName).cell(w.granUnit)
+                    .cell(w.swOptimal, 0).cell(w.tdmOptimal, 0);
+            t.print(std::cout);
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    core::RuntimeType rt_ = core::runtimeFromString(runtime);
+    if (params.granularity == 0.0)
+        params.tdmOptimal = core::traitsOf(rt_).usesDmu();
+    rt::TaskGraph graph = wl::buildWorkload(workload, params);
+    cfg.scheduler = scheduler;
+
+    core::Machine m(cfg, graph, rt_);
+    if (!trace_file.empty())
+        m.enableTrace();
+    core::MachineResult res = m.run();
+
+    sim::Table t(workload + " on " + runtime + "+" + scheduler);
+    t.header({"metric", "value"});
+    t.row().cell("completed").cell(res.completed ? "yes" : "NO");
+    t.row().cell("tasks").cell(res.tasksExecuted);
+    t.row().cell("time ms").cell(res.timeMs, 3);
+    t.row().cell("energy J").cell(res.energyJ, 4);
+    t.row().cell("EDP J*s").cell(res.edp, 6);
+    t.row().cell("avg watts").cell(res.avgWatts, 2);
+    t.row().cell("master DEPS %").cell(
+        100.0 * res.master.fraction(cpu::Phase::Deps), 1);
+    t.row().cell("workers EXEC %").cell(
+        100.0 * res.workersTotal.fraction(cpu::Phase::Exec), 1);
+    t.row().cell("workers IDLE %").cell(
+        100.0 * res.workersTotal.fraction(cpu::Phase::Idle), 1);
+    if (core::traitsOf(rt_).usesDmu()) {
+        t.row().cell("DMU accesses").cell(res.dmuAccesses);
+        t.row().cell("DMU blocked ops").cell(res.dmuBlockedOps);
+        t.row().cell("DMU storage KB").cell(
+            dmu::totalStorageKB(cfg.dmu), 2);
+    }
+    t.print(std::cout);
+
+    if (!trace_file.empty()) {
+        std::ofstream f(trace_file);
+        m.trace().writeChromeTrace(f, workload.c_str());
+        std::cout << "trace: " << trace_file << " ("
+                  << m.trace().size() << " intervals)\n";
+    }
+    if (dump_stats)
+        m.dumpStats(std::cout);
+    return res.completed ? 0 : 1;
+}
