@@ -5,63 +5,77 @@
  * orders of magnitude below task durations). We sweep the core count
  * and compare the software runtime against TDM, reporting the TDM
  * speedup and the DMU's busy fraction.
+ *
+ * The experiment points come from the registered "ablation_scaling"
+ * campaign and execute on the campaign engine; pass --threads N to
+ * control the pool (default: all hardware threads).
  */
 
 #include <iostream>
+#include <memory>
 
-#include "driver/experiment.hh"
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/engine.hh"
 #include "driver/report.hh"
+#include "sim/logging.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
-
-namespace {
-
-driver::RunSummary
-runWith(const std::string &wl_name, core::RuntimeType rt_,
-        unsigned cores)
-{
-    driver::Experiment e;
-    e.workload = wl_name;
-    e.runtime = rt_;
-    e.scheduler = "fifo";
-    e.config.numCores = cores;
-    // Mesh must fit cores + the DMU node.
-    unsigned dim = 2;
-    while (dim * dim < cores + 1)
-        ++dim;
-    e.config.mesh.width = dim;
-    e.config.mesh.height = dim;
-    return driver::run(e);
-}
-
-} // namespace
+namespace cmp = tdm::driver::campaign;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<unsigned> core_counts = {8, 16, 32, 64};
-    const std::vector<std::string> workloads = {"cholesky", "qr",
-                                                "streamcluster"};
-    for (const auto &w : workloads) {
-        sim::Table t(w + ": TDM speedup vs SW across core counts");
-        t.header({"cores", "SW ms", "TDM ms", "speedup"});
-        for (unsigned c : core_counts) {
-            auto sw = runWith(w, core::RuntimeType::Software, c);
-            auto tdm = runWith(w, core::RuntimeType::Tdm, c);
-            t.row().cell(static_cast<std::uint64_t>(c));
-            if (sw.completed && tdm.completed) {
-                t.cell(sw.timeMs, 2).cell(tdm.timeMs, 2).cell(
-                    driver::speedup(sw, tdm), 3);
-            } else {
-                t.cell("n/a").cell("n/a").cell("n/a");
+    cmp::CampaignEngine engine(cmp::benchEngineOptions(argc, argv));
+    const cmp::Campaign c = cmp::makeCampaign("ablation_scaling");
+    cmp::CampaignResult rep = engine.run(c);
+
+    // The campaign orders points workload-major, core-count-minor,
+    // SW before TDM ("cholesky/c8/sw", "cholesky/c8/tdm", ...); walk
+    // the pairs so the tables can never drift from the definition.
+    std::unique_ptr<sim::Table> t;
+    std::string cur_wl;
+    for (std::size_t i = 0; i + 1 < rep.jobs.size(); i += 2) {
+        const auto &sw = rep.jobs[i];
+        const auto &tdm = rep.jobs[i + 1];
+        const std::string wl = sw.label.substr(0, sw.label.find('/'));
+        const std::string cores = sw.label.substr(
+            wl.size() + 2, sw.label.rfind('/') - wl.size() - 2);
+        // Guard the pairing against future edits to the campaign
+        // definition (extra runtimes, reordered loops).
+        if (sw.label != wl + "/c" + cores + "/sw"
+            || tdm.label != wl + "/c" + cores + "/tdm")
+            sim::fatal("ablation_scaling points are no longer (sw, tdm) "
+                       "pairs: got '", sw.label, "', '", tdm.label, "'");
+        if (wl != cur_wl) {
+            if (t) {
+                t->print(std::cout);
+                std::cout << '\n';
             }
+            cur_wl = wl;
+            t = std::make_unique<sim::Table>(
+                wl + ": TDM speedup vs SW across core counts");
+            t->header({"cores", "SW ms", "TDM ms", "speedup"});
         }
-        t.print(std::cout);
+        t->row().cell(cores);
+        if (sw.summary.completed && tdm.summary.completed) {
+            t->cell(sw.summary.timeMs, 2)
+                .cell(tdm.summary.timeMs, 2)
+                .cell(driver::speedup(sw.summary, tdm.summary), 3);
+        } else {
+            t->cell("n/a").cell("n/a").cell("n/a");
+        }
+    }
+    if (t) {
+        t->print(std::cout);
         std::cout << '\n';
     }
     std::cout << "expectation: the TDM advantage grows with the core "
                  "count (creation-bound masters throttle more workers), "
                  "and the centralized DMU never saturates\n";
-    return 0;
+    std::cout << "campaign: " << rep.jobs.size() << " points, "
+              << rep.simulated << " simulated, " << rep.cacheHits
+              << " cache hits, " << rep.threads << " threads, "
+              << rep.wallMs / 1000.0 << " s\n";
+    return rep.allOk() ? 0 : 1;
 }

@@ -4,6 +4,10 @@
  * software schedulers under the software runtime and under TDM, all
  * normalized to the software runtime with a FIFO scheduler.
  *
+ * The experiment points come from the registered "fig12" campaign and
+ * execute on the campaign engine (multi-threaded, cache-deduplicated);
+ * pass --threads N to control the pool (default: all hardware threads).
+ *
  * Paper reference points: OptSW +4.5%, Age+TDM +9.1%, OptTDM +12.2%
  * average speedup; OptTDM EDP -20.3%; LIFO degrades blackscholes by
  * ~29%; Successor+TDM lifts dedup by ~23%; Locality+TDM beats
@@ -12,15 +16,21 @@
 
 #include <iostream>
 
-#include "driver/experiment.hh"
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/engine.hh"
 #include "driver/report.hh"
+#include "runtime/scheduler.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
+namespace cmp = tdm::driver::campaign;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cmp::CampaignEngine engine(cmp::benchEngineOptions(argc, argv));
+    cmp::CampaignResult rep = engine.run(cmp::makeCampaign("fig12"));
+
     const auto &scheds = rt::allSchedulerNames();
 
     sim::Table ts("Figure 12 (top): speedup vs SW+FIFO");
@@ -36,17 +46,14 @@ main()
     std::vector<std::vector<double>> edp_cols(head.size() - 1);
 
     for (const auto &w : wl::allWorkloads()) {
-        driver::Experiment e;
-        e.workload = w.name;
-        e.runtime = core::RuntimeType::Software;
-        e.scheduler = "fifo";
-        auto base = driver::run(e);
+        const auto &base =
+            rep.at(cmp::pointLabel(w.name, "sw", "fifo")).summary;
 
         // Best software scheduler.
         double opt_sw_sp = 0.0, opt_sw_edp = 0.0;
         for (const auto &s : scheds) {
-            e.scheduler = s;
-            auto r = driver::run(e);
+            const auto &r =
+                rep.at(cmp::pointLabel(w.name, "sw", s)).summary;
             double sp = driver::speedup(base, r);
             if (sp > opt_sw_sp) {
                 opt_sw_sp = sp;
@@ -55,12 +62,11 @@ main()
         }
 
         // TDM with each scheduler.
-        e.runtime = core::RuntimeType::Tdm;
         std::vector<double> sp(scheds.size()), edp(scheds.size());
         double opt_tdm_sp = 0.0, opt_tdm_edp = 0.0;
         for (std::size_t i = 0; i < scheds.size(); ++i) {
-            e.scheduler = scheds[i];
-            auto r = driver::run(e);
+            const auto &r =
+                rep.at(cmp::pointLabel(w.name, "tdm", scheds[i])).summary;
             sp[i] = driver::speedup(base, r);
             edp[i] = driver::normalizedEdp(base, r);
             if (sp[i] > opt_tdm_sp) {
@@ -96,5 +102,9 @@ main()
     te.print(std::cout);
     std::cout << "\npaper AVG: OptSW 1.045, Age+TDM 1.091, "
                  "OptTDM 1.122; OptTDM EDP 0.797\n";
-    return 0;
+    std::cout << "campaign: " << rep.jobs.size() << " points, "
+              << rep.simulated << " simulated, " << rep.cacheHits
+              << " cache hits, " << rep.threads << " threads, "
+              << rep.wallMs / 1000.0 << " s\n";
+    return rep.allOk() ? 0 : 1;
 }

@@ -5,6 +5,10 @@
  * runtime with a FIFO scheduler, plus the hardware-cost comparison of
  * Section VI-C.
  *
+ * The experiment points come from the registered "fig13" campaign and
+ * execute on the campaign engine (multi-threaded, cache-deduplicated);
+ * pass --threads N to control the pool (default: all hardware threads).
+ *
  * Paper reference points: Carbon +1.9%, Task Superscalar +8.1%,
  * OptTDM +12.3% average speedup; EDP -5.1% / -14.1% / -20.4%;
  * DMU storage 7.3x below Task Superscalar.
@@ -13,15 +17,21 @@
 #include <iostream>
 
 #include "core/tss_runtime.hh"
-#include "driver/experiment.hh"
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/engine.hh"
 #include "driver/report.hh"
+#include "runtime/scheduler.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
+namespace cmp = tdm::driver::campaign;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cmp::CampaignEngine engine(cmp::benchEngineOptions(argc, argv));
+    cmp::CampaignResult rep = engine.run(cmp::makeCampaign("fig13"));
+
     sim::Table ts("Figure 13 (top): speedup vs SW+FIFO");
     sim::Table te("Figure 13 (bottom): normalized EDP vs SW+FIFO");
     ts.header({"bench", "Carbon", "TaskSS", "OptTDM"});
@@ -31,23 +41,17 @@ main()
     std::vector<double> edp_carbon, edp_tss, edp_tdm;
 
     for (const auto &w : wl::allWorkloads()) {
-        driver::Experiment e;
-        e.workload = w.name;
-        e.runtime = core::RuntimeType::Software;
-        e.scheduler = "fifo";
-        auto base = driver::run(e);
+        const auto &base =
+            rep.at(cmp::pointLabel(w.name, "sw", "fifo")).summary;
+        const auto &carbon =
+            rep.at(cmp::pointLabel(w.name, "carbon", "fifo")).summary;
+        const auto &tss =
+            rep.at(cmp::pointLabel(w.name, "tss", "fifo")).summary;
 
-        e.runtime = core::RuntimeType::Carbon;
-        auto carbon = driver::run(e);
-
-        e.runtime = core::RuntimeType::TaskSuperscalar;
-        auto tss = driver::run(e);
-
-        e.runtime = core::RuntimeType::Tdm;
         double best_sp = 0.0, best_edp = 0.0;
         for (const auto &s : rt::allSchedulerNames()) {
-            e.scheduler = s;
-            auto r = driver::run(e);
+            const auto &r =
+                rep.at(cmp::pointLabel(w.name, "tdm", s)).summary;
             double sp = driver::speedup(base, r);
             if (sp > best_sp) {
                 best_sp = sp;
@@ -104,5 +108,9 @@ main()
     std::cout << "TaskSS/TDM storage ratio: "
               << tss_spec.hwStorageKB / tdm_spec.hwStorageKB
               << "x (paper: 7.3x)\n";
-    return 0;
+    std::cout << "campaign: " << rep.jobs.size() << " points, "
+              << rep.simulated << " simulated, " << rep.cacheHits
+              << " cache hits, " << rep.threads << " threads, "
+              << rep.wallMs / 1000.0 << " s\n";
+    return rep.allOk() ? 0 : 1;
 }

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Built-in campaigns: the multi-point paper figures and ablations,
+ * expressed as named point sets so the engine (and the campaign_run
+ * CLI) can execute them. The bench binaries build their tables from
+ * these same definitions, so figure output and campaign output can
+ * never drift apart.
+ */
+
+#include "driver/campaign/campaign.hh"
+
+#include "runtime/scheduler.hh"
+#include "workloads/registry.hh"
+
+namespace tdm::driver::campaign {
+
+namespace {
+
+SweepPoint
+point(const std::string &workload, core::RuntimeType runtime,
+      const std::string &scheduler)
+{
+    Experiment e;
+    e.workload = workload;
+    e.runtime = runtime;
+    e.scheduler = scheduler;
+    return SweepPoint{
+        pointLabel(workload, core::traitsOf(runtime).name, scheduler), e};
+}
+
+/** Figure 12: every (SW, TDM) x scheduler combination per benchmark. */
+Campaign
+makeFig12()
+{
+    Campaign c;
+    for (const auto &w : wl::allWorkloads()) {
+        for (const auto &s : rt::allSchedulerNames())
+            c.points.push_back(point(w.name, core::RuntimeType::Software, s));
+        for (const auto &s : rt::allSchedulerNames())
+            c.points.push_back(point(w.name, core::RuntimeType::Tdm, s));
+    }
+    return c;
+}
+
+/** Figure 13: SW baseline, Carbon, Task Superscalar, TDM x schedulers. */
+Campaign
+makeFig13()
+{
+    Campaign c;
+    for (const auto &w : wl::allWorkloads()) {
+        c.points.push_back(
+            point(w.name, core::RuntimeType::Software, "fifo"));
+        c.points.push_back(
+            point(w.name, core::RuntimeType::Carbon, "fifo"));
+        c.points.push_back(
+            point(w.name, core::RuntimeType::TaskSuperscalar, "fifo"));
+        for (const auto &s : rt::allSchedulerNames())
+            c.points.push_back(point(w.name, core::RuntimeType::Tdm, s));
+    }
+    return c;
+}
+
+/** Core-count scaling ablation: SW vs TDM at 8..64 cores. */
+Campaign
+makeAblationScaling()
+{
+    static const unsigned coreCounts[] = {8, 16, 32, 64};
+    static const char *workloads[] = {"cholesky", "qr", "streamcluster"};
+
+    Campaign c;
+    for (const char *w : workloads) {
+        for (unsigned cores : coreCounts) {
+            for (core::RuntimeType rt_ : {core::RuntimeType::Software,
+                                          core::RuntimeType::Tdm}) {
+                SweepPoint p = point(w, rt_, "fifo");
+                p.exp.config.numCores = cores;
+                // Mesh must fit cores + the DMU node.
+                unsigned dim = 2;
+                while (dim * dim < cores + 1)
+                    ++dim;
+                p.exp.config.mesh.width = dim;
+                p.exp.config.mesh.height = dim;
+                p.label = std::string(w) + "/c" + std::to_string(cores)
+                        + "/" + core::traitsOf(rt_).name;
+                c.points.push_back(std::move(p));
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerBuiltinCampaigns()
+{
+    static const bool once = [] {
+        registerCampaign("fig12",
+                         "Fig. 12: scheduler sweep under SW and TDM",
+                         makeFig12);
+        registerCampaign("fig13",
+                         "Fig. 13: Carbon / Task Superscalar / TDM "
+                         "vs the SW baseline",
+                         makeFig13);
+        registerCampaign("ablation_scaling",
+                         "Core-count scaling ablation: SW vs TDM at "
+                         "8-64 cores",
+                         makeAblationScaling);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace detail
+
+} // namespace tdm::driver::campaign

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Named experiment campaigns.
+ *
+ * A Campaign is a named, ordered set of sweep points — typically all
+ * the runs behind one paper figure or ablation. Campaigns register
+ * under a name (e.g. "fig12") so the campaign_run CLI and the bench
+ * binaries can build and execute them on the campaign engine.
+ */
+
+#ifndef TDM_DRIVER_CAMPAIGN_CAMPAIGN_HH
+#define TDM_DRIVER_CAMPAIGN_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hh"
+
+namespace tdm::driver::campaign {
+
+/** A named, ordered set of experiment points. */
+struct Campaign
+{
+    std::string name;
+    std::string description;
+    std::vector<SweepPoint> points;
+};
+
+/** Builds a campaign's points on demand. */
+using CampaignFactory = std::function<Campaign()>;
+
+/** Register @p factory under @p name; later registrations win. */
+void registerCampaign(const std::string &name,
+                      const std::string &description,
+                      CampaignFactory factory);
+
+/** Registered names, sorted, with their descriptions. */
+std::vector<std::pair<std::string, std::string>> campaignList();
+
+/** Whether @p name is registered. */
+bool hasCampaign(const std::string &name);
+
+/** Build the campaign registered as @p name; fatal if unknown. */
+Campaign makeCampaign(const std::string &name);
+
+/**
+ * Standard "workload/runtime/scheduler" point label used by the
+ * built-in campaigns and their consumers.
+ */
+std::string pointLabel(const std::string &workload,
+                       const std::string &runtime,
+                       const std::string &scheduler);
+
+} // namespace tdm::driver::campaign
+
+#endif // TDM_DRIVER_CAMPAIGN_CAMPAIGN_HH

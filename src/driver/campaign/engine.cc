@@ -1,0 +1,233 @@
+#include "driver/campaign/engine.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "driver/campaign/fingerprint.hh"
+#include "sim/logging.hh"
+
+namespace tdm::driver::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Attach the standard incompletion error to a filled-in job. */
+void
+markIncomplete(JobResult &job)
+{
+    if (job.error.empty() && !job.summary.completed)
+        job.error = "experiment did not complete (deadlock or watchdog)";
+}
+
+} // namespace
+
+std::size_t
+CampaignResult::failures() const
+{
+    std::size_t n = 0;
+    for (const JobResult &j : jobs)
+        if (!j.ok())
+            ++n;
+    return n;
+}
+
+const JobResult *
+CampaignResult::find(const std::string &label) const
+{
+    for (const JobResult &j : jobs)
+        if (j.label == label)
+            return &j;
+    return nullptr;
+}
+
+const JobResult &
+CampaignResult::at(const std::string &label) const
+{
+    const JobResult *j = find(label);
+    if (!j)
+        sim::fatal("campaign ", name, ": no point labeled ", label);
+    return *j;
+}
+
+std::uint64_t
+parseUintArg(const char *value, const char *flag, std::uint64_t max)
+{
+    // strtoull wraps negatives and overflow; reject both explicitly.
+    if (!std::isdigit(static_cast<unsigned char>(value[0])))
+        sim::fatal(flag, " expects a nonnegative integer, got '", value,
+                   "'");
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(value, &end, 10);
+    if (*end != '\0' || errno == ERANGE || v > max)
+        sim::fatal(flag, " expects a nonnegative integer <= ", max,
+                   ", got '", value, "'");
+    return v;
+}
+
+EngineOptions
+benchEngineOptions(int argc, char **argv)
+{
+    EngineOptions opts;
+    opts.threads = 0; // hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            opts.threads = static_cast<unsigned>(parseUintArg(
+                argv[++i], "--threads", UINT32_MAX));
+        else
+            sim::fatal("unknown argument: ", argv[i],
+                       " (benches accept --threads N)");
+    }
+    return opts;
+}
+
+CampaignEngine::CampaignEngine(EngineOptions opts) : opts_(opts) {}
+
+CampaignResult
+CampaignEngine::run(const Campaign &c)
+{
+    return run(c.name, c.points);
+}
+
+CampaignResult
+CampaignEngine::run(const std::string &name,
+                    const std::vector<SweepPoint> &points)
+{
+    const Clock::time_point t0 = Clock::now();
+    const std::size_t n = points.size();
+
+    CampaignResult report;
+    report.name = name;
+    report.jobs.resize(n);
+
+    unsigned threads = opts_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+
+    // Phase 1 (serial): canonicalize, consult the cache, and claim one
+    // owner per distinct fingerprint so duplicates simulate once.
+    std::vector<Experiment> exps;
+    exps.reserve(n);
+    std::vector<std::string> keys(n);
+    std::vector<std::size_t> work;          // indices to simulate
+    std::vector<std::size_t> dupOf(n, n);   // duplicate -> owner index
+    std::unordered_map<std::string, std::size_t> owner;
+    for (std::size_t i = 0; i < n; ++i) {
+        exps.push_back(points[i].exp);
+        if (opts_.seedBase != 0)
+            exps.back().params.seed =
+                opts_.seedBase + static_cast<std::uint64_t>(i);
+
+        JobResult &job = report.jobs[i];
+        job.label = points[i].label;
+        const std::string &key = keys[i] = fingerprint(exps.back());
+        job.digest = digestOfKey(key);
+
+        if (!opts_.useCache) {
+            work.push_back(i);
+            continue;
+        }
+        if (auto hit = cache_.lookup(key)) {
+            job.summary = *hit;
+            job.cacheHit = true;
+            markIncomplete(job);
+            continue;
+        }
+        auto [it, fresh] = owner.emplace(key, i);
+        if (fresh)
+            work.push_back(i);
+        else
+            dupOf[i] = it->second;
+    }
+
+    // Phase 2: simulate the unique misses on the worker pool. Results
+    // land at their input index, so output order never depends on the
+    // execution schedule.
+    std::atomic<std::size_t> nextJob{0};
+    std::atomic<std::size_t> doneJobs{0};
+    std::mutex progressMutex;
+    auto workerLoop = [&] {
+        for (;;) {
+            const std::size_t w = nextJob.fetch_add(1);
+            if (w >= work.size())
+                return;
+            const std::size_t i = work[w];
+            JobResult &job = report.jobs[i];
+            const Clock::time_point j0 = Clock::now();
+            try {
+                job.summary = driver::run(exps[i]);
+            } catch (const std::exception &e) {
+                job.error = e.what();
+                job.threw = true;
+            } catch (...) {
+                job.error = "unknown error";
+                job.threw = true;
+            }
+            job.wallMs = msSince(j0);
+            // Cache any summary the simulator produced — incomplete
+            // runs are as deterministic as complete ones. Exceptions
+            // left no summary, so those are not cached.
+            if (opts_.useCache && job.error.empty())
+                cache_.store(keys[i], job.summary);
+            markIncomplete(job);
+            const std::size_t k = doneJobs.fetch_add(1) + 1;
+            if (opts_.progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                std::cerr << "  [" << k << "/" << work.size() << "] "
+                          << job.label << (job.ok() ? "" : " FAILED")
+                          << " (" << job.wallMs << " ms)\n";
+            }
+        }
+    };
+
+    const unsigned poolSize = static_cast<unsigned>(
+        std::min<std::size_t>(threads, work.size()));
+    if (poolSize <= 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(poolSize);
+        for (unsigned t = 0; t < poolSize; ++t)
+            pool.emplace_back(workerLoop);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Phase 3: fill within-run duplicates from their owners.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dupOf[i] == n)
+            continue;
+        const JobResult &src = report.jobs[dupOf[i]];
+        JobResult &job = report.jobs[i];
+        job.summary = src.summary;
+        job.error = src.error;
+        job.threw = src.threw;
+        job.cacheHit = true;
+    }
+
+    report.threads = threads;
+    report.wallMs = msSince(t0);
+    for (const JobResult &j : report.jobs)
+        if (j.cacheHit)
+            ++report.cacheHits;
+    report.simulated = work.size();
+    return report;
+}
+
+} // namespace tdm::driver::campaign

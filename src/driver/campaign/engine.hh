@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The campaign engine: thread-pooled, cache-deduplicated execution of
+ * experiment campaigns.
+ *
+ * The engine fingerprints every point, deduplicates identical points
+ * through its ResultCache, runs the unique misses on a pool of worker
+ * threads, and returns the results in input order. Because each
+ * simulation is a pure function of its Experiment (all randomness is
+ * seeded from the experiment parameters), a multi-threaded run is
+ * byte-identical to the sequential runSweep() path.
+ */
+
+#ifndef TDM_DRIVER_CAMPAIGN_ENGINE_HH
+#define TDM_DRIVER_CAMPAIGN_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/result_cache.hh"
+
+namespace tdm::driver::campaign {
+
+/** Engine knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 selects the hardware concurrency. */
+    unsigned threads = 1;
+
+    /** Deduplicate identical points through the result cache. */
+    bool useCache = true;
+
+    /**
+     * When nonzero, overrides every point's duration-noise seed with
+     * seedBase + point index — deterministic per job by construction
+     * (a job's seed depends on its position, never on which worker
+     * thread picks it up or in which order jobs finish).
+     */
+    std::uint64_t seedBase = 0;
+
+    /** Print per-job progress lines to stderr. */
+    bool progress = false;
+};
+
+/** Outcome of one campaign point. */
+struct JobResult
+{
+    std::string label;
+    std::string digest;    ///< short fingerprint digest
+    RunSummary summary{};
+    bool cacheHit = false; ///< served from the cache, not simulated
+    double wallMs = 0.0;   ///< simulation wall-clock (0 for cache hits)
+    std::string error;     ///< empty when the run completed
+    bool threw = false;    ///< error came from an exception, not the
+                           ///< simulator's incompletion path
+
+    /** The experiment ran (or was cached) and completed. */
+    bool ok() const { return error.empty() && summary.completed; }
+};
+
+/** Outcome of one campaign. */
+struct CampaignResult
+{
+    std::string name;
+    std::vector<JobResult> jobs; ///< in point order
+    unsigned threads = 1;
+    double wallMs = 0.0;         ///< end-to-end campaign wall-clock
+    std::uint64_t cacheHits = 0;
+    std::uint64_t simulated = 0;
+
+    /** Number of jobs that failed to complete. */
+    std::size_t failures() const;
+
+    /** All jobs completed. */
+    bool allOk() const { return failures() == 0; }
+
+    /** Find a job by label; nullptr when absent. */
+    const JobResult *find(const std::string &label) const;
+
+    /** Find a job by label; fatal when absent. */
+    const JobResult &at(const std::string &label) const;
+};
+
+/** Parse a nonnegative integer CLI value no larger than @p max; fatal
+ *  (with the flag named) on anything else, instead of throwing out of
+ *  main. */
+std::uint64_t parseUintArg(const char *value, const char *flag,
+                           std::uint64_t max = UINT64_MAX);
+
+/** Parse the bench binaries' common flags (--threads N; default: all
+ *  hardware threads) into engine options. */
+EngineOptions benchEngineOptions(int argc, char **argv);
+
+/**
+ * The engine. Its cache persists across run() calls, so executing
+ * several campaigns on one engine deduplicates their shared points
+ * (e.g. the SW+FIFO baselines common to fig12 and fig13).
+ *
+ * Error handling: a job whose experiment fails to complete (watchdog,
+ * deadlock) or throws is reported through JobResult::error — the
+ * campaign keeps running. Configuration errors that reach sim::fatal
+ * / sim::panic still terminate the process, as they do everywhere
+ * else in the simulator.
+ */
+class CampaignEngine
+{
+  public:
+    explicit CampaignEngine(EngineOptions opts = {});
+
+    /** Run a campaign. */
+    CampaignResult run(const Campaign &c);
+
+    /** Run an ad-hoc list of points under @p name. */
+    CampaignResult run(const std::string &name,
+                       const std::vector<SweepPoint> &points);
+
+    ResultCache &cache() { return cache_; }
+    const EngineOptions &options() const { return opts_; }
+
+  private:
+    EngineOptions opts_;
+    ResultCache cache_;
+};
+
+} // namespace tdm::driver::campaign
+
+#endif // TDM_DRIVER_CAMPAIGN_ENGINE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Canonical fingerprinting of experiments.
+ *
+ * Two Experiments that would produce byte-identical simulations map to
+ * the same fingerprint, so the campaign engine can deduplicate points
+ * through its result cache. The fingerprint covers everything the
+ * simulation consumes: the (canonicalized) workload name and parameters,
+ * the runtime type, the effective scheduler, and every field of the
+ * machine configuration.
+ */
+
+#ifndef TDM_DRIVER_CAMPAIGN_FINGERPRINT_HH
+#define TDM_DRIVER_CAMPAIGN_FINGERPRINT_HH
+
+#include <string>
+
+#include "driver/experiment.hh"
+#include "sim/config.hh"
+
+namespace tdm::driver::campaign {
+
+/**
+ * Flat canonical description of @p exp. Applies the same normalization
+ * run() applies (scheduler override, implied TDM-optimal granularity)
+ * and resolves workload short names, so equivalent experiments
+ * serialize identically. Doubles are rendered as hexfloats to preserve
+ * their exact bits. Fatal if the workload name is unknown (matching
+ * driver::run).
+ */
+sim::Config canonicalConfig(const Experiment &exp);
+
+/** Full canonical key of @p exp; collision-free cache key. */
+std::string fingerprint(const Experiment &exp);
+
+/** Short FNV-1a 64-bit hex digest of fingerprint(), for display. */
+std::string fingerprintDigest(const Experiment &exp);
+
+/** Zero-padded 16-char hex digest of an already-built fingerprint. */
+std::string digestOfKey(const std::string &key);
+
+/** FNV-1a 64-bit hash of an arbitrary string. */
+std::uint64_t fnv1a64(const std::string &s);
+
+} // namespace tdm::driver::campaign
+
+#endif // TDM_DRIVER_CAMPAIGN_FINGERPRINT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Thread-safe result cache keyed by canonical experiment fingerprints.
+ *
+ * The campaign engine consults the cache before simulating a point and
+ * publishes every computed summary, so identical points — within one
+ * campaign or across campaigns sharing an engine — simulate once.
+ */
+
+#ifndef TDM_DRIVER_CAMPAIGN_RESULT_CACHE_HH
+#define TDM_DRIVER_CAMPAIGN_RESULT_CACHE_HH
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "driver/experiment.hh"
+
+namespace tdm::driver::campaign {
+
+/** Fingerprint-keyed store of run summaries. */
+class ResultCache
+{
+  public:
+    /** Look up @p key; counts a hit or miss. */
+    std::optional<RunSummary> lookup(const std::string &key);
+
+    /** Publish the summary computed for @p key. */
+    void store(const std::string &key, const RunSummary &summary);
+
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, RunSummary> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tdm::driver::campaign
+
+#endif // TDM_DRIVER_CAMPAIGN_RESULT_CACHE_HH

@@ -1,0 +1,66 @@
+#include "driver/report/csv_writer.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tdm::driver::report {
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+void
+writeRows(std::ostream &os, const campaign::CampaignResult &c)
+{
+    for (const campaign::JobResult &j : c.jobs) {
+        const RunSummary &s = j.summary;
+        std::ostringstream row;
+        row << std::setprecision(17);
+        row << csvField(c.name) << ',' << csvField(j.label) << ','
+            << j.digest << ',' << (j.cacheHit ? 1 : 0) << ','
+            << (j.ok() ? 1 : 0) << ',' << csvField(j.error) << ','
+            << j.wallMs << ',' << (s.completed ? 1 : 0) << ','
+            << s.makespan << ',' << s.timeMs << ',' << s.energyJ << ','
+            << s.edp << ',' << s.avgWatts << ',' << s.numTasks << ','
+            << s.avgTaskUs << ',' << s.machine.tasksExecuted << ','
+            << s.machine.dmuAccesses << ',' << s.machine.dmuBlockedOps
+            << ',' << s.machine.steals << ','
+            << s.machine.masterCreationFraction;
+        os << row.str() << '\n';
+    }
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os,
+         const std::vector<campaign::CampaignResult> &campaigns)
+{
+    os << "campaign,label,digest,cache_hit,ok,error,wall_ms,completed,"
+          "makespan,time_ms,energy_j,edp,avg_watts,num_tasks,"
+          "avg_task_us,tasks_executed,dmu_accesses,dmu_blocked_ops,"
+          "steals,master_creation_fraction\n";
+    for (const campaign::CampaignResult &c : campaigns)
+        writeRows(os, c);
+}
+
+void
+writeCsv(std::ostream &os, const campaign::CampaignResult &c)
+{
+    writeCsv(os, std::vector<campaign::CampaignResult>{c});
+}
+
+} // namespace tdm::driver::report

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CSV export of campaign results: one row per job, campaigns
+ * concatenated under a single header, for spreadsheet-style analysis.
+ */
+
+#ifndef TDM_DRIVER_REPORT_CSV_WRITER_HH
+#define TDM_DRIVER_REPORT_CSV_WRITER_HH
+
+#include <ostream>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+
+namespace tdm::driver::report {
+
+/** Write a header row plus one row per job across all campaigns. */
+void writeCsv(std::ostream &os,
+              const std::vector<campaign::CampaignResult> &campaigns);
+
+/** Convenience: a single campaign. */
+void writeCsv(std::ostream &os, const campaign::CampaignResult &c);
+
+/** Quote @p s as a CSV field when it needs quoting. */
+std::string csvField(const std::string &s);
+
+} // namespace tdm::driver::report
+
+#endif // TDM_DRIVER_REPORT_CSV_WRITER_HH

@@ -1,0 +1,135 @@
+#include "driver/report/json_writer.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tdm::driver::report {
+
+namespace {
+
+/** Finite doubles round-trip at max_digits10; non-finite become null. */
+void
+num(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream oss;
+    oss << std::setprecision(17) << v;
+    os << oss.str();
+}
+
+void
+writeJob(std::ostream &os, const campaign::JobResult &j,
+         const char *indent)
+{
+    const RunSummary &s = j.summary;
+    os << indent << "{\n";
+    os << indent << "  \"label\": \"" << jsonEscape(j.label) << "\",\n";
+    os << indent << "  \"digest\": \"" << jsonEscape(j.digest) << "\",\n";
+    os << indent << "  \"cache_hit\": " << (j.cacheHit ? "true" : "false")
+       << ",\n";
+    os << indent << "  \"ok\": " << (j.ok() ? "true" : "false") << ",\n";
+    os << indent << "  \"error\": \"" << jsonEscape(j.error) << "\",\n";
+    os << indent << "  \"wall_ms\": ";
+    num(os, j.wallMs);
+    os << ",\n";
+    os << indent << "  \"completed\": "
+       << (s.completed ? "true" : "false") << ",\n";
+    os << indent << "  \"makespan\": " << s.makespan << ",\n";
+    os << indent << "  \"time_ms\": ";
+    num(os, s.timeMs);
+    os << ",\n";
+    os << indent << "  \"energy_j\": ";
+    num(os, s.energyJ);
+    os << ",\n";
+    os << indent << "  \"edp\": ";
+    num(os, s.edp);
+    os << ",\n";
+    os << indent << "  \"avg_watts\": ";
+    num(os, s.avgWatts);
+    os << ",\n";
+    os << indent << "  \"num_tasks\": " << s.numTasks << ",\n";
+    os << indent << "  \"avg_task_us\": ";
+    num(os, s.avgTaskUs);
+    os << ",\n";
+    os << indent << "  \"tasks_executed\": " << s.machine.tasksExecuted
+       << ",\n";
+    os << indent << "  \"dmu_accesses\": " << s.machine.dmuAccesses
+       << ",\n";
+    os << indent << "  \"dmu_blocked_ops\": " << s.machine.dmuBlockedOps
+       << ",\n";
+    os << indent << "  \"steals\": " << s.machine.steals << ",\n";
+    os << indent << "  \"master_creation_fraction\": ";
+    num(os, s.machine.masterCreationFraction);
+    os << "\n" << indent << "}";
+}
+
+void
+writeCampaign(std::ostream &os, const campaign::CampaignResult &c,
+              const char *indent)
+{
+    os << indent << "{\n";
+    os << indent << "  \"name\": \"" << jsonEscape(c.name) << "\",\n";
+    os << indent << "  \"threads\": " << c.threads << ",\n";
+    os << indent << "  \"wall_ms\": ";
+    num(os, c.wallMs);
+    os << ",\n";
+    os << indent << "  \"cache_hits\": " << c.cacheHits << ",\n";
+    os << indent << "  \"simulated\": " << c.simulated << ",\n";
+    os << indent << "  \"failures\": " << c.failures() << ",\n";
+    os << indent << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+        writeJob(os, c.jobs[i], (std::string(indent) + "    ").c_str());
+        os << (i + 1 < c.jobs.size() ? ",\n" : "\n");
+    }
+    os << indent << "  ]\n";
+    os << indent << "}";
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream oss;
+    for (unsigned char ch : s) {
+        switch (ch) {
+        case '"': oss << "\\\""; break;
+        case '\\': oss << "\\\\"; break;
+        case '\n': oss << "\\n"; break;
+        case '\r': oss << "\\r"; break;
+        case '\t': oss << "\\t"; break;
+        default:
+            if (ch < 0x20)
+                oss << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(ch)
+                    << std::dec;
+            else
+                oss << ch;
+        }
+    }
+    return oss.str();
+}
+
+void
+writeJson(std::ostream &os,
+          const std::vector<campaign::CampaignResult> &campaigns)
+{
+    os << "{\n  \"campaigns\": [\n";
+    for (std::size_t i = 0; i < campaigns.size(); ++i) {
+        writeCampaign(os, campaigns[i], "    ");
+        os << (i + 1 < campaigns.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeJson(std::ostream &os, const campaign::CampaignResult &c)
+{
+    writeJson(os, std::vector<campaign::CampaignResult>{c});
+}
+
+} // namespace tdm::driver::report

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * JSON export of campaign results: one document per run, with campaign
+ * totals (wall clock, cache hits) and the full per-job metric set, for
+ * downstream plotting/analysis pipelines.
+ */
+
+#ifndef TDM_DRIVER_REPORT_JSON_WRITER_HH
+#define TDM_DRIVER_REPORT_JSON_WRITER_HH
+
+#include <ostream>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+
+namespace tdm::driver::report {
+
+/** Write several campaigns as one {"campaigns": [...]} document. */
+void writeJson(std::ostream &os,
+               const std::vector<campaign::CampaignResult> &campaigns);
+
+/** Convenience: a single campaign. */
+void writeJson(std::ostream &os, const campaign::CampaignResult &c);
+
+/** JSON-escape @p s (without surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace tdm::driver::report
+
+#endif // TDM_DRIVER_REPORT_JSON_WRITER_HH

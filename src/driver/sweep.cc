@@ -1,14 +1,34 @@
 #include "driver/sweep.hh"
 
+#include <stdexcept>
+
+#include "driver/campaign/engine.hh"
+
 namespace tdm::driver {
 
 std::vector<SweepResult>
 runSweep(const std::vector<SweepPoint> &points)
 {
+    // Thin sequential wrapper over the campaign engine: one worker
+    // thread keeps the execution order (and therefore any side-channel
+    // output) identical to the historical loop, while duplicated points
+    // still dedup through the engine's cache.
+    campaign::EngineOptions opts;
+    opts.threads = 1;
+    campaign::CampaignEngine engine(opts);
+    campaign::CampaignResult rep = engine.run("sweep", points);
+
     std::vector<SweepResult> out;
-    out.reserve(points.size());
-    for (const SweepPoint &p : points)
-        out.push_back(SweepResult{p.label, run(p.exp)});
+    out.reserve(rep.jobs.size());
+    for (const campaign::JobResult &j : rep.jobs) {
+        // The historical loop let exceptions from run() propagate;
+        // keep that contract. Incomplete runs (watchdog, deadlock)
+        // still come back as completed=false summaries, as before.
+        if (j.threw)
+            throw std::runtime_error("sweep point '" + j.label
+                                     + "': " + j.error);
+        out.push_back(SweepResult{j.label, j.summary});
+    }
     return out;
 }
 
@@ -16,14 +36,14 @@ std::vector<SweepResult>
 runSweep(const Experiment &base, const std::vector<std::string> &labels,
          const std::function<void(std::size_t, Experiment &)> &mutate)
 {
-    std::vector<SweepResult> out;
-    out.reserve(labels.size());
+    std::vector<SweepPoint> points;
+    points.reserve(labels.size());
     for (std::size_t i = 0; i < labels.size(); ++i) {
         Experiment e = base;
         mutate(i, e);
-        out.push_back(SweepResult{labels[i], run(e)});
+        points.push_back(SweepPoint{labels[i], e});
     }
-    return out;
+    return runSweep(points);
 }
 
 } // namespace tdm::driver

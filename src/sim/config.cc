@@ -102,4 +102,13 @@ Config::dump(std::ostream &os) const
         os << k << " = " << v << '\n';
 }
 
+std::string
+Config::serialize() const
+{
+    std::ostringstream oss;
+    for (const auto &[k, v] : map_)
+        oss << k << '=' << v << ';';
+    return oss.str();
+}
+
 } // namespace tdm::sim

@@ -44,6 +44,13 @@ class Config
     /** Write "key = value" lines. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Canonical single-line "k=v;k=v;..." form (keys sorted by the
+     * underlying map). Equal configs serialize identically, which makes
+     * this usable as a cache key.
+     */
+    std::string serialize() const;
+
     const std::map<std::string, std::string> &entries() const {
         return map_;
     }

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Campaign-engine tests: fingerprint canonicalization, multi-threaded
+ * determinism against the sequential sweep path, cache-hit behavior on
+ * duplicated points, error propagation, the built-in campaign registry
+ * and the JSON/CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/engine.hh"
+#include "driver/campaign/fingerprint.hh"
+#include "driver/report/csv_writer.hh"
+#include "driver/report/json_writer.hh"
+#include "driver/sweep.hh"
+
+using namespace tdm;
+using namespace tdm::driver;
+
+namespace {
+
+Experiment
+smallExperiment(core::RuntimeType rt_, const std::string &sched = "fifo")
+{
+    Experiment e;
+    e.workload = "cholesky";
+    e.params.granularity = 262144; // 8x8 tiles, 120 tasks
+    e.runtime = rt_;
+    e.scheduler = sched;
+    e.config.numCores = 8;
+    return e;
+}
+
+/** A small mixed campaign touching every runtime type. */
+std::vector<SweepPoint>
+mixedPoints()
+{
+    return {
+        {"sw/fifo", smallExperiment(core::RuntimeType::Software)},
+        {"sw/lifo", smallExperiment(core::RuntimeType::Software, "lifo")},
+        {"tdm/fifo", smallExperiment(core::RuntimeType::Tdm)},
+        {"tdm/age", smallExperiment(core::RuntimeType::Tdm, "age")},
+        {"tdm/locality",
+         smallExperiment(core::RuntimeType::Tdm, "locality")},
+        {"carbon", smallExperiment(core::RuntimeType::Carbon)},
+        {"tss", smallExperiment(core::RuntimeType::TaskSuperscalar)},
+        {"sw/age", smallExperiment(core::RuntimeType::Software, "age")},
+    };
+}
+
+void
+expectSummariesEqual(const RunSummary &a, const RunSummary &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.timeMs, b.timeMs);
+    EXPECT_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.edp, b.edp);
+    EXPECT_EQ(a.avgWatts, b.avgWatts);
+    EXPECT_EQ(a.numTasks, b.numTasks);
+    EXPECT_EQ(a.machine.tasksExecuted, b.machine.tasksExecuted);
+    EXPECT_EQ(a.machine.dmuAccesses, b.machine.dmuAccesses);
+    EXPECT_EQ(a.machine.steals, b.machine.steals);
+}
+
+} // namespace
+
+TEST(Fingerprint, StableAndCanonical)
+{
+    Experiment a = smallExperiment(core::RuntimeType::Tdm);
+    Experiment b = smallExperiment(core::RuntimeType::Tdm);
+    EXPECT_EQ(campaign::fingerprint(a), campaign::fingerprint(b));
+
+    // Short workload names canonicalize to the full name.
+    b.workload = "cho";
+    EXPECT_EQ(campaign::fingerprint(a), campaign::fingerprint(b));
+
+    // run() implies the TDM-optimal granularity when unset; the
+    // fingerprint applies the same normalization.
+    Experiment c = smallExperiment(core::RuntimeType::Tdm);
+    c.params.granularity = 0.0;
+    Experiment d = c;
+    d.params.tdmOptimal = true;
+    EXPECT_EQ(campaign::fingerprint(c), campaign::fingerprint(d));
+}
+
+TEST(Fingerprint, DistinguishesExperiments)
+{
+    const Experiment base = smallExperiment(core::RuntimeType::Tdm);
+    const std::string fp = campaign::fingerprint(base);
+
+    Experiment e = base;
+    e.scheduler = "age";
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    e = base;
+    e.runtime = core::RuntimeType::Software;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    e = base;
+    e.params.granularity = 131072;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    e = base;
+    e.params.seed = 7;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    e = base;
+    e.config.numCores = 16;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    e = base;
+    e.config.dmu.accessCycles = 4;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+
+    // Software pool costs feed the simulation too (machine.cc uses
+    // them in the scheduling phase); they must be fingerprinted.
+    e = base;
+    e.config.swCosts.poolPopCycles += 1;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+    e = base;
+    e.config.swCosts.schedPollCycles += 1;
+    EXPECT_NE(campaign::fingerprint(e), fp);
+}
+
+TEST(Fingerprint, DigestIsFixedWidth)
+{
+    const Experiment e = smallExperiment(core::RuntimeType::Tdm);
+    const std::string d = campaign::fingerprintDigest(e);
+    EXPECT_EQ(d.size(), 16u);
+    EXPECT_EQ(d, campaign::digestOfKey(campaign::fingerprint(e)));
+}
+
+TEST(Engine, FourThreadRunMatchesSequentialSweep)
+{
+    const auto points = mixedPoints();
+
+    auto seq = runSweep(points);
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    campaign::CampaignEngine engine(opts);
+    auto par = engine.run("mixed", points);
+
+    ASSERT_EQ(par.jobs.size(), seq.size());
+    EXPECT_EQ(par.threads, 4u);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(par.jobs[i].label, seq[i].label);
+        EXPECT_TRUE(par.jobs[i].ok()) << par.jobs[i].label;
+        expectSummariesEqual(par.jobs[i].summary, seq[i].summary);
+    }
+}
+
+TEST(Engine, DeduplicatesIdenticalPointsWithinRun)
+{
+    std::vector<SweepPoint> points = {
+        {"first", smallExperiment(core::RuntimeType::Tdm)},
+        {"twin", smallExperiment(core::RuntimeType::Tdm)},
+        {"other", smallExperiment(core::RuntimeType::Software)},
+    };
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    campaign::CampaignEngine engine(opts);
+    auto rep = engine.run("dup", points);
+
+    EXPECT_EQ(rep.simulated, 2u);
+    EXPECT_EQ(rep.cacheHits, 1u);
+    EXPECT_FALSE(rep.jobs[0].cacheHit);
+    EXPECT_TRUE(rep.jobs[1].cacheHit);
+    expectSummariesEqual(rep.jobs[0].summary, rep.jobs[1].summary);
+}
+
+TEST(Engine, ReportsCacheHitsOnRerun)
+{
+    const auto points = mixedPoints();
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    campaign::CampaignEngine engine(opts);
+    auto first = engine.run("mixed", points);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.simulated, points.size());
+
+    auto second = engine.run("mixed", points);
+    EXPECT_EQ(second.simulated, 0u);
+    EXPECT_EQ(second.cacheHits, points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_TRUE(second.jobs[i].cacheHit);
+        expectSummariesEqual(second.jobs[i].summary,
+                             first.jobs[i].summary);
+    }
+    EXPECT_GE(engine.cache().hits(), points.size());
+}
+
+TEST(Engine, NoCacheOptionDisablesDedup)
+{
+    std::vector<SweepPoint> points = {
+        {"a", smallExperiment(core::RuntimeType::Software)},
+        {"b", smallExperiment(core::RuntimeType::Software)},
+    };
+    campaign::EngineOptions opts;
+    opts.threads = 2;
+    opts.useCache = false;
+    campaign::CampaignEngine engine(opts);
+    auto rep = engine.run("nocache", points);
+    EXPECT_EQ(rep.simulated, 2u);
+    EXPECT_EQ(rep.cacheHits, 0u);
+    expectSummariesEqual(rep.jobs[0].summary, rep.jobs[1].summary);
+}
+
+TEST(Engine, PropagatesIncompleteRuns)
+{
+    Experiment doomed = smallExperiment(core::RuntimeType::Tdm);
+    doomed.config.maxTicks = 1; // watchdog fires immediately
+
+    std::vector<SweepPoint> points = {
+        {"doomed", doomed},
+        {"fine", smallExperiment(core::RuntimeType::Software)},
+    };
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    campaign::CampaignEngine engine(opts);
+    auto rep = engine.run("errors", points);
+
+    EXPECT_FALSE(rep.allOk());
+    EXPECT_EQ(rep.failures(), 1u);
+    EXPECT_FALSE(rep.jobs[0].ok());
+    EXPECT_FALSE(rep.jobs[0].summary.completed);
+    EXPECT_FALSE(rep.jobs[0].error.empty());
+    EXPECT_TRUE(rep.jobs[1].ok());
+
+    // The sequential wrapper keeps returning results for failed points.
+    auto seq = runSweep(points);
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_FALSE(seq[0].summary.completed);
+    EXPECT_TRUE(seq[1].summary.completed);
+
+    // A failed run is cached like any other deterministic outcome.
+    auto rerun = engine.run("errors", points);
+    EXPECT_EQ(rerun.simulated, 0u);
+    EXPECT_EQ(rerun.failures(), 1u);
+    EXPECT_FALSE(rerun.jobs[0].error.empty());
+}
+
+TEST(Engine, SeedBaseGivesEachPointItsOwnSeed)
+{
+    std::vector<SweepPoint> points = {
+        {"a", smallExperiment(core::RuntimeType::Software)},
+        {"b", smallExperiment(core::RuntimeType::Software)},
+    };
+    campaign::EngineOptions opts;
+    opts.threads = 2;
+    opts.seedBase = 100;
+    campaign::CampaignEngine engine(opts);
+    auto rep = engine.run("seeded", points);
+
+    // Identical points reseeded by index are no longer duplicates.
+    EXPECT_EQ(rep.simulated, 2u);
+    EXPECT_NE(rep.jobs[0].digest, rep.jobs[1].digest);
+    EXPECT_NE(rep.jobs[0].summary.makespan, rep.jobs[1].summary.makespan);
+}
+
+TEST(Registry, BuiltinCampaigns)
+{
+    EXPECT_TRUE(campaign::hasCampaign("fig12"));
+    EXPECT_TRUE(campaign::hasCampaign("fig13"));
+    EXPECT_TRUE(campaign::hasCampaign("ablation_scaling"));
+    EXPECT_FALSE(campaign::hasCampaign("nope"));
+
+    auto fig12 = campaign::makeCampaign("fig12");
+    EXPECT_EQ(fig12.points.size(), 90u); // 9 workloads x 2 runtimes x 5
+    auto fig13 = campaign::makeCampaign("fig13");
+    EXPECT_EQ(fig13.points.size(), 72u); // 9 x (3 baselines + 5 TDM)
+    auto abl = campaign::makeCampaign("ablation_scaling");
+    EXPECT_EQ(abl.points.size(), 24u); // 3 x 4 core counts x 2
+
+    for (const auto &c : {fig12, fig13, abl}) {
+        std::set<std::string> labels;
+        for (const auto &p : c.points)
+            labels.insert(p.label);
+        EXPECT_EQ(labels.size(), c.points.size()) << c.name;
+    }
+
+    EXPECT_GE(campaign::campaignList().size(), 3u);
+}
+
+TEST(Report, JsonAndCsvWriters)
+{
+    std::vector<SweepPoint> points = {
+        {"sw, \"quoted\"", smallExperiment(core::RuntimeType::Software)},
+        {"tdm", smallExperiment(core::RuntimeType::Tdm)},
+    };
+    campaign::CampaignEngine engine;
+    auto rep = engine.run("writers", points);
+
+    std::ostringstream json;
+    report::writeJson(json, rep);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"name\": \"writers\""), std::string::npos);
+    EXPECT_NE(j.find("\"label\": \"sw, \\\"quoted\\\"\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"completed\": true"), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+
+    std::ostringstream csv;
+    report::writeCsv(csv, rep);
+    const std::string c = csv.str();
+    // Header + one row per job.
+    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 3);
+    EXPECT_NE(c.find("campaign,label,digest"), std::string::npos);
+    EXPECT_NE(c.find("\"sw, \"\"quoted\"\"\""), std::string::npos);
+    EXPECT_NE(c.find("writers,tdm,"), std::string::npos);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * campaign_run — execute registered experiment campaigns on the
+ * thread-pooled campaign engine.
+ *
+ * Usage:
+ *   campaign_run [options] CAMPAIGN...
+ *
+ * Options:
+ *   --list            list registered campaigns and exit
+ *   --threads N       worker threads (default: hardware concurrency)
+ *   --no-cache        disable result-cache deduplication
+ *   --seed-base S     reseed point i with S+i (deterministic per job)
+ *   --json FILE       write all results as JSON
+ *   --csv FILE        write all results as CSV
+ *   --quiet           suppress per-job progress lines
+ *
+ * Several campaigns share one engine, so points common to two
+ * campaigns (e.g. the SW+FIFO baselines of fig12 and fig13) simulate
+ * once and hit the cache the second time:
+ *
+ *   campaign_run fig12 fig13 --threads 8 --json out.json
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/campaign/campaign.hh"
+#include "driver/campaign/engine.hh"
+#include "driver/report/csv_writer.hh"
+#include "driver/report/json_writer.hh"
+#include "sim/table.hh"
+
+using namespace tdm;
+namespace cmp = tdm::driver::campaign;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--list] [--threads N] [--no-cache] [--seed-base S]"
+                 " [--json FILE] [--csv FILE] [--quiet] CAMPAIGN...\n";
+    std::exit(2);
+}
+
+void
+listCampaigns()
+{
+    sim::Table t("registered campaigns");
+    t.header({"name", "points", "description"});
+    for (const auto &[name, description] : cmp::campaignList()) {
+        t.row()
+            .cell(name)
+            .cell(static_cast<std::uint64_t>(
+                cmp::makeCampaign(name).points.size()))
+            .cell(description);
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cmp::EngineOptions opts;
+    opts.threads = 0; // hardware concurrency
+    opts.progress = true;
+    std::string json_file, csv_file;
+    std::vector<std::string> names;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--list")) {
+            listCampaigns();
+            return 0;
+        } else if (!std::strcmp(a, "--threads")) {
+            opts.threads = static_cast<unsigned>(
+                cmp::parseUintArg(need(i), "--threads", UINT32_MAX));
+        } else if (!std::strcmp(a, "--no-cache")) {
+            opts.useCache = false;
+        } else if (!std::strcmp(a, "--seed-base")) {
+            opts.seedBase = cmp::parseUintArg(need(i), "--seed-base");
+        } else if (!std::strcmp(a, "--json")) {
+            json_file = need(i);
+        } else if (!std::strcmp(a, "--csv")) {
+            csv_file = need(i);
+        } else if (!std::strcmp(a, "--quiet")) {
+            opts.progress = false;
+        } else if (a[0] == '-') {
+            usage(argv[0]);
+        } else {
+            names.emplace_back(a);
+        }
+    }
+    if (names.empty())
+        usage(argv[0]);
+
+    cmp::CampaignEngine engine(opts);
+    std::vector<cmp::CampaignResult> results;
+    std::size_t failures = 0;
+
+    for (const std::string &name : names) {
+        cmp::Campaign c = cmp::makeCampaign(name);
+        if (opts.progress)
+            std::cerr << "== " << name << ": " << c.points.size()
+                      << " points ==\n";
+        cmp::CampaignResult rep = engine.run(c);
+
+        sim::Table t(name + " (" + c.description + ")");
+        t.header({"label", "status", "time ms", "energy J", "tasks",
+                  "sim ms"});
+        for (const cmp::JobResult &j : rep.jobs) {
+            t.row()
+                .cell(j.label)
+                .cell(!j.ok() ? "FAILED" : j.cacheHit ? "cached" : "ok")
+                .cell(j.summary.timeMs, 3)
+                .cell(j.summary.energyJ, 4)
+                .cell(static_cast<std::uint64_t>(j.summary.numTasks))
+                .cell(j.wallMs, 1);
+        }
+        t.print(std::cout);
+        std::cout << name << ": " << rep.jobs.size() << " points, "
+                  << rep.simulated << " simulated, " << rep.cacheHits
+                  << " cache hits, " << rep.failures() << " failures, "
+                  << rep.threads << " threads, " << rep.wallMs / 1000.0
+                  << " s\n\n";
+        failures += rep.failures();
+        results.push_back(std::move(rep));
+    }
+
+    if (!json_file.empty()) {
+        std::ofstream f(json_file);
+        if (!f) {
+            std::cerr << "cannot write " << json_file << "\n";
+            return 1;
+        }
+        driver::report::writeJson(f, results);
+        std::cout << "json: " << json_file << "\n";
+    }
+    if (!csv_file.empty()) {
+        std::ofstream f(csv_file);
+        if (!f) {
+            std::cerr << "cannot write " << csv_file << "\n";
+            return 1;
+        }
+        driver::report::writeCsv(f, results);
+        std::cout << "csv: " << csv_file << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+}
