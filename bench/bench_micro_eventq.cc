@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Microbenchmark of the discrete-event kernel: events/second of the
+ * intrusive pooled-event calendar queue versus a reference
+ * std::function + std::priority_queue kernel (the seed implementation,
+ * embedded below) measured in the same binary.
+ *
+ * Three schedule shapes exercise the calendar's levels:
+ *  - uniform:    self-rescheduling actors with delays inside the
+ *                near-future window (ring inserts, mostly appends);
+ *  - bursty:     many events piling onto the same tick (tie ordering,
+ *                single-bucket chains);
+ *  - far-future: delays far beyond the window (overflow heap and
+ *                migration).
+ *
+ * Both kernels run the exact same deterministic schedule and must
+ * finish at the same tick; the benchmark aborts on divergence. No
+ * Google Benchmark dependency so CI can always run it as a smoke test.
+ *
+ * Usage: bench_micro_eventq [--events N] [--min-speedup X]
+ *   --events N       events per scenario per kernel (default 1000000)
+ *   --min-speedup X  exit non-zero unless the geometric-mean speedup
+ *                    of the pooled kernel is at least X
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using tdm::sim::Tick;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference kernel: the seed implementation, verbatim in spirit — a
+// type-erased std::function per event pushed through a binary heap.
+// ---------------------------------------------------------------------
+
+class RefEventQueue
+{
+  public:
+    using Fn = std::function<void()>;
+
+    Tick now() const { return curTick_; }
+
+    void
+    scheduleIn(Tick delay, Fn fn)
+    {
+        heap_.push(Entry{curTick_ + delay, nextSeq_++, std::move(fn)});
+    }
+
+    std::uint64_t executed() const { return executed_; }
+
+    Tick
+    run()
+    {
+        while (!heap_.empty()) {
+            Entry e = std::move(const_cast<Entry &>(heap_.top()));
+            heap_.pop();
+            curTick_ = e.when;
+            ++executed_;
+            e.fn();
+        }
+        return curTick_;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Fn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Deterministic schedule shared by both kernels.
+// ---------------------------------------------------------------------
+
+constexpr unsigned numActors = 64;
+
+std::uint64_t
+lcg(std::uint64_t x)
+{
+    return x * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+struct Shape
+{
+    const char *name;
+    Tick minDelay;
+    Tick spanDelay; ///< delay = minDelay + rng % spanDelay
+    bool gated;     ///< counts toward the --min-speedup geomean
+};
+
+constexpr Shape shapes[] = {
+    // The three canonical schedules (gated): near ring, tie ordering,
+    // and coarse-wheel migration.
+    {"uniform", 1, 2000, true},        // inside the 32768-tick window
+    {"bursty", 1, 1, true},            // all actors collide per tick
+    {"far-future", 40000, 360000, true}, // coarse wheel + migration
+    // Informational: delays crossing into the far overflow heap
+    // (> ~2.13M ticks ahead). This is the deliberately rare tier —
+    // reported for visibility, excluded from the gate.
+    {"heap-xtier", 1000000, 4000000, false},
+};
+
+// Each event carries the payload the machine model's continuations
+// carry (core id, segment start, completion tick): three words beyond
+// the owner pointer. That is what pushes the reference kernel's
+// lambdas past std::function's small-buffer optimization — exactly the
+// per-event heap allocation the seed simulator paid.
+
+/** Self-rescheduling actor for the pooled typed-event kernel. */
+struct Actor
+{
+    tdm::sim::EventQueue *eq;
+    std::uint64_t remaining;
+    std::uint64_t rng;
+    Tick minDelay;
+    Tick spanDelay;
+    std::uint64_t checksum = 0;
+
+    void
+    hop(std::uint64_t core, Tick seg_start, Tick completion)
+    {
+        checksum += core + seg_start + completion;
+        if (remaining == 0)
+            return;
+        --remaining;
+        rng = lcg(rng);
+        Tick d = minDelay + rng % spanDelay;
+        eq->postIn<&Actor::hop>(d, this, rng % 32, eq->now(),
+                                eq->now() + d);
+    }
+};
+
+/** The same actor against the reference kernel, lambda-style. */
+struct RefActor
+{
+    RefEventQueue *eq;
+    std::uint64_t remaining;
+    std::uint64_t rng;
+    Tick minDelay;
+    Tick spanDelay;
+    std::uint64_t checksum = 0;
+
+    void
+    hop(std::uint64_t core, Tick seg_start, Tick completion)
+    {
+        checksum += core + seg_start + completion;
+        if (remaining == 0)
+            return;
+        --remaining;
+        rng = lcg(rng);
+        Tick d = minDelay + rng % spanDelay;
+        std::uint64_t c = rng % 32;
+        Tick ss = eq->now(), cp = eq->now() + d;
+        eq->scheduleIn(d, [this, c, ss, cp] { hop(c, ss, cp); });
+    }
+};
+
+struct Result
+{
+    double eventsPerSec;
+    Tick finalTick;
+    std::uint64_t executed;
+    std::uint64_t checksum;
+};
+
+template <typename Queue, typename TheActor>
+Result
+runScenario(const Shape &shape, std::uint64_t events)
+{
+    Queue eq;
+    std::vector<TheActor> actors(numActors);
+    std::uint64_t per = events / numActors;
+    for (unsigned a = 0; a < numActors; ++a) {
+        actors[a] = TheActor{&eq, per, 0x9e3779b97f4a7c15ull + a,
+                             shape.minDelay, shape.spanDelay};
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    // Kick every actor off at its first hop; then drain.
+    for (TheActor &a : actors)
+        a.hop(0, 0, 0);
+    Tick end = eq.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    std::uint64_t check = 0;
+    for (const TheActor &a : actors)
+        check += a.checksum;
+    return Result{static_cast<double>(eq.executed()) / secs, end,
+                  eq.executed(), check};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t events = 1000000;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--events") && i + 1 < argc)
+            events = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
+            min_speedup = std::strtod(argv[++i], nullptr);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--events N] [--min-speedup X]\n",
+                         argv[0]);
+            return 64;
+        }
+    }
+
+    std::printf("event-kernel microbenchmark: %llu events/scenario, "
+                "%u actors\n",
+                static_cast<unsigned long long>(events), numActors);
+    std::printf("%-12s %15s %15s %9s\n", "scenario", "ref ev/s",
+                "pooled ev/s", "speedup");
+
+    double log_sum = 0.0;
+    int scenarios = 0;
+    for (const Shape &shape : shapes) {
+        Result ref =
+            runScenario<RefEventQueue, RefActor>(shape, events);
+        Result pooled =
+            runScenario<tdm::sim::EventQueue, Actor>(shape, events);
+        if (ref.finalTick != pooled.finalTick
+            || ref.executed != pooled.executed
+            || ref.checksum != pooled.checksum) {
+            std::fprintf(stderr,
+                         "DIVERGENCE in %s: ref (tick %llu, %llu ev) vs "
+                         "pooled (tick %llu, %llu ev)\n",
+                         shape.name,
+                         static_cast<unsigned long long>(ref.finalTick),
+                         static_cast<unsigned long long>(ref.executed),
+                         static_cast<unsigned long long>(pooled.finalTick),
+                         static_cast<unsigned long long>(pooled.executed));
+            return 2;
+        }
+        double speedup = pooled.eventsPerSec / ref.eventsPerSec;
+        if (shape.gated) {
+            log_sum += std::log(speedup);
+            ++scenarios;
+        }
+        std::printf("%-12s %15.0f %15.0f %8.2fx%s\n", shape.name,
+                    ref.eventsPerSec, pooled.eventsPerSec, speedup,
+                    shape.gated ? "" : "  (informational)");
+    }
+    double geomean = std::exp(log_sum / scenarios);
+    std::printf("geomean speedup (gated scenarios): %.2fx\n", geomean);
+
+    if (min_speedup > 0.0 && geomean < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: geomean speedup %.2fx below required %.2fx\n",
+                     geomean, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -55,18 +55,18 @@ Machine::taskOfDesc(std::uint64_t desc_addr) const
     return it->second;
 }
 
-std::vector<mem::MemAccess>
-Machine::footprintOf(rt::TaskId id) const
+const std::vector<mem::MemAccess> &
+Machine::footprintOf(rt::TaskId id)
 {
-    std::vector<mem::MemAccess> fp;
+    footprintScratch_.clear();
     const rt::Task &t = graph_.task(id);
-    fp.reserve(t.deps.size());
+    footprintScratch_.reserve(t.deps.size());
     for (const rt::DepSpec &d : t.deps) {
-        fp.push_back(mem::MemAccess{d.region,
-                                    graph_.region(d.region).bytes,
-                                    d.writes()});
+        footprintScratch_.push_back(
+            mem::MemAccess{d.region, graph_.region(d.region).bytes,
+                           d.writes()});
     }
-    return fp;
+    return footprintScratch_;
 }
 
 std::uint32_t
@@ -80,12 +80,12 @@ Machine::dmuOpLatency(sim::CoreId core, unsigned accesses)
 {
     noc::NodeId from = mesh_.nodeOfCore(core);
     noc::NodeId dmu_node = mesh_.centerNode();
-    sim::Tick req = mesh_.transfer(from, dmu_node, cfg_.dmuMsgBytes);
+    noc::Mesh::RoundTrip rt =
+        mesh_.roundTrip(from, dmu_node, cfg_.dmuMsgBytes);
     sim::Tick proc = static_cast<sim::Tick>(accesses)
                    * cfg_.dmu.accessCycles;
-    sim::Tick done = dmuPipe_.acquire(eq_.now() + req, proc);
-    sim::Tick resp = mesh_.transfer(dmu_node, from, cfg_.dmuMsgBytes);
-    return done + resp;
+    sim::Tick done = dmuPipe_.acquire(eq_.now() + rt.request, proc);
+    return done + rt.response;
 }
 
 // ---------------------------------------------------------------------
@@ -111,17 +111,21 @@ Machine::masterAdvanceRegion()
         sim::panic("DMU not empty at a global synchronization point");
 
     sim::Tick prologue = region.prologueCycles;
-    eq_.scheduleIn(prologue, [this, prologue] {
-        phases_.add(masterCore, cpu::Phase::Exec, prologue);
-        const rt::ParallelRegion &r = graph_.parallelRegions()[curRegion_];
-        if (r.numTasks == 0) {
-            ++curRegion_;
-            masterAdvanceRegion();
-        } else {
-            masterCreating_ = true;
-            masterCreateNext();
-        }
-    });
+    eq_.postIn<&Machine::onPrologueDone>(prologue, this, prologue);
+}
+
+void
+Machine::onPrologueDone(sim::Tick prologue)
+{
+    phases_.add(masterCore, cpu::Phase::Exec, prologue);
+    const rt::ParallelRegion &r = graph_.parallelRegions()[curRegion_];
+    if (r.numTasks == 0) {
+        ++curRegion_;
+        masterAdvanceRegion();
+    } else {
+        masterCreating_ = true;
+        masterCreateNext();
+    }
 }
 
 void
@@ -173,25 +177,29 @@ Machine::masterCreateSw(rt::TaskId id)
         locked += c.poolPushCycles + pool_->policy().pushExtraCycles();
     }
     sim::Tick completion = lock_.acquire(seg_start + unlocked, locked);
-    eq_.scheduleAt(completion, [this, id, ready_now, seg_start,
-                                completion] {
-        phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
-        masterCreateTicks_ += completion - seg_start;
-        if (ready_now) {
-            deliverReady(rt::ReadyTask{id, swSuccCount(id),
-                                       sim::invalidCore, id, completion});
-        }
-        masterCreateNext();
-    });
+    eq_.post<&Machine::onSwCreateDone>(completion, this, id, ready_now,
+                                       seg_start, completion);
+}
+
+void
+Machine::onSwCreateDone(rt::TaskId id, bool ready_now,
+                        sim::Tick seg_start, sim::Tick completion)
+{
+    phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
+    masterCreateTicks_ += completion - seg_start;
+    if (ready_now) {
+        deliverReady(rt::ReadyTask{id, swSuccCount(id), sim::invalidCore,
+                                   id, completion});
+    }
+    masterCreateNext();
 }
 
 void
 Machine::masterCreateTdm(rt::TaskId id)
 {
     sim::Tick seg_start = eq_.now();
-    eq_.scheduleIn(cfg_.tdmCosts.taskAllocCycles, [this, id, seg_start] {
-        masterIssueCreateOp(id, seg_start);
-    });
+    eq_.postIn<&Machine::masterIssueCreateOp>(cfg_.tdmCosts.taskAllocCycles,
+                                              this, id, seg_start);
 }
 
 void
@@ -200,15 +208,13 @@ Machine::masterIssueCreateOp(rt::TaskId id, sim::Tick seg_start)
     const rt::Task &t = graph_.task(id);
     dmu::DmuResult res = dmu_->createTask(t.descAddr);
     if (res.blocked) {
-        dmuWaiters_.push_back(
-            [this, id, seg_start] { masterIssueCreateOp(id, seg_start); });
+        dmuWaiters_.push_back(DmuRetry{true, id, 0, seg_start});
         return;
     }
     sim::Tick done = dmuOpLatency(masterCore, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
-    eq_.scheduleAt(done, [this, id, seg_start] {
-        masterIssueDepOp(id, 0, seg_start);
-    });
+    eq_.post<&Machine::masterIssueDepOp>(done, this, id, std::size_t{0},
+                                         seg_start);
 }
 
 void
@@ -225,16 +231,13 @@ Machine::masterIssueDepOp(rt::TaskId id, std::size_t dep_idx,
     dmu::DmuResult res = dmu_->addDependence(t.descAddr, region.baseAddr,
                                              region.bytes, d.writes());
     if (res.blocked) {
-        dmuWaiters_.push_back([this, id, dep_idx, seg_start] {
-            masterIssueDepOp(id, dep_idx, seg_start);
-        });
+        dmuWaiters_.push_back(DmuRetry{false, id, dep_idx, seg_start});
         return;
     }
     sim::Tick done = dmuOpLatency(masterCore, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
-    eq_.scheduleAt(done, [this, id, dep_idx, seg_start] {
-        masterIssueDepOp(id, dep_idx + 1, seg_start);
-    });
+    eq_.post<&Machine::masterIssueDepOp>(done, this, id, dep_idx + 1,
+                                         seg_start);
 }
 
 void
@@ -263,26 +266,35 @@ Machine::masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start)
         sim::Tick hold = cfg_.tdmCosts.poolPushCycles
                        + pool_->policy().pushExtraCycles();
         sim::Tick completion = lock_.acquire(fetched, hold);
-        eq_.scheduleAt(completion, [this, got, nsucc, seg_start,
-                                    completion] {
-            phases_.add(masterCore, cpu::Phase::Deps,
-                        completion - seg_start);
-            masterCreateTicks_ += completion - seg_start;
-            deliverReady(rt::ReadyTask{got, nsucc, sim::invalidCore,
-                                       got, completion});
-            masterCreateNext();
-        });
+        eq_.post<&Machine::onCommitReadyFetched>(completion, this, got,
+                                                 nsucc, seg_start,
+                                                 completion);
         (void)id;
     } else {
-        eq_.scheduleAt(done, [this, id, seg_start, done, ready_now] {
-            phases_.add(masterCore, cpu::Phase::Deps, done - seg_start);
-            masterCreateTicks_ += done - seg_start;
-            if (ready_now && traits_.sched == SchedMode::HardwareFifo)
-                wakeOneIdle();
-            (void)id;
-            masterCreateNext();
-        });
+        eq_.post<&Machine::onCommitDone>(done, this, seg_start, done,
+                                         ready_now);
     }
+}
+
+void
+Machine::onCommitReadyFetched(rt::TaskId got, std::uint32_t nsucc,
+                              sim::Tick seg_start, sim::Tick completion)
+{
+    phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
+    masterCreateTicks_ += completion - seg_start;
+    deliverReady(rt::ReadyTask{got, nsucc, sim::invalidCore, got,
+                               completion});
+    masterCreateNext();
+}
+
+void
+Machine::onCommitDone(sim::Tick seg_start, sim::Tick done, bool ready_now)
+{
+    phases_.add(masterCore, cpu::Phase::Deps, done - seg_start);
+    masterCreateTicks_ += done - seg_start;
+    if (ready_now && traits_.sched == SchedMode::HardwareFifo)
+        wakeOneIdle();
+    masterCreateNext();
 }
 
 void
@@ -320,47 +332,13 @@ Machine::tryDispatch(sim::CoreId core)
                  : cfg_.tdmCosts.poolPopCycles)
             + pool_->policy().popExtraCycles();
         sim::Tick completion = lock_.acquire(seg_start, pop_cost);
-        eq_.scheduleAt(completion, [this, core, seg_start, completion] {
-            auto t = pool_->pop(core);
-            phases_.add(core, cpu::Phase::Sched, completion - seg_start);
-            if (t) {
-                startExec(core, *t);
-            } else if (core == masterCore && !masterCreating_
-                       && regionDone_) {
-                ++curRegion_;
-                masterAdvanceRegion();
-            } else {
-                goIdle(core);
-            }
-        });
+        eq_.post<&Machine::onPoolPopDone>(completion, this, core,
+                                          seg_start, completion);
         break;
       }
       case SchedMode::HardwareQueues: {
         sim::Tick cost = cfg_.carbon.localOpCycles;
-        eq_.scheduleIn(cost, [this, core, seg_start, cost] {
-            auto t = hwq_->popLocal(core);
-            if (t) {
-                phases_.add(core, cpu::Phase::Sched, cost);
-                startExec(core, *t);
-                return;
-            }
-            sim::Tick steal_done = cost + cfg_.carbon.stealCycles;
-            eq_.scheduleIn(cfg_.carbon.stealCycles,
-                           [this, core, seg_start, steal_done] {
-                auto s = hwq_->steal(core);
-                phases_.add(core, cpu::Phase::Sched, steal_done);
-                (void)seg_start;
-                if (s) {
-                    startExec(core, *s);
-                } else if (core == masterCore && !masterCreating_
-                           && regionDone_) {
-                    ++curRegion_;
-                    masterAdvanceRegion();
-                } else {
-                    goIdle(core);
-                }
-            });
-        });
+        eq_.postIn<&Machine::onCarbonLocalPop>(cost, this, core, cost);
         break;
       }
       case SchedMode::HardwareFifo: {
@@ -368,22 +346,70 @@ Machine::tryDispatch(sim::CoreId core)
         auto info = dmu_->getReadyTask(acc);
         sim::Tick done = dmuOpLatency(core, acc)
                        + cfg_.tdmCosts.issueCycles;
-        eq_.scheduleAt(done, [this, core, seg_start, done, info] {
-            phases_.add(core, cpu::Phase::Sched, done - seg_start);
-            if (info) {
-                rt::TaskId id = taskOfDesc(info->descAddr);
-                startExec(core, rt::ReadyTask{id, info->numSuccessors,
-                                              sim::invalidCore, id, done});
-            } else if (core == masterCore && !masterCreating_
-                       && regionDone_) {
-                ++curRegion_;
-                masterAdvanceRegion();
-            } else {
-                goIdle(core);
-            }
-        });
+        eq_.post<&Machine::onFifoDispatch>(done, this, core, seg_start,
+                                           done, info);
         break;
       }
+    }
+}
+
+void
+Machine::onPoolPopDone(sim::CoreId core, sim::Tick seg_start,
+                       sim::Tick completion)
+{
+    auto t = pool_->pop(core);
+    phases_.add(core, cpu::Phase::Sched, completion - seg_start);
+    if (t) {
+        startExec(core, *t);
+    } else if (core == masterCore && !masterCreating_ && regionDone_) {
+        advanceToNextRegion();
+    } else {
+        goIdle(core);
+    }
+}
+
+void
+Machine::onCarbonLocalPop(sim::CoreId core, sim::Tick cost)
+{
+    auto t = hwq_->popLocal(core);
+    if (t) {
+        phases_.add(core, cpu::Phase::Sched, cost);
+        startExec(core, *t);
+        return;
+    }
+    sim::Tick steal_done = cost + cfg_.carbon.stealCycles;
+    eq_.postIn<&Machine::onCarbonSteal>(cfg_.carbon.stealCycles, this,
+                                        core, steal_done);
+}
+
+void
+Machine::onCarbonSteal(sim::CoreId core, sim::Tick steal_done)
+{
+    auto s = hwq_->steal(core);
+    phases_.add(core, cpu::Phase::Sched, steal_done);
+    if (s) {
+        startExec(core, *s);
+    } else if (core == masterCore && !masterCreating_ && regionDone_) {
+        advanceToNextRegion();
+    } else {
+        goIdle(core);
+    }
+}
+
+void
+Machine::onFifoDispatch(sim::CoreId core, sim::Tick seg_start,
+                        sim::Tick done,
+                        std::optional<dmu::ReadyTaskInfo> info)
+{
+    phases_.add(core, cpu::Phase::Sched, done - seg_start);
+    if (info) {
+        rt::TaskId id = taskOfDesc(info->descAddr);
+        startExec(core, rt::ReadyTask{id, info->numSuccessors,
+                                      sim::invalidCore, id, done});
+    } else if (core == masterCore && !masterCreating_ && regionDone_) {
+        advanceToNextRegion();
+    } else {
+        goIdle(core);
     }
 }
 
@@ -393,19 +419,23 @@ Machine::startExec(sim::CoreId core, const rt::ReadyTask &task)
     const rt::Task &t = graph_.task(task.id);
     sim::Tick stall = 0;
     if (mem_) {
-        auto fp = footprintOf(task.id);
+        const auto &fp = footprintOf(task.id);
         stall = mem_->taskAccessTime(core, fp);
     }
     sim::Tick dur = t.computeCycles + stall;
     ++cores_[core].tasksRun;
-    eq_.scheduleIn(dur, [this, core, id = task.id, dur] {
-        phases_.add(core, cpu::Phase::Exec, dur);
-        if (traceEnabled_) {
-            trace_.record(id, core, eq_.now() - dur, eq_.now(),
-                          graph_.task(id).kernel);
-        }
-        finishTask(core, id);
-    });
+    eq_.postIn<&Machine::onExecDone>(dur, this, core, task.id, dur);
+}
+
+void
+Machine::onExecDone(sim::CoreId core, rt::TaskId id, sim::Tick dur)
+{
+    phases_.add(core, cpu::Phase::Exec, dur);
+    if (traceEnabled_) {
+        trace_.record(id, core, eq_.now() - dur, eq_.now(),
+                      graph_.task(id).kernel);
+    }
+    finishTask(core, id);
 }
 
 void
@@ -449,14 +479,20 @@ Machine::finishSw(sim::CoreId core, rt::TaskId id)
         completion += static_cast<sim::Tick>(ready.size())
                     * cfg_.carbon.localOpCycles;
     }
-    eq_.scheduleAt(completion, [this, core, seg_start, completion,
-                                ready = std::move(ready)] {
-        phases_.add(core, cpu::Phase::Deps, completion - seg_start);
-        for (const rt::ReadyTask &r : ready)
-            deliverReady(r);
-        onTaskExecuted();
-        afterFinish(core);
-    });
+    eq_.post<&Machine::onSwFinishDone>(completion, this, core, seg_start,
+                                       completion, std::move(ready));
+}
+
+void
+Machine::onSwFinishDone(sim::CoreId core, sim::Tick seg_start,
+                        sim::Tick completion,
+                        const std::vector<rt::ReadyTask> &ready)
+{
+    phases_.add(core, cpu::Phase::Deps, completion - seg_start);
+    for (const rt::ReadyTask &r : ready)
+        deliverReady(r);
+    onTaskExecuted();
+    afterFinish(core);
 }
 
 void
@@ -469,19 +505,25 @@ Machine::finishDmu(sim::CoreId core, rt::TaskId id)
     sim::Tick done = dmuOpLatency(core, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
     std::size_t n_ready = res.readyDescAddrs.size();
-    eq_.scheduleAt(done, [this, core, seg_start, done, n_ready] {
-        phases_.add(core, cpu::Phase::Deps, done - seg_start);
-        onTaskExecuted();
-        if (traits_.sched == SchedMode::SoftwarePool) {
-            getReadyLoop(core, done);
-        } else {
-            // Task Superscalar: tasks stay in the hardware Ready
-            // Queue; wake an idle core per newly ready task.
-            for (std::size_t i = 0; i < n_ready; ++i)
-                wakeOneIdle();
-            afterFinish(core);
-        }
-    });
+    eq_.post<&Machine::onDmuFinishDone>(done, this, core, seg_start, done,
+                                        n_ready);
+}
+
+void
+Machine::onDmuFinishDone(sim::CoreId core, sim::Tick seg_start,
+                         sim::Tick done, std::size_t n_ready)
+{
+    phases_.add(core, cpu::Phase::Deps, done - seg_start);
+    onTaskExecuted();
+    if (traits_.sched == SchedMode::SoftwarePool) {
+        getReadyLoop(core, done);
+    } else {
+        // Task Superscalar: tasks stay in the hardware Ready
+        // Queue; wake an idle core per newly ready task.
+        for (std::size_t i = 0; i < n_ready; ++i)
+            wakeOneIdle();
+        afterFinish(core);
+    }
 }
 
 void
@@ -496,23 +538,45 @@ Machine::getReadyLoop(sim::CoreId core, sim::Tick seg_start)
                        + pool_->policy().pushExtraCycles();
         sim::Tick completion = lock_.acquire(done, hold);
         std::uint32_t nsucc = info->numSuccessors;
-        eq_.scheduleAt(completion, [this, core, seg_start, id, nsucc,
-                                    completion] {
-            deliverReady(rt::ReadyTask{id, nsucc, core, id, completion});
-            getReadyLoop(core, seg_start);
-        });
+        eq_.post<&Machine::onGetReadyPush>(completion, this, core,
+                                           seg_start, id, nsucc,
+                                           completion);
     } else {
-        eq_.scheduleAt(done, [this, core, seg_start, done] {
-            phases_.add(core, cpu::Phase::Sched, done - seg_start);
-            afterFinish(core);
-        });
+        eq_.post<&Machine::onGetReadyEmpty>(done, this, core, seg_start,
+                                            done);
     }
+}
+
+void
+Machine::onGetReadyPush(sim::CoreId core, sim::Tick seg_start,
+                        rt::TaskId id, std::uint32_t nsucc,
+                        sim::Tick completion)
+{
+    deliverReady(rt::ReadyTask{id, nsucc, core, id, completion});
+    getReadyLoop(core, seg_start);
+}
+
+void
+Machine::onGetReadyEmpty(sim::CoreId core, sim::Tick seg_start,
+                         sim::Tick done)
+{
+    phases_.add(core, cpu::Phase::Sched, done - seg_start);
+    afterFinish(core);
 }
 
 void
 Machine::afterFinish(sim::CoreId core)
 {
     dispatchEntry(core);
+}
+
+void
+Machine::onStart()
+{
+    // Workers start parked; the first ready-task deliveries wake them.
+    for (sim::CoreId c = 1; c < cfg_.numCores; ++c)
+        goIdle(c);
+    masterAdvanceRegion();
 }
 
 // ---------------------------------------------------------------------
@@ -560,9 +624,8 @@ Machine::wakeCore(sim::CoreId core)
     cpu::CoreState &cs = cores_[core];
     if (!cs.idle)
         return;
-    cs.idle = false;
-    phases_.add(core, cpu::Phase::Idle, eq_.now() - cs.idleSince);
-    eq_.scheduleIn(0, [this, core] { dispatchEntry(core); });
+    phases_.add(core, cpu::Phase::Idle, cs.wakeAt(eq_.now()));
+    eq_.postIn<&Machine::dispatchEntry>(0, this, core);
 }
 
 void
@@ -581,9 +644,7 @@ Machine::goIdle(sim::CoreId core)
 {
     if (finished_)
         return;
-    cpu::CoreState &cs = cores_[core];
-    cs.idle = true;
-    cs.idleSince = eq_.now();
+    cores_[core].parkAt(eq_.now());
     idleCores_.push_back(core);
 }
 
@@ -602,14 +663,9 @@ Machine::onTaskExecuted()
                                 masterCore);
             if (it != idleCores_.end())
                 idleCores_.erase(it);
-            cpu::CoreState &cs = cores_[masterCore];
-            cs.idle = false;
             phases_.add(masterCore, cpu::Phase::Idle,
-                        eq_.now() - cs.idleSince);
-            eq_.scheduleIn(0, [this] {
-                ++curRegion_;
-                masterAdvanceRegion();
-            });
+                        cores_[masterCore].wakeAt(eq_.now()));
+            eq_.postIn<&Machine::advanceToNextRegion>(0, this);
         }
     } else if (masterCreating_ && cores_[masterCore].idle) {
         // The master parked on the creation throttle; a finish may
@@ -619,14 +675,28 @@ Machine::onTaskExecuted()
 }
 
 void
+Machine::advanceToNextRegion()
+{
+    ++curRegion_;
+    masterAdvanceRegion();
+}
+
+void
 Machine::flushDmuWaiters()
 {
     if (dmuWaiters_.empty())
         return;
-    std::vector<std::function<void()>> waiters;
+    std::vector<DmuRetry> waiters;
     waiters.swap(dmuWaiters_);
-    for (auto &w : waiters)
-        eq_.scheduleIn(0, std::move(w));
+    for (const DmuRetry &w : waiters) {
+        if (w.isCreate) {
+            eq_.postIn<&Machine::masterIssueCreateOp>(0, this, w.id,
+                                                      w.segStart);
+        } else {
+            eq_.postIn<&Machine::masterIssueDepOp>(0, this, w.id,
+                                                   w.depIdx, w.segStart);
+        }
+    }
 }
 
 void
@@ -655,12 +725,7 @@ Machine::dumpStats(std::ostream &os)
 MachineResult
 Machine::run()
 {
-    // Workers start parked; the first ready-task deliveries wake them.
-    eq_.scheduleAt(0, [this] {
-        for (sim::CoreId c = 1; c < cfg_.numCores; ++c)
-            goIdle(c);
-        masterAdvanceRegion();
-    });
+    eq_.post<&Machine::onStart>(0, this);
     eq_.run(cfg_.maxTicks);
 
     MachineResult res;
@@ -687,10 +752,8 @@ Machine::run()
     // Complete idle accounting for cores parked at the end.
     for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
         cpu::CoreState &cs = cores_[c];
-        if (cs.idle) {
-            phases_.add(c, cpu::Phase::Idle, makespan_ - cs.idleSince);
-            cs.idle = false;
-        }
+        if (cs.idle)
+            phases_.add(c, cpu::Phase::Idle, cs.wakeAt(makespan_));
     }
     res.master = phases_.master();
     res.workersTotal = phases_.workersTotal();

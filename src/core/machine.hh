@@ -26,7 +26,6 @@
 #define TDM_CORE_MACHINE_HH
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -125,6 +124,49 @@ class Machine
     void getReadyLoop(sim::CoreId core, sim::Tick seg_start);
     void afterFinish(sim::CoreId core);
 
+    // ---- typed event continuations (fired by pooled BoundEvents) ---
+    /** Initial event: park the workers, enter the first region. */
+    void onStart();
+    /** Master finished a region's sequential prologue. */
+    void onPrologueDone(sim::Tick prologue);
+    /** Software-runtime task creation segment retired. */
+    void onSwCreateDone(rt::TaskId id, bool ready_now,
+                        sim::Tick seg_start, sim::Tick completion);
+    /** commit_task whose ready task the master moved into the pool. */
+    void onCommitReadyFetched(rt::TaskId got, std::uint32_t nsucc,
+                              sim::Tick seg_start, sim::Tick completion);
+    /** commit_task response received (no pool transfer). */
+    void onCommitDone(sim::Tick seg_start, sim::Tick done, bool ready_now);
+    /** Pool pop (under the runtime lock) completed. */
+    void onPoolPopDone(sim::CoreId core, sim::Tick seg_start,
+                       sim::Tick completion);
+    /** Carbon local hardware-queue pop completed. */
+    void onCarbonLocalPop(sim::CoreId core, sim::Tick cost);
+    /** Carbon steal attempt completed. */
+    void onCarbonSteal(sim::CoreId core, sim::Tick steal_done);
+    /** Task Superscalar get_ready_task dispatch completed. */
+    void onFifoDispatch(sim::CoreId core, sim::Tick seg_start,
+                        sim::Tick done,
+                        std::optional<dmu::ReadyTaskInfo> info);
+    /** Task body (compute + memory stall) retired. */
+    void onExecDone(sim::CoreId core, rt::TaskId id, sim::Tick dur);
+    /** Software-tracker finish segment retired. */
+    void onSwFinishDone(sim::CoreId core, sim::Tick seg_start,
+                        sim::Tick completion,
+                        const std::vector<rt::ReadyTask> &ready);
+    /** finish_task response received. */
+    void onDmuFinishDone(sim::CoreId core, sim::Tick seg_start,
+                         sim::Tick done, std::size_t n_ready);
+    /** get_ready_task returned a task; push it to the pool and loop. */
+    void onGetReadyPush(sim::CoreId core, sim::Tick seg_start,
+                        rt::TaskId id, std::uint32_t nsucc,
+                        sim::Tick completion);
+    /** get_ready_task came back empty; scheduling segment ends. */
+    void onGetReadyEmpty(sim::CoreId core, sim::Tick seg_start,
+                         sim::Tick done);
+    /** The master leaves a completed region for the next one. */
+    void advanceToNextRegion();
+
     // ---- shared plumbing ----
     void deliverReady(const rt::ReadyTask &task);
     void wakeOneIdle();
@@ -143,7 +185,12 @@ class Machine
     sim::Tick dmuOpLatency(sim::CoreId core, unsigned accesses);
 
     rt::TaskId taskOfDesc(std::uint64_t desc_addr) const;
-    std::vector<mem::MemAccess> footprintOf(rt::TaskId id) const;
+
+    /**
+     * Fill the reusable footprint scratch buffer with @p id's region
+     * accesses and return it (avoids a per-task allocation).
+     */
+    const std::vector<mem::MemAccess> &footprintOf(rt::TaskId id);
     std::uint32_t swSuccCount(rt::TaskId id) const;
 
     cpu::MachineConfig cfg_;
@@ -178,8 +225,20 @@ class Machine
 
     std::unordered_map<std::uint64_t, rt::TaskId> descToTask_;
 
+    /** A master-side DMU ISA operation parked on a full structure. */
+    struct DmuRetry
+    {
+        bool isCreate;        ///< retry create_task vs add_dependence
+        rt::TaskId id;
+        std::size_t depIdx;   ///< dependence index (add_dependence)
+        sim::Tick segStart;
+    };
+
     // Master blocked on DMU capacity.
-    std::vector<std::function<void()>> dmuWaiters_;
+    std::vector<DmuRetry> dmuWaiters_;
+
+    /** Scratch buffer reused by footprintOf (hot path). */
+    std::vector<mem::MemAccess> footprintScratch_;
 
     std::uint64_t tasksExecuted_ = 0;
     std::uint64_t carbonRr_ = 0; ///< GTU round-robin cursor

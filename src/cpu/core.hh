@@ -54,6 +54,25 @@ struct CoreState
 
     /** Tasks this core has executed. */
     std::uint64_t tasksRun = 0;
+
+    /** Park the core at tick @p now. */
+    void
+    parkAt(sim::Tick now)
+    {
+        idle = true;
+        idleSince = now;
+    }
+
+    /**
+     * Resume the core at tick @p now.
+     * @return the ticks spent idle (for phase accounting).
+     */
+    sim::Tick
+    wakeAt(sim::Tick now)
+    {
+        idle = false;
+        return now - idleSince;
+    }
 };
 
 } // namespace tdm::cpu

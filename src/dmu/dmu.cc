@@ -247,7 +247,8 @@ Dmu::addDependence(std::uint64_t desc_addr, std::uint64_t dep_addr,
     } else {
         // Output: order after every reader (WAR), then become the
         // last writer.
-        std::vector<std::uint16_t> readers;
+        std::vector<std::uint16_t> &readers = scratchIds_;
+        readers.clear();
         acc = rla_.forEach(dep.readerList, [&](std::uint16_t r) {
             readers.push_back(r);
         });
@@ -314,7 +315,8 @@ Dmu::finishTask(std::uint64_t desc_addr, std::uint32_t pid)
     ++counts_.taskTable;
 
     // ---- Wake up successors (Algorithm 2, first loop). ----
-    std::vector<std::uint16_t> succs;
+    std::vector<std::uint16_t> &succs = scratchIds_;
+    succs.clear();
     unsigned acc = sla_.forEach(task.succList, [&](std::uint16_t s) {
         succs.push_back(s);
     });
@@ -337,7 +339,9 @@ Dmu::finishTask(std::uint64_t desc_addr, std::uint32_t pid)
     }
 
     // ---- Detach from dependences (Algorithm 2, second loop). ----
-    std::vector<std::uint16_t> deps;
+    // Reuses the scratch buffer: the successor loop above is done.
+    std::vector<std::uint16_t> &deps = scratchIds_;
+    deps.clear();
     acc = dla_.forEach(task.depList, [&](std::uint16_t d) {
         deps.push_back(d);
     });

@@ -180,6 +180,14 @@ class Dmu
     std::uint64_t capacityEpoch_ = 0;
     std::uint64_t blockedOps_ = 0;
 
+    /**
+     * Reusable scratch buffer for hardware-id list snapshots taken
+     * during add_dependence / finish_task list walks. Hoisted out of
+     * the per-operation hot path so steady-state DMU traffic performs
+     * no heap allocation (the simulator's, not the modelled DMU's).
+     */
+    std::vector<std::uint16_t> scratchIds_;
+
     sim::Scalar statOps_, statBlocked_, statAccesses_;
 };
 

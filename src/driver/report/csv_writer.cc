@@ -8,7 +8,10 @@ namespace tdm::driver::report {
 std::string
 csvField(const std::string &s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    // RFC 4180: quote fields containing separators, quotes, or either
+    // line-break character (a bare \r corrupts the row structure for
+    // CRLF-aware readers just like \n does).
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
         return s;
     std::string out = "\"";
     for (char ch : s) {

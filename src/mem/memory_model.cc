@@ -75,16 +75,20 @@ MemoryModel::taskAccessTime(sim::CoreId core,
             }
         }
     }
-    statL1Hits_.set(static_cast<double>(l1Hits_));
-    statL1Misses_.set(static_cast<double>(l1Misses_));
-    statL2Hits_.set(static_cast<double>(l2Hits_));
-    statL2Misses_.set(static_cast<double>(l2Misses_));
     return static_cast<sim::Tick>(stall);
 }
 
 void
 MemoryModel::regStats(sim::StatGroup &g)
 {
+    // Stat values are snapshotted from the raw counters here rather
+    // than refreshed on every task access: regStats() immediately
+    // precedes a dump, and it keeps the per-task hot path free of
+    // bookkeeping stores.
+    statL1Hits_.set(static_cast<double>(l1Hits_));
+    statL1Misses_.set(static_cast<double>(l1Misses_));
+    statL2Hits_.set(static_cast<double>(l2Hits_));
+    statL2Misses_.set(static_cast<double>(l2Misses_));
     g.addScalar("l1_hits", &statL1Hits_, "region hits in any L1");
     g.addScalar("l1_misses", &statL1Misses_, "region misses in L1");
     g.addScalar("l2_hits", &statL2Hits_, "region hits in shared L2");

@@ -106,6 +106,15 @@ Mesh::transfer(NodeId from, NodeId to, unsigned bytes)
     return lat;
 }
 
+Mesh::RoundTrip
+Mesh::roundTrip(NodeId from, NodeId to, unsigned bytes)
+{
+    RoundTrip rt;
+    rt.request = transfer(from, to, bytes);
+    rt.response = transfer(to, from, bytes);
+    return rt;
+}
+
 std::uint64_t
 Mesh::maxLinkFlits() const
 {

@@ -69,6 +69,21 @@ class Mesh
      */
     sim::Tick transfer(NodeId from, NodeId to, unsigned bytes);
 
+    /** Latencies of one request/response message pair. */
+    struct RoundTrip
+    {
+        sim::Tick request = 0;  ///< from -> to
+        sim::Tick response = 0; ///< to -> from
+    };
+
+    /**
+     * Model the request and response messages of one remote operation
+     * (e.g. a DMU ISA op): records traffic for both directions, in
+     * order, and returns the two latencies separately so the caller
+     * can interleave the remote processing time.
+     */
+    RoundTrip roundTrip(NodeId from, NodeId to, unsigned bytes);
+
     /** Latency without recording traffic (pure query). */
     sim::Tick latency(NodeId from, NodeId to, unsigned bytes) const;
 

@@ -1,4 +1,58 @@
 #include "runtime/sched_locality.hh"
 
 namespace tdm::rt {
+
+void
+LocalityScheduler::push(const ReadyTask &task)
+{
+    if (task.producerHint != sim::invalidCore
+        && task.producerHint < perCore_.size()) {
+        perCore_[task.producerHint].push_back(task);
+    } else {
+        global_.push_back(task);
+    }
+    ++size_;
+}
+
+std::optional<ReadyTask>
+LocalityScheduler::pop(sim::CoreId core)
+{
+    // 1. own successor list: newest first, its inputs are cache-hot.
+    if (core < perCore_.size() && !perCore_[core].empty())
+        return takeNewest(perCore_[core]);
+    // 2. global queue (FIFO)
+    if (!global_.empty())
+        return takeOldest(global_);
+    // 3. steal the oldest (cache-cold) entry of the fullest local list
+    std::size_t best = perCore_.size();
+    std::size_t best_len = 0;
+    for (std::size_t c = 0; c < perCore_.size(); ++c) {
+        if (perCore_[c].size() > best_len) {
+            best = c;
+            best_len = perCore_[c].size();
+        }
+    }
+    if (best < perCore_.size())
+        return takeOldest(perCore_[best]);
+    return std::nullopt;
+}
+
+std::optional<ReadyTask>
+LocalityScheduler::takeOldest(std::deque<ReadyTask> &q)
+{
+    ReadyTask t = q.front();
+    q.pop_front();
+    --size_;
+    return t;
+}
+
+std::optional<ReadyTask>
+LocalityScheduler::takeNewest(std::deque<ReadyTask> &q)
+{
+    ReadyTask t = q.back();
+    q.pop_back();
+    --size_;
+    return t;
+}
+
 } // namespace tdm::rt

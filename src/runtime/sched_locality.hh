@@ -4,6 +4,12 @@
  * and readies a successor, that successor is preferred by the same core
  * so it finds its inputs in the local cache. Cores fall back to the
  * global FIFO queue, and finally to stealing another core's local list.
+ *
+ * Ordering within a local list follows the cache-temperature rationale
+ * of Section VI: the owner pops its *newest* successor (whose inputs
+ * were produced most recently and are hottest in the local cache),
+ * while a thief takes the victim's *oldest* entry (coldest, and hence
+ * cheapest to migrate to another core).
  */
 
 #ifndef TDM_RUNTIME_SCHED_LOCALITY_HH
@@ -25,40 +31,8 @@ class LocalityScheduler : public Scheduler
 
     const char *name() const override { return "locality"; }
 
-    void
-    push(const ReadyTask &task) override
-    {
-        if (task.producerHint != sim::invalidCore
-            && task.producerHint < perCore_.size()) {
-            perCore_[task.producerHint].push_back(task);
-        } else {
-            global_.push_back(task);
-        }
-        ++size_;
-    }
-
-    std::optional<ReadyTask>
-    pop(sim::CoreId core) override
-    {
-        // 1. own successor list
-        if (core < perCore_.size() && !perCore_[core].empty())
-            return take(perCore_[core]);
-        // 2. global queue
-        if (!global_.empty())
-            return take(global_);
-        // 3. steal the oldest entry of the fullest local list
-        std::size_t best = perCore_.size();
-        std::size_t best_len = 0;
-        for (std::size_t c = 0; c < perCore_.size(); ++c) {
-            if (perCore_[c].size() > best_len) {
-                best = c;
-                best_len = perCore_[c].size();
-            }
-        }
-        if (best < perCore_.size())
-            return take(perCore_[best]);
-        return std::nullopt;
-    }
+    void push(const ReadyTask &task) override;
+    std::optional<ReadyTask> pop(sim::CoreId core) override;
 
     bool empty() const override { return size_ == 0; }
     std::size_t size() const override { return size_; }
@@ -67,14 +41,11 @@ class LocalityScheduler : public Scheduler
     sim::Tick popExtraCycles() const override { return 40; }
 
   private:
-    std::optional<ReadyTask>
-    take(std::deque<ReadyTask> &q)
-    {
-        ReadyTask t = q.front();
-        q.pop_front();
-        --size_;
-        return t;
-    }
+    /** Dequeue the oldest entry (front) of @p q. */
+    std::optional<ReadyTask> takeOldest(std::deque<ReadyTask> &q);
+
+    /** Dequeue the newest entry (back) of @p q. */
+    std::optional<ReadyTask> takeNewest(std::deque<ReadyTask> &q);
 
     std::vector<std::deque<ReadyTask>> perCore_;
     std::deque<ReadyTask> global_;

@@ -1,0 +1,12 @@
+#include "sim/event.hh"
+
+namespace tdm::sim {
+
+// Out-of-line virtual anchors the vtable in this translation unit.
+const char *
+Event::name() const
+{
+    return "event";
+}
+
+} // namespace tdm::sim

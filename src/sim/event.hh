@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Intrusive simulation events.
+ *
+ * An Event is a schedulable object with a virtual fire() hook and the
+ * kernel bookkeeping (tick, sequence number, intrusive link) embedded
+ * in the object itself, so scheduling never allocates on the side. Two
+ * ownership models coexist:
+ *
+ *  - Pool events are allocated from the owning EventQueue's size-class
+ *    freelists via EventQueue::make() / post() and are automatically
+ *    destroyed and recycled after they fire. This is the hot path: a
+ *    steady-state simulation reuses the same few blocks of memory for
+ *    all of its events.
+ *  - External events are ordinary objects owned by model code; the
+ *    queue fires them but never frees them, so they can be members of
+ *    a model class and rescheduled from inside fire().
+ *
+ * BoundEvent is the statically-typed replacement for the old
+ * std::function lambdas: it binds a member-function pointer plus its
+ * arguments at schedule time and invokes them directly on fire(), with
+ * no type erasure and no per-event heap allocation.
+ */
+
+#ifndef TDM_SIM_EVENT_HH
+#define TDM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace tdm::sim {
+
+class EventQueue;
+
+/**
+ * Base class of everything schedulable on an EventQueue.
+ */
+class Event
+{
+  public:
+    Event() = default;
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    virtual ~Event() = default;
+
+    /** Invoked by the kernel when simulated time reaches when(). */
+    virtual void fire() = 0;
+
+    /** Debug name; override for more useful traces. */
+    virtual const char *name() const;
+
+    /** Tick this event is (or was last) scheduled for. */
+    Tick when() const { return when_; }
+
+    /** Schedule sequence number; breaks same-tick ties. */
+    std::uint64_t seq() const { return seq_; }
+
+    /** True while the event sits in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+  private:
+    friend class EventQueue;
+
+    /** Size-class marker of externally owned (non-pooled) events. */
+    static constexpr std::uint16_t notPooled = 0xffff;
+    /** Size-class marker of heap events too large for the pool. */
+    static constexpr std::uint16_t heapClass = 0xfffe;
+    /**
+     * Flag bit on pooled size classes: the event needs no destructor
+     * call before its memory is recycled (trivial payload).
+     */
+    static constexpr std::uint16_t trivialBit = 0x8000;
+
+    Event *next_ = nullptr; ///< intrusive bucket / freelist link
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0; ///< schedule order, breaks same-tick ties
+    std::uint16_t poolClass_ = notPooled;
+    bool scheduled_ = false;
+};
+
+/**
+ * An event that calls `(owner->*MemFn)(args...)` when it fires.
+ *
+ * The argument pack is stored by value inside the event; member
+ * functions that want to avoid a copy at fire time can take their
+ * parameters by (non-const) reference and will be handed the stored
+ * copies directly.
+ */
+template <auto MemFn, typename Owner, typename... Args>
+class BoundEvent final : public Event
+{
+  public:
+    explicit BoundEvent(Owner *owner, Args... args)
+        : owner_(owner), args_(std::move(args)...)
+    {}
+
+    void
+    fire() override
+    {
+        std::apply([this](Args &...a) { (owner_->*MemFn)(a...); }, args_);
+    }
+
+    const char *name() const override { return "bound"; }
+
+    /**
+     * True when recycling the event needs no destructor call — the
+     * pool can skip the virtual-dtor dispatch on the hot path.
+     */
+    static constexpr bool trivialPayload =
+        (std::is_trivially_destructible_v<Args> && ...);
+
+  private:
+    Owner *owner_;
+    [[no_unique_address]] std::tuple<Args...> args_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_EVENT_HH

@@ -1,44 +1,369 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace tdm::sim {
 
+namespace {
+
+/** Max-heap comparator that surfaces the earliest (tick, seq) first. */
+struct Later
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+EventQueue::~EventQueue()
+{
+    // Drain pending events (retiring pool events into the freelists),
+    // then release the freelists themselves.
+    auto drain = [this](std::vector<Bucket> &wheel) {
+        for (Bucket &b : wheel) {
+            Event *ev = b.head;
+            while (ev) {
+                Event *next = ev->next_;
+                ev->scheduled_ = false;
+                retire(ev);
+                ev = next;
+            }
+            b.head = b.tail = nullptr;
+        }
+    };
+    drain(ring_);
+    drain(coarse_);
+    for (const OverflowEntry &e : overflow_) {
+        e.ev->scheduled_ = false;
+        retire(e.ev);
+    }
+    overflow_.clear();
+    for (void *&head : freeLists_) {
+        while (head) {
+            void *next = *static_cast<void **>(head);
+            ::operator delete(head);
+            head = next;
+        }
+    }
+}
+
 void
-EventQueue::scheduleAt(Tick when, EventFn fn)
+EventQueue::schedule(Event *ev, Tick when)
 {
     if (when < curTick_)
         panic("scheduling event in the past: ", when, " < ", curTick_);
-    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    if (ev->scheduled_)
+        panic("event '", ev->name(), "' scheduled while already pending");
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    enqueue(ev);
+}
+
+void
+EventQueue::enqueue(Event *ev)
+{
+    // windowBase_ <= curTick_ <= ev->when_ holds outside of the
+    // extract path, so these subtractions cannot underflow.
+    if (ev->when_ < nearHorizon_) {
+        insertRing(ev);
+    } else if (ev->when_ - nearHorizon_ < coarseSpan) {
+        // Coarse bands are unsorted O(1) appends; order is recovered
+        // by the sorted ring insert at migration time.
+        std::size_t idx = bandOf(ev->when_);
+        Bucket &b = coarse_[idx];
+        ev->next_ = nullptr;
+        if (!b.head) {
+            b.head = b.tail = ev;
+            coarseOccupied_[idx >> 6] |= 1ull << (idx & 63);
+        } else {
+            b.tail->next_ = ev;
+            b.tail = ev;
+        }
+        ++coarseCount_;
+    } else {
+        ev->next_ = nullptr;
+        overflow_.push_back(OverflowEntry{ev->when_, ev->seq_, ev});
+        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
+}
+
+void
+EventQueue::insertRing(Event *ev)
+{
+    peekValid_ = false;
+    std::size_t idx = bucketOf(ev->when_);
+    Bucket &b = ring_[idx];
+    if (!b.head) {
+        ev->next_ = nullptr;
+        b.head = b.tail = ev;
+        occupied_[idx >> 6] |= 1ull << (idx & 63);
+    } else if (!before(ev, b.tail)) {
+        // Monotone schedules (the common case) append in O(1).
+        ev->next_ = nullptr;
+        b.tail->next_ = ev;
+        b.tail = ev;
+    } else if (before(ev, b.head)) {
+        ev->next_ = b.head;
+        b.head = ev;
+    } else {
+        Event *p = b.head;
+        while (!before(ev, p->next_))
+            p = p->next_;
+        ev->next_ = p->next_;
+        p->next_ = ev;
+    }
+    ++ringCount_;
+}
+
+void
+EventQueue::advanceWindowTo(Tick t)
+{
+    Tick new_base = (t >> bucketShift) << bucketShift;
+    if (new_base <= windowBase_)
+        return;
+    windowBase_ = new_base;
+    Tick new_h = ((new_base + windowSpan) >> coarseShift) << coarseShift;
+    if (new_h > nearHorizon_)
+        slideHorizon(new_h);
+}
+
+void
+EventQueue::slideHorizon(Tick new_h)
+{
+    // Migrate whole coarse bands the horizon passed over. Bands are
+    // single-generation (the coarse span exactly covers the wheel), so
+    // every chained event lies in [band start, band start + width).
+    // Empty stretches are skipped via the occupancy bitmap, keeping a
+    // horizon jump O(occupied bands), not O(tick distance) — a lone
+    // event scheduled eons ahead must not make run() sweep the gap.
+    while (coarseCount_ > 0 && nearHorizon_ < new_h) {
+        std::size_t start = bandOf(nearHorizon_);
+        std::size_t idx = nextSetBit(coarseOccupied_, start);
+        Tick band_start =
+            nearHorizon_ + (static_cast<Tick>((idx - start) & coarseMask)
+                            << coarseShift);
+        if (band_start >= new_h)
+            break; // next occupied band is beyond the target horizon
+        Event *ev = coarse_[idx].head;
+        coarse_[idx].head = coarse_[idx].tail = nullptr;
+        coarseOccupied_[idx >> 6] &= ~(1ull << (idx & 63));
+        while (ev) {
+            Event *next = ev->next_;
+            insertRing(ev);
+            --coarseCount_;
+            ev = next;
+        }
+        nearHorizon_ = band_start + coarseWidth;
+    }
+    nearHorizon_ = new_h;
+    // Far-heap events that entered the coarse span follow.
+    Tick coarse_limit = nearHorizon_ + coarseSpan;
+    while (!overflow_.empty() && overflow_.front().when < coarse_limit) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+        Event *ev = overflow_.back().ev;
+        overflow_.pop_back();
+        enqueue(ev);
+    }
+}
+
+void
+EventQueue::pullCoarse()
+{
+    // The near ring is empty: jump the window (never the clock) to the
+    // first non-empty coarse band and migrate it in.
+    std::size_t start = bandOf(nearHorizon_);
+    std::size_t idx = nextSetBit(coarseOccupied_, start);
+    Tick band_start = nearHorizon_
+                    + (static_cast<Tick>((idx - start) & coarseMask)
+                       << coarseShift);
+    windowBase_ = band_start; // band-aligned, hence bucket-aligned
+    nearHorizon_ = band_start;
+    slideHorizon(band_start + windowSpan);
+}
+
+Tick
+EventQueue::nextPendingTick() const
+{
+    if (ringCount_ > 0) {
+        // All ring events lie in [windowBase_, nearHorizon_), a range
+        // the ring maps to distinct buckets in time order, so the
+        // first occupied bucket's head is the global minimum (coarse
+        // and far events are at or beyond the horizon by invariant).
+        Tick from = curTick_ > windowBase_ ? curTick_ : windowBase_;
+        std::size_t idx = nextSetBit(occupied_, bucketOf(from));
+        peekIdx_ = idx;
+        peekValid_ = true;
+        return ring_[idx].head->when_;
+    }
+    if (coarseCount_ > 0) {
+        // First non-empty band; its unsorted chain needs a min-scan.
+        std::size_t idx = nextSetBit(coarseOccupied_,
+                                     bandOf(nearHorizon_));
+        Tick min = maxTick;
+        for (Event *ev = coarse_[idx].head; ev; ev = ev->next_) {
+            if (ev->when_ < min)
+                min = ev->when_;
+        }
+        return min;
+    }
+    if (!overflow_.empty())
+        return overflow_.front().when;
+    return maxTick;
+}
+
+Event *
+EventQueue::extractNext()
+{
+    if (ringCount_ == 0) {
+        if (coarseCount_ > 0) {
+            pullCoarse();
+        } else {
+            // Only far-heap events remain: the top is the global
+            // minimum. The window catches up when the event fires.
+            std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+            Event *ev = overflow_.back().ev;
+            overflow_.pop_back();
+            ev->next_ = nullptr;
+            return ev;
+        }
+    }
+    std::size_t idx;
+    if (peekValid_) {
+        idx = peekIdx_;
+        peekValid_ = false;
+    } else {
+        Tick from = curTick_ > windowBase_ ? curTick_ : windowBase_;
+        idx = nextSetBit(occupied_, bucketOf(from));
+    }
+    Bucket &b = ring_[idx];
+    Event *ev = b.head;
+    b.head = ev->next_;
+    if (!b.head) {
+        b.tail = nullptr;
+        occupied_[idx >> 6] &= ~(1ull << (idx & 63));
+    }
+    ev->next_ = nullptr;
+    --ringCount_;
+    return ev;
+}
+
+template <std::size_t Words>
+std::size_t
+EventQueue::nextSetBit(const std::uint64_t (&bits)[Words],
+                       std::size_t start)
+{
+    std::size_t word = start >> 6;
+    std::uint64_t w = bits[word] & (~0ull << (start & 63));
+    for (std::size_t i = 0; i <= Words; ++i) {
+        if (w)
+            return (word << 6)
+                 + static_cast<std::size_t>(std::countr_zero(w));
+        word = (word + 1) & (Words - 1);
+        w = bits[word];
+    }
+    panic("event wheel bitmap inconsistent with its count");
+}
+
+void
+EventQueue::fireExtracted(Event *ev)
+{
+    curTick_ = ev->when_;
+    advanceWindowTo(curTick_);
+    ++executed_;
+    ev->scheduled_ = false;
+    ev->fire();
+    // fire() may have rescheduled the event (self-re-arming pattern);
+    // a pooled event that did so is still linked in the queue and must
+    // not be recycled yet — it retires after its final firing.
+    if (!ev->scheduled_)
+        retire(ev);
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (empty())
         return false;
-    // priority_queue::top returns const&; move out via const_cast, the
-    // entry is popped immediately afterwards.
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    curTick_ = e.when;
-    ++executed_;
-    e.fn();
+    fireExtracted(extractNext());
     return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        if (!step())
-            break;
+    for (;;) {
+        Tick next = nextPendingTick();
+        if (next == maxTick) {
+            // Drained: the clock stays at the last executed event.
+            return curTick_;
+        }
+        if (next > limit) {
+            // Stop at the horizon: advance the clock to exactly
+            // `limit` — never backwards.
+            peekValid_ = false;
+            if (limit > curTick_) {
+                curTick_ = limit;
+                advanceWindowTo(limit);
+            }
+            return curTick_;
+        }
+        fireExtracted(extractNext());
     }
-    if (curTick_ < limit && heap_.empty())
-        return curTick_;
-    if (!heap_.empty())
-        curTick_ = limit;
-    return curTick_;
+}
+
+void
+EventQueue::retire(Event *ev)
+{
+    std::uint16_t cls = ev->poolClass_;
+    if (cls == Event::notPooled)
+        return; // externally owned
+    if (cls == Event::heapClass) {
+        ev->~Event();
+        ::operator delete(ev);
+        return;
+    }
+    // Pooled: events with trivial payloads skip the virtual-dtor
+    // dispatch entirely before their memory is recycled.
+    if (!(cls & Event::trivialBit))
+        ev->~Event();
+    releaseRaw(ev, cls & ~Event::trivialBit);
+}
+
+void *
+EventQueue::allocRaw(std::size_t cls, std::size_t bytes)
+{
+    void *&head = freeLists_[cls];
+    if (head) {
+        void *mem = head;
+        head = *static_cast<void **>(mem);
+        ++poolRecycled_;
+        return mem;
+    }
+    ++poolFresh_;
+    return ::operator new(bytes);
+}
+
+void
+EventQueue::releaseRaw(void *mem, std::size_t cls)
+{
+    *static_cast<void **>(mem) = freeLists_[cls];
+    freeLists_[cls] = mem;
+}
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    schedule(make<LambdaEvent>(std::move(fn)), when);
 }
 
 } // namespace tdm::sim

@@ -2,39 +2,141 @@
  * @file
  * Deterministic discrete-event simulation kernel.
  *
- * Events are (tick, sequence, callback) triples ordered first by tick and
- * then by insertion sequence, so simulations are bit-reproducible
- * regardless of heap internals.
+ * Events are ordered first by tick and then by schedule sequence, so
+ * simulations are bit-reproducible regardless of container internals.
+ *
+ * The kernel is a three-level hierarchical calendar over intrusive
+ * Event objects:
+ *
+ *  - Near ring: `numBuckets` buckets of `2^bucketShift` ticks each,
+ *    covering [windowBase, nearHorizon). Buckets are intrusive singly
+ *    linked lists kept sorted by (tick, seq); the common monotone
+ *    schedule pattern appends at the tail in O(1). A per-bucket
+ *    occupancy bitmap makes "find next non-empty bucket" a couple of
+ *    word scans.
+ *  - Coarse wheel: `numCoarse` bands of `2^coarseShift` ticks covering
+ *    the next ~2M ticks past the near horizon. Bands are unsorted
+ *    append-only chains (O(1) insert); when the near window slides
+ *    over a band, its events are sort-inserted into the near ring.
+ *    The near horizon is kept band-aligned so bands always migrate
+ *    whole.
+ *  - Far heap: a binary min-heap of (tick, seq, event) triples for the
+ *    rare events beyond the coarse span; entries replicate the key so
+ *    heap sifts never dereference events.
+ *
+ * Pool-allocated events (EventQueue::make() / post()) are recycled
+ * through per-size-class freelists after they fire, so a steady-state
+ * simulation performs no per-event heap allocation. The legacy
+ * scheduleAt(Tick, EventFn) std::function shim remains for cold
+ * callers (workloads, tests); it wraps the callback in a pooled event.
+ *
+ * run(limit) end-time semantics (regression-tested):
+ *  - every event with when <= limit fires;
+ *  - if events remain pending, now() is advanced to exactly `limit`;
+ *  - if the queue drained, now() stays at the tick of the last event
+ *    executed (the quiescence time / makespan), which may be < limit;
+ *  - the clock never moves backwards: run(limit) with limit < now()
+ *    executes nothing and leaves now() unchanged.
  */
 
 #ifndef TDM_SIM_EVENT_QUEUE_HH
 #define TDM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <vector>
 
+#include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace tdm::sim {
 
-/** Callback type executed when an event fires. */
+/** Callback type of the compatibility shim. */
 using EventFn = std::function<void()>;
 
 /**
  * A deterministic event-driven simulator kernel.
  *
- * Single-threaded: all model code runs inside event callbacks. Ties at the
- * same tick fire in schedule order.
+ * Single-threaded: all model code runs inside event callbacks. Ties at
+ * the same tick fire in schedule order.
  */
 class EventQueue
 {
   public:
     EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return curTick_; }
+
+    // ---- typed, pooled scheduling (hot path) -----------------------
+
+    /**
+     * Allocate a pooled event of type @p T. The event is destroyed and
+     * its memory recycled right after it fires (or when the queue is
+     * destroyed with the event still pending).
+     */
+    template <typename T, typename... CtorArgs>
+    T *
+    make(CtorArgs &&...args)
+    {
+        static_assert(std::is_base_of_v<Event, T>);
+        static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                      "pool blocks provide only default new alignment");
+        constexpr std::size_t cls = classOf(sizeof(T));
+        void *mem;
+        if constexpr (cls < numClasses)
+            mem = allocRaw(cls, classBytes(cls));
+        else
+            mem = ::operator new(sizeof(T));
+        T *ev = new (mem) T(std::forward<CtorArgs>(args)...);
+        constexpr bool trivial = [] {
+            if constexpr (requires { T::trivialPayload; })
+                return T::trivialPayload;
+            else
+                return false;
+        }();
+        ev->poolClass_ = cls < numClasses
+                             ? static_cast<std::uint16_t>(
+                                   cls | (trivial ? Event::trivialBit : 0))
+                             : Event::heapClass;
+        return ev;
+    }
+
+    /**
+     * Schedule `(owner->*MemFn)(args...)` at absolute tick @p when via
+     * a pooled BoundEvent. This is the hot-path replacement for the
+     * lambda shim: statically typed, no type erasure, recycled memory.
+     */
+    template <auto MemFn, typename Owner, typename... Args>
+    void
+    post(Tick when, Owner *owner, Args... args)
+    {
+        using Ev = BoundEvent<MemFn, Owner, Args...>;
+        schedule(make<Ev>(owner, std::move(args)...), when);
+    }
+
+    /** As post(), @p delay ticks from now. */
+    template <auto MemFn, typename Owner, typename... Args>
+    void
+    postIn(Tick delay, Owner *owner, Args... args)
+    {
+        post<MemFn>(curTick_ + delay, owner, std::move(args)...);
+    }
+
+    /**
+     * Schedule @p ev at absolute tick @p when (>= now). Pool events
+     * (from make()) are consumed by firing; externally owned events are
+     * left untouched afterwards and may be rescheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    // ---- std::function compatibility shim (cold callers) -----------
 
     /** Schedule @p fn to run at absolute tick @p when (>= now). */
     void scheduleAt(Tick when, EventFn fn);
@@ -44,14 +146,11 @@ class EventQueue
         scheduleAt(curTick_ + delay, std::move(fn));
     }
 
-    /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
-
-    /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    // ---- execution -------------------------------------------------
 
     /**
-     * Run until the queue drains or @p limit ticks is reached.
+     * Run until the queue drains or @p limit ticks is reached; see the
+     * file comment for the exact end-time semantics.
      * @return the final simulated time.
      */
     Tick run(Tick limit = maxTick);
@@ -59,32 +158,181 @@ class EventQueue
     /** Execute at most one event. @return false if queue was empty. */
     bool step();
 
+    /** Number of pending events. */
+    std::size_t
+    pending() const
+    {
+        return ringCount_ + coarseCount_ + overflow_.size();
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return pending() == 0; }
+
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Pool blocks handed out that were recycled (telemetry). */
+    std::uint64_t poolRecycled() const { return poolRecycled_; }
+
+    /** Pool blocks obtained from the heap (telemetry). */
+    std::uint64_t poolFresh() const { return poolFresh_; }
+
   private:
-    struct Entry
+    // ---- calendar geometry ----
+    static constexpr unsigned bucketShift = 6;  ///< 64-tick buckets
+    static constexpr unsigned bucketBits = 9;   ///< 512 buckets
+    static constexpr std::size_t numBuckets = 1u << bucketBits;
+    static constexpr std::size_t bucketMask = numBuckets - 1;
+    static constexpr Tick windowSpan = static_cast<Tick>(numBuckets)
+                                       << bucketShift; // 32768 ticks
+
+    static constexpr unsigned coarseShift = 12; ///< 4096-tick bands
+    static constexpr unsigned coarseBits = 9;   ///< 512 bands
+    static constexpr std::size_t numCoarse = 1u << coarseBits;
+    static constexpr std::size_t coarseMask = numCoarse - 1;
+    static constexpr Tick coarseWidth = Tick{1} << coarseShift;
+    static constexpr Tick coarseSpan = static_cast<Tick>(numCoarse)
+                                       << coarseShift; // ~2.1M ticks
+
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    /** Strict (tick, seq) order. */
+    static bool
+    before(const Event *a, const Event *b)
+    {
+        if (a->when_ != b->when_)
+            return a->when_ < b->when_;
+        return a->seq_ < b->seq_;
+    }
+
+    std::size_t bucketOf(Tick t) const {
+        return (t >> bucketShift) & bucketMask;
+    }
+    std::size_t bandOf(Tick t) const {
+        return (t >> coarseShift) & coarseMask;
+    }
+
+    /** Route @p ev (fields already stamped) to ring/coarse/heap. */
+    void enqueue(Event *ev);
+
+    /** Sorted-insert @p ev into its window bucket (O(1) when monotone). */
+    void insertRing(Event *ev);
+
+    /**
+     * Slide the near window base to cover @p t; migrates coarse bands
+     * the horizon passed over into the ring and far-heap events that
+     * entered the coarse span into the wheel.
+     */
+    void advanceWindowTo(Tick t);
+
+    /** Migrate coarse bands / heap entries up to horizon @p new_h. */
+    void slideHorizon(Tick new_h);
+
+    /**
+     * Jump the near window (not the clock) forward to the first
+     * non-empty coarse band and migrate it into the ring. Pre:
+     * ringCount_ == 0 && coarseCount_ > 0. Post: ringCount_ > 0.
+     */
+    void pullCoarse();
+
+    /**
+     * Tick of the earliest pending event (maxTick if none) without
+     * structural mutation.
+     */
+    Tick nextPendingTick() const;
+
+    /**
+     * Unlink and return the earliest pending event. Pre: not empty.
+     * May jump the window (never the clock) to reach coarse events.
+     */
+    Event *extractNext();
+
+    /** Advance the clock to @p ev, fire it, and recycle it. */
+    void fireExtracted(Event *ev);
+
+    /** Destroy a fired/cancelled event according to its ownership. */
+    void retire(Event *ev);
+
+    /** First set bit at/after @p start in @p bits (wrapping scan). */
+    template <std::size_t Words>
+    static std::size_t nextSetBit(const std::uint64_t (&bits)[Words],
+                                  std::size_t start);
+
+    // ---- pool ----
+    static constexpr std::size_t classGrain = 16;
+    static constexpr std::size_t numClasses = 16; ///< up to 256 bytes
+
+    /** Size class of an allocation: 0 covers 1-16 bytes, 15 covers
+        241-256; anything larger falls back to the plain heap. */
+    static constexpr std::size_t classOf(std::size_t bytes) {
+        return (bytes - 1) / classGrain;
+    }
+    static constexpr std::size_t classBytes(std::size_t cls) {
+        return (cls + 1) * classGrain;
+    }
+
+    void *allocRaw(std::size_t cls, std::size_t bytes);
+    void releaseRaw(void *mem, std::size_t cls);
+
+    /**
+     * Far-heap entry: the ordering key is replicated next to the
+     * pointer so heap sifts compare without dereferencing the event.
+     */
+    struct OverflowEntry
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
+        Event *ev;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr std::size_t numWords = numBuckets / 64;
+    static constexpr std::size_t numCoarseWords = numCoarse / 64;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<Bucket> ring_ = std::vector<Bucket>(numBuckets);
+    std::vector<Bucket> coarse_ = std::vector<Bucket>(numCoarse);
+    std::vector<OverflowEntry> overflow_; ///< min-heap by (tick, seq)
+    std::size_t ringCount_ = 0;
+    std::size_t coarseCount_ = 0;
+
+    Tick windowBase_ = 0;
+    /** Band-aligned end of the near window / start of the coarse span. */
+    Tick nearHorizon_ = windowSpan;
+
+    /** One bit per bucket/band: set iff non-empty. */
+    std::uint64_t occupied_[numWords] = {};
+    std::uint64_t coarseOccupied_[numCoarseWords] = {};
+
+    /**
+     * One-slot peek cache: the ring bucket found by nextPendingTick(),
+     * consumed by the immediately following extractNext(). Invalidated
+     * by any ring insert.
+     */
+    mutable bool peekValid_ = false;
+    mutable std::size_t peekIdx_ = 0;
+
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+
+    void *freeLists_[numClasses] = {};
+    std::uint64_t poolRecycled_ = 0;
+    std::uint64_t poolFresh_ = 0;
+};
+
+/** Pooled wrapper firing a type-erased std::function (compat shim). */
+class LambdaEvent final : public Event
+{
+  public:
+    explicit LambdaEvent(EventFn fn) : fn_(std::move(fn)) {}
+    void fire() override { fn_(); }
+    const char *name() const override { return "lambda"; }
+
+  private:
+    EventFn fn_;
 };
 
 } // namespace tdm::sim

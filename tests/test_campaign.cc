@@ -319,3 +319,16 @@ TEST(Report, JsonAndCsvWriters)
     EXPECT_NE(c.find("\"sw, \"\"quoted\"\"\""), std::string::npos);
     EXPECT_NE(c.find("writers,tdm,"), std::string::npos);
 }
+
+TEST(Report, CsvFieldQuotesPerRfc4180)
+{
+    EXPECT_EQ(report::csvField("plain"), "plain");
+    EXPECT_EQ(report::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(report::csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(report::csvField("line\nbreak"), "\"line\nbreak\"");
+    // A bare carriage return corrupts rows for CRLF-aware readers just
+    // like \n does and must be quoted too (regression: it used to slip
+    // through unquoted).
+    EXPECT_EQ(report::csvField("crlf\r\nlabel"), "\"crlf\r\nlabel\"");
+    EXPECT_EQ(report::csvField("cr\ronly"), "\"cr\ronly\"");
+}

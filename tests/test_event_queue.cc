@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "sim/event_queue.hh"
 
 using namespace tdm;
@@ -77,6 +80,70 @@ TEST(EventQueue, RunHonorsLimit)
     EXPECT_EQ(fired, 2);
 }
 
+// ---- run(limit) end-time semantics (regression tests) -----------------
+//
+// Documented behavior: events with when <= limit fire; if events remain
+// pending the clock advances to exactly `limit`; if the queue drains the
+// clock stays at the last executed event; the clock never moves
+// backwards.
+
+TEST(EventQueue, RunDrainBeforeLimitStopsAtLastEvent)
+{
+    sim::EventQueue eq;
+    eq.scheduleAt(40, [] {});
+    eq.scheduleAt(70, [] {});
+    EXPECT_EQ(eq.run(10000), 70u);
+    EXPECT_EQ(eq.now(), 70u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunStopAtLimitClampsClockExactly)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAt(500, [&] { ++fired; });
+    EXPECT_EQ(eq.run(123), 123u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // The put-back event keeps its original order and still fires.
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, EventExactlyAtLimitFires)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(100, [&] { ++fired; });
+    eq.scheduleAt(101, [&] { ++fired; });
+    EXPECT_EQ(eq.run(100), 100u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunNeverMovesClockBackwards)
+{
+    sim::EventQueue eq;
+    eq.scheduleAt(100, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+    // A limit in the past executes nothing and leaves now() alone.
+    EXPECT_EQ(eq.run(50), 100u);
+    EXPECT_EQ(eq.now(), 100u);
+    eq.scheduleAt(200, [] {});
+    EXPECT_EQ(eq.run(50), 100u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunOnEmptyQueueKeepsClock)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.run(1000), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
 TEST(EventQueue, StepExecutesSingleEvent)
 {
     sim::EventQueue eq;
@@ -90,10 +157,252 @@ TEST(EventQueue, StepExecutesSingleEvent)
     EXPECT_EQ(eq.executed(), 2u);
 }
 
+// ---- typed pooled events ----------------------------------------------
+
+namespace {
+
+struct Widget
+{
+    sim::EventQueue *eq = nullptr;
+    std::vector<int> log;
+
+    void poke(int v) { log.push_back(v); }
+
+    void
+    pokeTwice(int v)
+    {
+        log.push_back(v);
+        eq->postIn<&Widget::poke>(5, this, v + 1);
+    }
+};
+
+/** Externally owned event that re-arms itself a fixed number of times. */
+struct RepeatEvent : sim::Event
+{
+    sim::EventQueue *eq;
+    int remaining;
+    int fired = 0;
+
+    RepeatEvent(sim::EventQueue *q, int n) : eq(q), remaining(n) {}
+
+    void
+    fire() override
+    {
+        ++fired;
+        if (--remaining > 0)
+            eq->schedule(this, when() + 10);
+    }
+};
+
+} // namespace
+
+TEST(EventQueue, TypedMemberEventsFire)
+{
+    sim::EventQueue eq;
+    Widget w{&eq, {}};
+    eq.post<&Widget::poke>(20, &w, 2);
+    eq.post<&Widget::poke>(10, &w, 1);
+    eq.post<&Widget::pokeTwice>(30, &w, 3);
+    eq.run();
+    EXPECT_EQ(w.log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 35u);
+}
+
+TEST(EventQueue, PooledEventsAreRecycled)
+{
+    sim::EventQueue eq;
+    Widget w{&eq, {}};
+    for (int round = 0; round < 100; ++round) {
+        eq.post<&Widget::poke>(eq.now() + 1, &w, round);
+        eq.run();
+    }
+    EXPECT_EQ(w.log.size(), 100u);
+    // Steady state reuses freed blocks instead of touching the heap:
+    // after the first allocation every identical post recycles it.
+    EXPECT_GE(eq.poolRecycled(), 98u);
+    EXPECT_LE(eq.poolFresh(), 2u);
+}
+
+namespace {
+
+/** Pooled event that re-arms itself from inside fire(). */
+struct PooledRepeat final : sim::Event
+{
+    sim::EventQueue *eq;
+    int *fired;
+    int remaining;
+
+    PooledRepeat(sim::EventQueue *q, int *f, int n)
+        : eq(q), fired(f), remaining(n)
+    {}
+
+    void
+    fire() override
+    {
+        ++*fired;
+        if (--remaining > 0)
+            eq->schedule(this, when() + 7);
+        // On the final firing the queue recycles this object.
+    }
+};
+
+} // namespace
+
+TEST(EventQueue, PooledEventMayRescheduleItselfFromFire)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(eq.make<PooledRepeat>(&eq, &fired, 4), 10);
+    eq.run();
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.now(), 31u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExternalEventsSurviveAndReschedule)
+{
+    sim::EventQueue eq;
+    RepeatEvent ev(&eq, 5);
+    eq.schedule(&ev, 100);
+    eq.run();
+    EXPECT_EQ(ev.fired, 5);
+    EXPECT_EQ(eq.now(), 140u);
+    EXPECT_FALSE(ev.scheduled());
+    // Still usable after the queue is done with it.
+    eq.schedule(&ev, 200);
+    eq.run();
+    EXPECT_EQ(ev.fired, 6);
+}
+
+// ---- calendar-queue internals: far-future and migration ---------------
+
+TEST(EventQueue, FarFutureEventsFireInOrder)
+{
+    // Spread events across all three calendar levels: the near ring
+    // (< 32768), the coarse wheel (< ~2.13M past the horizon), and the
+    // far overflow heap beyond that.
+    sim::EventQueue eq;
+    std::vector<sim::Tick> order;
+    for (sim::Tick t : {sim::Tick{5}, sim::Tick{1000000}, sim::Tick{70000},
+                        sim::Tick{9000000}, sim::Tick{33000}, sim::Tick{64},
+                        sim::Tick{999999}, sim::Tick{3000000}})
+        eq.scheduleAt(t, [&order, t] { order.push_back(t); });
+    EXPECT_EQ(eq.pending(), 8u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<sim::Tick>{5, 64, 33000, 70000, 999999,
+                                             1000000, 3000000, 9000000}));
+}
+
+TEST(EventQueue, OverflowHeapTierKeepsScheduleOrder)
+{
+    // Two events at the same far tick, scheduled from opposite tiers:
+    // the first enters the overflow heap (> ~2.13M ahead), the second
+    // is scheduled later (higher seq) once the same tick is near. The
+    // heap event must still fire first after migrating down through
+    // the coarse wheel and ring.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    constexpr sim::Tick far = 5000000;
+    eq.scheduleAt(far, [&] { order.push_back(1) ; }); // heap tier
+    eq.scheduleAt(far - 10, [&] {
+        eq.scheduleAt(far, [&] { order.push_back(2); }); // ring tier
+    });
+    // A lone intermediate event forces a long horizon jump over mostly
+    // empty coarse bands on the way.
+    eq.scheduleAt(2500000, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(EventQueue, DistantLoneEventDoesNotStallTheClockAdvance)
+{
+    // A single event scheduled eons ahead must be reached by jumping
+    // the calendar, not by sweeping every band in between.
+    sim::EventQueue eq;
+    bool fired = false;
+    constexpr sim::Tick eon = sim::Tick{1} << 45; // ~3.5e13
+    eq.scheduleAt(eon, [&] { fired = true; });
+    EXPECT_EQ(eq.run(), eon);
+    EXPECT_TRUE(fired);
+    // And a finite-limit clamp below a pending far event as well.
+    eq.scheduleAt(eon * 2, [] {});
+    EXPECT_EQ(eq.run(eon * 2 - 1000), eon * 2 - 1000);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, MigratedOverflowEventKeepsScheduleOrder)
+{
+    // A far-future event scheduled first must fire before a same-tick
+    // event scheduled later (lower sequence number wins), even though
+    // one migrates out of the overflow heap and the other is inserted
+    // into the ring directly.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(100000, [&] { order.push_back(1); }); // overflow
+    eq.scheduleAt(99000, [&] {
+        // By now the window covers 100000: this sibling goes straight
+        // into the ring next to the migrated event.
+        eq.scheduleAt(100000, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RandomScheduleFiresInTickSeqOrder)
+{
+    sim::EventQueue eq;
+    // Deterministic LCG spanning ring and overflow distances.
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+    };
+    struct Fired { sim::Tick when; int idx; };
+    std::vector<Fired> fired;
+    int idx = 0;
+    for (int i = 0; i < 2000; ++i) {
+        // Span all three tiers: ring, coarse wheel, and overflow heap.
+        sim::Tick t = next() % 6000000;
+        int my = idx++;
+        eq.scheduleAt(t, [&fired, t, my] { fired.push_back({t, my}); });
+    }
+    eq.run();
+    ASSERT_EQ(fired.size(), 2000u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        ASSERT_GE(fired[i].when, fired[i - 1].when);
+        if (fired[i].when == fired[i - 1].when) {
+            ASSERT_GT(fired[i].idx, fired[i - 1].idx);
+        }
+    }
+}
+
+TEST(EventQueue, PendingEventsFreedOnDestruction)
+{
+    // Pool and external events left pending must not leak or crash.
+    auto eq = std::make_unique<sim::EventQueue>();
+    Widget w{eq.get(), {}};
+    RepeatEvent ev(eq.get(), 3);
+    eq->post<&Widget::poke>(10, &w, 1);   // near ring
+    eq->scheduleAt(500000, [] {});        // coarse wheel
+    eq->scheduleAt(10000000, [] {});      // overflow heap
+    eq->schedule(&ev, 99);
+    eq.reset();
+    EXPECT_TRUE(w.log.empty()); // nothing fired
+}
+
 TEST(EventQueueDeath, PastSchedulingPanics)
 {
     sim::EventQueue eq;
     eq.scheduleAt(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    sim::EventQueue eq;
+    RepeatEvent ev(&eq, 1);
+    eq.schedule(&ev, 10);
+    EXPECT_DEATH(eq.schedule(&ev, 20), "already pending");
 }

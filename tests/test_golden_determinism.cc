@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Golden-determinism guard for the event kernel.
+ *
+ * The intrusive pooled-event calendar queue must preserve the seed
+ * kernel's (tick, seq) execution order bit-for-bit. These makespans
+ * were captured from full-machine runs of the creation-bound and
+ * pipeline benchmarks under both software-pool schedulers *before* the
+ * kernel swap (with the PR's locality-scheduler fix already applied,
+ * since that intentionally changes locality schedules) and must never
+ * drift: any change here means the kernel reordered events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hh"
+
+using namespace tdm;
+
+namespace {
+
+struct Golden
+{
+    core::RuntimeType runtime;
+    const char *workload;
+    const char *scheduler;
+    sim::Tick makespan;
+};
+
+const Golden goldens[] = {
+    {core::RuntimeType::Tdm, "cholesky", "fifo", 142451635ull},
+    {core::RuntimeType::Tdm, "cholesky", "locality", 144116539ull},
+    {core::RuntimeType::Tdm, "lu", "fifo", 46711567ull},
+    {core::RuntimeType::Tdm, "lu", "locality", 45515187ull},
+    {core::RuntimeType::Tdm, "dedup", "fifo", 809107314ull},
+    {core::RuntimeType::Tdm, "dedup", "locality", 801222268ull},
+    {core::RuntimeType::Software, "cholesky", "fifo", 157277791ull},
+    {core::RuntimeType::Software, "cholesky", "locality", 160051164ull},
+    {core::RuntimeType::Software, "lu", "fifo", 47266035ull},
+    {core::RuntimeType::Software, "lu", "locality", 45521241ull},
+    {core::RuntimeType::Software, "dedup", "fifo", 809344123ull},
+    {core::RuntimeType::Software, "dedup", "locality", 801426713ull},
+};
+
+class GoldenDeterminism : public ::testing::TestWithParam<Golden>
+{};
+
+} // namespace
+
+TEST_P(GoldenDeterminism, MakespanIsByteIdenticalToSeedKernel)
+{
+    const Golden &g = GetParam();
+    driver::Experiment e;
+    e.workload = g.workload;
+    e.runtime = g.runtime;
+    e.scheduler = g.scheduler;
+    driver::RunSummary s = driver::run(e);
+    ASSERT_TRUE(s.completed);
+    EXPECT_EQ(s.makespan, g.makespan)
+        << "event kernel changed the execution order for " << g.workload
+        << "/" << g.scheduler;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldens, GoldenDeterminism, ::testing::ValuesIn(goldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(core::traitsOf(info.param.runtime).name) + "_"
+             + info.param.workload + "_" + info.param.scheduler;
+    });

@@ -83,6 +83,24 @@ TEST(Locality, StealsFromFullestList)
     EXPECT_EQ(t->id, 2u);
 }
 
+TEST(Locality, OwnerPopsNewestThiefStealsOldest)
+{
+    // Section VI rationale: the owner's newest successor is the one
+    // whose inputs are hottest in its cache; a thief should take the
+    // oldest (coldest) entry so the owner keeps its hot work.
+    auto s = rt::makeScheduler("locality", 4);
+    s->push(task(1, 0, 2)); // oldest on core 2
+    s->push(task(2, 0, 2));
+    s->push(task(3, 0, 2)); // newest on core 2
+    // Owner pops newest-first (LIFO over its own list).
+    EXPECT_EQ(s->pop(2)->id, 3u);
+    // A thief takes the oldest remaining entry of the victim's list.
+    EXPECT_EQ(s->pop(0)->id, 1u);
+    // The owner still finds its (now) newest entry next.
+    EXPECT_EQ(s->pop(2)->id, 2u);
+    EXPECT_TRUE(s->empty());
+}
+
 TEST(Successor, HighPriorityAboveThreshold)
 {
     auto s = rt::makeScheduler("successor", 4, /*threshold=*/1);
