@@ -25,7 +25,7 @@ main()
     for (const auto &w : wl::allWorkloads()) {
         driver::Experiment e;
         e.workload = w.name;
-        e.scheduler = "fifo";
+        e.config.scheduler = "fifo";
         e.runtime = core::RuntimeType::Software;
         auto s_sw = driver::run(e);
         e.runtime = core::RuntimeType::Tdm;

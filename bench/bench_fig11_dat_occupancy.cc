@@ -24,7 +24,7 @@ occupancy(const std::string &wl_name, bool dynamic, unsigned bit)
     driver::Experiment e;
     e.workload = wl_name;
     e.runtime = core::RuntimeType::Tdm;
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     e.config.dmu.dynamicDatIndex = dynamic;
     e.config.dmu.staticDatIndexBit = bit;
     auto s = driver::run(e);

@@ -29,7 +29,7 @@ main()
         driver::Experiment e;
         e.workload = w.name;
         e.runtime = core::RuntimeType::Software;
-        e.scheduler = "fifo";
+        e.config.scheduler = "fifo";
         auto s = driver::run(e);
         if (!s.completed) {
             std::cout << w.shortName << ": run did not complete\n";

@@ -26,7 +26,7 @@ main()
             driver::Experiment e;
             e.workload = w.name;
             e.runtime = core::RuntimeType::Software;
-            e.scheduler = "fifo";
+            e.config.scheduler = "fifo";
             e.params.granularity = g;
             auto s = driver::run(e);
             times.push_back(s.completed ? s.timeMs : -1.0);

@@ -5,73 +5,97 @@
  * Shown for the sensitive benchmarks (cholesky, ferret, histogram,
  * LU, QR) plus the geometric mean over all nine.
  *
+ * The study is declared as a spec grid (the same API behind *.campaign
+ * files) and executes on the campaign engine; pass --threads N to
+ * control the pool (default: all hardware threads).
+ *
  * Paper reference point: 2048-entry TAT and DAT lose only ~0.9% vs the
  * ideal on average.
  */
 
 #include <iostream>
-#include <map>
+#include <string>
 
-#include "driver/experiment.hh"
+#include "driver/campaign/engine.hh"
 #include "driver/report.hh"
+#include "driver/spec/grid.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
+namespace cmp = tdm::driver::campaign;
+namespace spc = tdm::driver::spec;
 
 namespace {
 
-double
-runWith(const std::string &wl_name, unsigned tat, unsigned dat)
+/**
+ * Shared methodology (Section V-A): the Age policy executes tasks in
+ * creation order whatever the creation run-ahead, so alias-table
+ * capacity is the only variable (FIFO would conflate capacity with its
+ * own window-order effects). Unlimited list arrays, no creation
+ * throttle, and no memory model, so capacity stalls are isolated.
+ */
+spc::Grid
+baseGrid()
 {
-    driver::Experiment e;
-    e.workload = wl_name;
-    e.runtime = core::RuntimeType::Tdm;
-    // The Age policy executes tasks in creation order whatever the
-    // creation run-ahead, so alias-table capacity is the only variable
-    // (FIFO would conflate capacity with its own window-order effects:
-    // a small TAT accidentally improves FIFO's schedule on cholesky).
-    e.scheduler = "age";
-    e.config.dmu.tatEntries = tat;
-    e.config.dmu.datEntries = dat;
-    e.config.dmu.readyQueueEntries = tat;
-    // Paper methodology (Section V-A): unlimited list arrays, and no
-    // software creation throttle, so the alias tables are the only
-    // capacity limit.
-    e.config.dmu.slaEntries = 65536;
-    e.config.dmu.dlaEntries = 65536;
-    e.config.dmu.rlaEntries = 65536;
-    e.config.throttleTasks = 1u << 30;
-    // Isolate capacity stalls: deep creation run-ahead perturbs L2
-    // locality in our region-cache model, which would mask (and for
-    // cholesky even invert) the structural effect the paper measures.
-    e.config.enableMemModel = false;
-    auto s = driver::run(e);
-    return s.completed ? static_cast<double>(s.makespan) : -1.0;
+    return spc::Grid()
+        .set("runtime", "tdm")
+        .set("scheduler", "age")
+        .set("dmu.sla_entries", "65536")
+        .set("dmu.dla_entries", "65536")
+        .set("dmu.rla_entries", "65536")
+        .set("machine.throttle_tasks", "1073741824")
+        .set("machine.mem_model", "false")
+        .label("{workload}/tat{dmu.tat_entries}/dat{dmu.dat_entries}");
+}
+
+std::string
+pointLabel(const std::string &wl_name, unsigned tat, unsigned dat)
+{
+    return wl_name + "/tat" + std::to_string(tat) + "/dat"
+         + std::to_string(dat);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<unsigned> sizes = {512, 1024, 2048, 4096};
     const unsigned ideal = 65536;
     const std::vector<std::string> shown = {"cholesky", "ferret",
                                             "histogram", "lu", "qr"};
 
-    // Relative performance per benchmark per (tat, dat).
-    std::map<std::string, std::map<std::pair<unsigned, unsigned>,
-                                   double>> perf;
-    for (const auto &w : wl::allWorkloads()) {
-        double base = runWith(w.name, ideal, ideal);
-        for (unsigned tat : sizes) {
-            for (unsigned dat : sizes) {
-                double t = runWith(w.name, tat, dat);
-                perf[w.name][{tat, dat}] =
-                    t > 0 && base > 0 ? base / t : 0.0;
-            }
-        }
-    }
+    std::vector<std::string> workloads;
+    for (const auto &w : wl::allWorkloads())
+        workloads.push_back(w.name);
+
+    // The Ready Queue tracks the TAT size, so the two zip together.
+    std::vector<std::vector<std::string>> tatRows, idealRow;
+    for (unsigned tat : sizes)
+        tatRows.push_back({std::to_string(tat), std::to_string(tat)});
+    idealRow.push_back({std::to_string(ideal), std::to_string(ideal)});
+
+    spc::Grid grid = baseGrid()
+        .axis("workload", workloads)
+        .zip({"dmu.tat_entries", "dmu.ready_queue_entries"}, tatRows)
+        .axis("dmu.dat_entries", spc::valueStrings({512, 1024, 2048,
+                                                    4096}));
+    spc::Grid idealGrid = baseGrid()
+        .axis("workload", workloads)
+        .zip({"dmu.tat_entries", "dmu.ready_queue_entries"}, idealRow)
+        .axis("dmu.dat_entries", spc::valueStrings({65536}));
+
+    cmp::CampaignEngine engine(cmp::benchEngineOptions(argc, argv));
+    cmp::CampaignResult rep =
+        engine.run(grid.toCampaign("fig7", "TAT/DAT sizing sweep"));
+    cmp::CampaignResult idealRep = engine.run(
+        idealGrid.toCampaign("fig7_ideal", "unlimited-DMU baseline"));
+
+    auto makespan = [](const cmp::JobResult &j) {
+        return j.summary.completed
+                   ? static_cast<double>(j.summary.makespan)
+                   : -1.0;
+    };
 
     for (unsigned tat : sizes) {
         sim::Table t("Figure 7: perf vs ideal, TAT="
@@ -80,21 +104,31 @@ main()
         for (unsigned dat : sizes)
             head.push_back("DAT " + std::to_string(dat));
         t.header(head);
+        auto relPerf = [&](const std::string &name, unsigned dat) {
+            const double base = makespan(
+                idealRep.at(pointLabel(name, ideal, ideal)));
+            const double v =
+                makespan(rep.at(pointLabel(name, tat, dat)));
+            return v > 0 && base > 0 ? base / v : 0.0;
+        };
         for (const auto &name : shown) {
             auto &row = t.row().cell(wl::findWorkload(name).shortName);
             for (unsigned dat : sizes)
-                row.cell(perf[name][{tat, dat}], 3);
+                row.cell(relPerf(name, dat), 3);
         }
         auto &avg = t.row().cell("AVG(all 9)");
         for (unsigned dat : sizes) {
             std::vector<double> v;
-            for (const auto &w : wl::allWorkloads())
-                v.push_back(perf[w.name][{tat, dat}]);
+            for (const auto &name : workloads)
+                v.push_back(relPerf(name, dat));
             avg.cell(driver::geomean(v), 3);
         }
         t.print(std::cout);
         std::cout << '\n';
     }
     std::cout << "paper: TAT=DAT=2048 -> 0.991 of ideal on average\n";
-    return 0;
+    std::cout << "campaign: " << rep.jobs.size() + idealRep.jobs.size()
+              << " points, " << rep.simulated + idealRep.simulated
+              << " simulated, " << rep.threads << " threads\n";
+    return rep.allOk() && idealRep.allOk() ? 0 : 1;
 }

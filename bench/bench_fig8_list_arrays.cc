@@ -24,7 +24,7 @@ runWith(const std::string &wl_name, unsigned sla, unsigned dla,
     driver::Experiment e;
     e.workload = wl_name;
     e.runtime = core::RuntimeType::Tdm;
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     e.config.dmu.slaEntries = sla;
     e.config.dmu.dlaEntries = dla;
     e.config.dmu.rlaEntries = rla;

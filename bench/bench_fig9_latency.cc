@@ -24,7 +24,7 @@ runWith(const std::string &wl_name, unsigned cycles)
     driver::Experiment e;
     e.workload = wl_name;
     e.runtime = core::RuntimeType::Tdm;
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     e.config.dmu.accessCycles = cycles;
     auto s = driver::run(e);
     return s.completed ? static_cast<double>(s.makespan) : -1.0;

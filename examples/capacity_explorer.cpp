@@ -28,7 +28,7 @@ main(int argc, char **argv)
     driver::Experiment base;
     base.workload = info.name;
     base.runtime = core::RuntimeType::Tdm;
-    base.scheduler = "fifo";
+    base.config.scheduler = "fifo";
     auto ref = driver::run(base);
     if (!ref.completed) {
         std::cout << "reference run failed\n";

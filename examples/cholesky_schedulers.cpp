@@ -32,7 +32,7 @@ main()
                          core::RuntimeType::Tdm}) {
         e.runtime = runtime;
         for (const auto &sched : rt::allSchedulerNames()) {
-            e.scheduler = sched;
+            e.config.scheduler = sched;
             auto s = driver::run(e);
             if (!s.completed)
                 continue;
@@ -45,7 +45,7 @@ main()
     for (auto runtime : {core::RuntimeType::Carbon,
                          core::RuntimeType::TaskSuperscalar}) {
         e.runtime = runtime;
-        e.scheduler = "fifo";
+        e.config.scheduler = "fifo";
         auto s = driver::run(e);
         if (s.completed)
             entries.push_back({core::traitsOf(runtime).name, s.timeMs,

@@ -1,14 +1,16 @@
 /**
  * @file
  * Built-in campaigns: the multi-point paper figures and ablations,
- * expressed as named point sets so the engine (and the campaign_run
- * CLI) can execute them. The bench binaries build their tables from
- * these same definitions, so figure output and campaign output can
- * never drift apart.
+ * declared as spec grids so the engine (and the campaign_run CLI) can
+ * execute them. The bench binaries build their tables from these same
+ * definitions, so figure output and campaign output can never drift
+ * apart — and test_spec.cc pins the grid expansions byte-identical
+ * (labels and fingerprints) to the historical hand-coded loops.
  */
 
 #include "driver/campaign/campaign.hh"
 
+#include "driver/spec/grid.hh"
 #include "runtime/scheduler.hh"
 #include "workloads/registry.hh"
 
@@ -16,77 +18,74 @@ namespace tdm::driver::campaign {
 
 namespace {
 
-SweepPoint
-point(const std::string &workload, core::RuntimeType runtime,
-      const std::string &scheduler)
+std::vector<std::string>
+workloadNames()
 {
-    Experiment e;
-    e.workload = workload;
-    e.runtime = runtime;
-    e.scheduler = scheduler;
-    return SweepPoint{
-        pointLabel(workload, core::traitsOf(runtime).name, scheduler), e};
+    std::vector<std::string> names;
+    for (const auto &w : wl::allWorkloads())
+        names.push_back(w.name);
+    return names;
 }
 
 /** Figure 12: every (SW, TDM) x scheduler combination per benchmark. */
-Campaign
-makeFig12()
+spec::Grid
+fig12Grid()
 {
-    Campaign c;
-    for (const auto &w : wl::allWorkloads()) {
-        for (const auto &s : rt::allSchedulerNames())
-            c.points.push_back(point(w.name, core::RuntimeType::Software, s));
-        for (const auto &s : rt::allSchedulerNames())
-            c.points.push_back(point(w.name, core::RuntimeType::Tdm, s));
-    }
-    return c;
+    return spec::Grid()
+        .axis("workload", workloadNames())
+        .axis("runtime", {"sw", "tdm"})
+        .axis("scheduler", rt::allSchedulerNames())
+        .label("{workload}/{runtime}/{scheduler}");
 }
 
 /** Figure 13: SW baseline, Carbon, Task Superscalar, TDM x schedulers. */
-Campaign
-makeFig13()
+spec::Grid
+fig13Grid()
 {
-    Campaign c;
-    for (const auto &w : wl::allWorkloads()) {
-        c.points.push_back(
-            point(w.name, core::RuntimeType::Software, "fifo"));
-        c.points.push_back(
-            point(w.name, core::RuntimeType::Carbon, "fifo"));
-        c.points.push_back(
-            point(w.name, core::RuntimeType::TaskSuperscalar, "fifo"));
-        for (const auto &s : rt::allSchedulerNames())
-            c.points.push_back(point(w.name, core::RuntimeType::Tdm, s));
-    }
-    return c;
+    // The runtime/scheduler combinations are not a product: the three
+    // baselines run FIFO only, TDM runs every policy — a list axis.
+    std::vector<std::vector<std::string>> rows = {
+        {"sw", "fifo"}, {"carbon", "fifo"}, {"tss", "fifo"}};
+    for (const auto &s : rt::allSchedulerNames())
+        rows.push_back({"tdm", s});
+    return spec::Grid()
+        .axis("workload", workloadNames())
+        .zip({"runtime", "scheduler"}, std::move(rows))
+        .label("{workload}/{runtime}/{scheduler}");
 }
 
 /** Core-count scaling ablation: SW vs TDM at 8..64 cores. */
-Campaign
-makeAblationScaling()
+spec::Grid
+ablationScalingGrid()
 {
-    static const unsigned coreCounts[] = {8, 16, 32, 64};
-    static const char *workloads[] = {"cholesky", "qr", "streamcluster"};
-
-    Campaign c;
-    for (const char *w : workloads) {
-        for (unsigned cores : coreCounts) {
-            for (core::RuntimeType rt_ : {core::RuntimeType::Software,
-                                          core::RuntimeType::Tdm}) {
-                SweepPoint p = point(w, rt_, "fifo");
-                p.exp.config.numCores = cores;
-                // Mesh must fit cores + the DMU node.
-                unsigned dim = 2;
-                while (dim * dim < cores + 1)
-                    ++dim;
-                p.exp.config.mesh.width = dim;
-                p.exp.config.mesh.height = dim;
-                p.label = std::string(w) + "/c" + std::to_string(cores)
-                        + "/" + core::traitsOf(rt_).name;
-                c.points.push_back(std::move(p));
-            }
-        }
+    // The mesh must fit cores + the DMU node, so the core count zips
+    // with its fitted mesh dimension instead of sweeping alone.
+    std::vector<std::vector<std::string>> coreRows;
+    for (unsigned cores : {8u, 16u, 32u, 64u}) {
+        unsigned dim = 2;
+        while (dim * dim < cores + 1)
+            ++dim;
+        coreRows.push_back({std::to_string(cores), std::to_string(dim),
+                            std::to_string(dim)});
     }
-    return c;
+    return spec::Grid()
+        .axis("workload", {"cholesky", "qr", "streamcluster"})
+        .zip({"machine.cores", "mesh.width", "mesh.height"},
+             std::move(coreRows))
+        .axis("runtime", {"sw", "tdm"})
+        .label("{workload}/c{machine.cores}/{runtime}");
+}
+
+void
+registerGrid(const std::string &name, const std::string &description,
+             spec::Grid (*build)())
+{
+    registerCampaign(
+        name, description,
+        [name, description, build] {
+            return build().toCampaign(name, description);
+        },
+        [build] { return build().size(); });
 }
 
 } // namespace
@@ -97,17 +96,17 @@ void
 registerBuiltinCampaigns()
 {
     static const bool once = [] {
-        registerCampaign("fig12",
-                         "Fig. 12: scheduler sweep under SW and TDM",
-                         makeFig12);
-        registerCampaign("fig13",
-                         "Fig. 13: Carbon / Task Superscalar / TDM "
-                         "vs the SW baseline",
-                         makeFig13);
-        registerCampaign("ablation_scaling",
-                         "Core-count scaling ablation: SW vs TDM at "
-                         "8-64 cores",
-                         makeAblationScaling);
+        registerGrid("fig12",
+                     "Fig. 12: scheduler sweep under SW and TDM",
+                     fig12Grid);
+        registerGrid("fig13",
+                     "Fig. 13: Carbon / Task Superscalar / TDM "
+                     "vs the SW baseline",
+                     fig13Grid);
+        registerGrid("ablation_scaling",
+                     "Core-count scaling ablation: SW vs TDM at "
+                     "8-64 cores",
+                     ablationScalingGrid);
         return true;
     }();
     (void)once;

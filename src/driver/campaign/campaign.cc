@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "driver/spec/spec.hh"
 #include "sim/logging.hh"
 
 namespace tdm::driver::campaign {
@@ -13,6 +14,7 @@ struct RegistryEntry
 {
     std::string description;
     CampaignFactory factory;
+    CampaignCounter counter;
 };
 
 std::map<std::string, RegistryEntry> &
@@ -31,9 +33,10 @@ void registerBuiltinCampaigns();
 
 void
 registerCampaign(const std::string &name, const std::string &description,
-                 CampaignFactory factory)
+                 CampaignFactory factory, CampaignCounter counter)
 {
-    registry()[name] = RegistryEntry{description, std::move(factory)};
+    registry()[name] = RegistryEntry{description, std::move(factory),
+                                     std::move(counter)};
 }
 
 std::vector<std::pair<std::string, std::string>>
@@ -53,14 +56,31 @@ hasCampaign(const std::string &name)
     return registry().count(name) != 0;
 }
 
+std::size_t
+campaignPointCount(const std::string &name)
+{
+    detail::registerBuiltinCampaigns();
+    auto it = registry().find(name);
+    if (it == registry().end())
+        sim::fatal("unknown campaign: ", name);
+    if (it->second.counter)
+        return it->second.counter();
+    return it->second.factory().points.size();
+}
+
 Campaign
 makeCampaign(const std::string &name)
 {
     detail::registerBuiltinCampaigns();
     auto it = registry().find(name);
-    if (it == registry().end())
+    if (it == registry().end()) {
+        std::vector<std::string> names;
+        for (const auto &[n, entry] : registry())
+            names.push_back(n);
         sim::fatal("unknown campaign: ", name,
+                   spec::suggestHint(name, names),
                    " (campaign_run --list shows the registered ones)");
+    }
     Campaign c = it->second.factory();
     c.name = name;
     if (c.description.empty())

@@ -25,15 +25,32 @@ struct Campaign
     std::string name;
     std::string description;
     std::vector<SweepPoint> points;
+
+    /**
+     * Spec-grid label template the points were rendered from, when the
+     * campaign came from one ("{workload}/{runtime}/{scheduler}");
+     * lets consumers re-render labels after mutating a point's
+     * experiment (campaign_run --set) so labels never lie. Empty for
+     * hand-assembled point lists.
+     */
+    std::string labelTemplate;
 };
 
 /** Builds a campaign's points on demand. */
 using CampaignFactory = std::function<Campaign()>;
 
-/** Register @p factory under @p name; later registrations win. */
+/** Cheap point-count estimator (e.g. a grid's axis-size product). */
+using CampaignCounter = std::function<std::size_t()>;
+
+/**
+ * Register @p factory under @p name; later registrations win. When
+ * @p counter is provided, listing point counts never expands the
+ * campaign's points.
+ */
 void registerCampaign(const std::string &name,
                       const std::string &description,
-                      CampaignFactory factory);
+                      CampaignFactory factory,
+                      CampaignCounter counter = nullptr);
 
 /** Registered names, sorted, with their descriptions. */
 std::vector<std::pair<std::string, std::string>> campaignList();
@@ -41,7 +58,12 @@ std::vector<std::pair<std::string, std::string>> campaignList();
 /** Whether @p name is registered. */
 bool hasCampaign(const std::string &name);
 
-/** Build the campaign registered as @p name; fatal if unknown. */
+/** Point count of @p name — via the registered counter when present,
+ *  so listing stays cheap; fatal if unknown. */
+std::size_t campaignPointCount(const std::string &name);
+
+/** Build the campaign registered as @p name; fatal if unknown, naming
+ *  the closest registered campaigns. */
 Campaign makeCampaign(const std::string &name);
 
 /**

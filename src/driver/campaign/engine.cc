@@ -136,7 +136,8 @@ CampaignEngine::run(const std::string &name,
 
         JobResult &job = report.jobs[i];
         job.label = points[i].label;
-        const std::string &key = keys[i] = fingerprint(exps.back());
+        job.spec = canonicalConfig(exps.back());
+        const std::string &key = keys[i] = job.spec.serialize();
         job.digest = digestOfKey(key);
 
         if (!opts_.useCache) {

@@ -20,6 +20,7 @@
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/result_cache.hh"
+#include "sim/config.hh"
 
 namespace tdm::driver::campaign {
 
@@ -49,6 +50,8 @@ struct JobResult
 {
     std::string label;
     std::string digest;    ///< short fingerprint digest
+    sim::Config spec;      ///< full canonical spec of the point (its
+                           ///< serialization is the cache key)
     RunSummary summary{};
     bool cacheHit = false; ///< served from the cache, not simulated
     double wallMs = 0.0;   ///< simulation wall-clock (0 for cache hits)

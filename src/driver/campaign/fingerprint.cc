@@ -3,139 +3,18 @@
 #include <iomanip>
 #include <sstream>
 
-#include "core/runtime_model.hh"
-#include "workloads/registry.hh"
+#include "driver/spec/spec.hh"
 
 namespace tdm::driver::campaign {
-
-namespace {
-
-/** Exact, locale-independent rendering of a double. */
-std::string
-hexDouble(double v)
-{
-    std::ostringstream oss;
-    oss << std::hexfloat << v;
-    return oss.str();
-}
-
-void
-setD(sim::Config &c, const std::string &key, double v)
-{
-    c.set(key, hexDouble(v));
-}
-
-void
-setU(sim::Config &c, const std::string &key, std::uint64_t v)
-{
-    c.set(key, v);
-}
-
-} // namespace
 
 sim::Config
 canonicalConfig(const Experiment &exp)
 {
-    // CONTRACT: every field driver::run() consumes must appear below.
-    // A field added to MachineConfig or WorkloadParams but not here
-    // makes distinct experiments share a cache key, and sweeps over
-    // the new field silently return the first point's numbers
-    // (test_campaign.cc's Fingerprint tests are the tripwire — extend
-    // them together with this function).
-    // Replicate driver::run()'s normalization so an experiment and its
-    // normalized twin share a fingerprint.
-    wl::WorkloadParams params = exp.params;
-    const core::RuntimeTraits &traits = core::traitsOf(exp.runtime);
-    if (params.granularity == 0.0 && traits.usesDmu())
-        params.tdmOptimal = true;
-    // An explicit granularity makes the optimal-granularity flag moot.
-    if (params.granularity > 0.0)
-        params.tdmOptimal = false;
-
-    const cpu::MachineConfig &m = exp.config;
-
-    sim::Config c;
-    c.set("wl.name", wl::findWorkload(exp.workload).name);
-    setD(c, "wl.granularity", params.granularity);
-    c.set("wl.tdm_optimal", params.tdmOptimal);
-    setU(c, "wl.seed", params.seed);
-    setD(c, "wl.noise", params.durationNoise);
-
-    c.set("rt.type", std::string(traits.name));
-    // exp.scheduler overrides config.scheduler in run(); fingerprint the
-    // effective one only.
-    c.set("sched.policy", exp.scheduler);
-    setU(c, "sched.succ_threshold", m.succThreshold);
-
-    setU(c, "chip.cores", m.numCores);
-    c.set("chip.mem_model", m.enableMemModel);
-    setU(c, "chip.throttle_tasks", m.throttleTasks);
-    setU(c, "chip.max_ticks", m.maxTicks);
-    setU(c, "chip.dmu_msg_bytes", m.dmuMsgBytes);
-
-    setU(c, "mem.l1_bytes", m.mem.l1Bytes);
-    setU(c, "mem.l2_bytes", m.mem.l2Bytes);
-    setU(c, "mem.line_bytes", m.mem.lineBytes);
-    setU(c, "mem.l1_hit_cycles", m.mem.l1HitCycles);
-    setU(c, "mem.l2_hit_cycles", m.mem.l2HitCycles);
-    setU(c, "mem.dram_cycles", m.mem.dramCycles);
-    setD(c, "mem.mlp", m.mem.mlp);
-
-    setU(c, "mesh.width", m.mesh.width);
-    setU(c, "mesh.height", m.mesh.height);
-    setU(c, "mesh.router_latency", m.mesh.routerLatency);
-    setU(c, "mesh.link_latency", m.mesh.linkLatency);
-    setU(c, "mesh.flit_bytes", m.mesh.flitBytes);
-    setD(c, "mesh.congestion_weight", m.mesh.congestionWeight);
-
-    setU(c, "dmu.tat_entries", m.dmu.tatEntries);
-    setU(c, "dmu.tat_assoc", m.dmu.tatAssoc);
-    setU(c, "dmu.dat_entries", m.dmu.datEntries);
-    setU(c, "dmu.dat_assoc", m.dmu.datAssoc);
-    setU(c, "dmu.sla_entries", m.dmu.slaEntries);
-    setU(c, "dmu.dla_entries", m.dmu.dlaEntries);
-    setU(c, "dmu.rla_entries", m.dmu.rlaEntries);
-    setU(c, "dmu.elems_per_entry", m.dmu.elemsPerEntry);
-    setU(c, "dmu.ready_queue_entries", m.dmu.readyQueueEntries);
-    setU(c, "dmu.access_cycles", m.dmu.accessCycles);
-    c.set("dmu.dynamic_dat_index", m.dmu.dynamicDatIndex);
-    setU(c, "dmu.static_dat_index_bit", m.dmu.staticDatIndexBit);
-
-    setU(c, "sw.task_alloc", m.swCosts.taskAllocCycles);
-    setU(c, "sw.dep_lookup", m.swCosts.depLookupCycles);
-    setU(c, "sw.edge_insert", m.swCosts.edgeInsertCycles);
-    setU(c, "sw.reader_scan", m.swCosts.readerScanCycles);
-    setU(c, "sw.fragment_split", m.swCosts.fragmentSplitCycles);
-    setU(c, "sw.finish_base", m.swCosts.finishBaseCycles);
-    setU(c, "sw.per_successor", m.swCosts.perSuccessorCycles);
-    setU(c, "sw.per_dep_cleanup", m.swCosts.perDepCleanupCycles);
-    setU(c, "sw.pool_push", m.swCosts.poolPushCycles);
-    setU(c, "sw.pool_pop", m.swCosts.poolPopCycles);
-    setU(c, "sw.sched_poll", m.swCosts.schedPollCycles);
-
-    setU(c, "tdm.task_alloc", m.tdmCosts.taskAllocCycles);
-    setU(c, "tdm.issue", m.tdmCosts.issueCycles);
-    setU(c, "tdm.pool_push", m.tdmCosts.poolPushCycles);
-    setU(c, "tdm.pool_pop", m.tdmCosts.poolPopCycles);
-    setU(c, "tdm.sched_poll", m.tdmCosts.schedPollCycles);
-
-    setU(c, "carbon.queue_entries", m.carbon.queueEntriesPerCore);
-    setU(c, "carbon.local_op", m.carbon.localOpCycles);
-    setU(c, "carbon.steal", m.carbon.stealCycles);
-
-    setU(c, "tss.entries", m.tss.entries);
-    setU(c, "tss.bytes_per_entry", m.tss.bytesPerEntry);
-    setU(c, "tss.gateway_kb", m.tss.gatewayKB);
-    setU(c, "tss.sched_op", m.tss.schedOpCycles);
-
-    setD(c, "power.active_w", m.power.activeWatts);
-    setD(c, "power.idle_w", m.power.idleWatts);
-    setD(c, "power.uncore_w", m.power.uncoreWatts);
-    setD(c, "power.l1_line_nj", m.power.l1LineNj);
-    setD(c, "power.l2_line_nj", m.power.l2LineNj);
-    setD(c, "power.dram_line_nj", m.power.dramLineNj);
-
-    return c;
+    // The fingerprint IS the canonical spec: the binding registry in
+    // driver/spec is the single source of truth for every field the
+    // simulation consumes, and its rendering doubles as the
+    // human-readable cache key. See the CONTRACT note in spec.cc.
+    return spec::canonicalSpec(exp);
 }
 
 std::string

@@ -4,10 +4,10 @@
  *
  * Two Experiments that would produce byte-identical simulations map to
  * the same fingerprint, so the campaign engine can deduplicate points
- * through its result cache. The fingerprint covers everything the
- * simulation consumes: the (canonicalized) workload name and parameters,
- * the runtime type, the effective scheduler, and every field of the
- * machine configuration.
+ * through its result cache. The fingerprint is exactly the canonical
+ * experiment-spec serialization (driver/spec's binding registry covers
+ * every field the simulation consumes), so cache keys read as specs:
+ * "dmu.tat_entries=2048;...;workload=cholesky;...".
  */
 
 #ifndef TDM_DRIVER_CAMPAIGN_FINGERPRINT_HH
@@ -21,12 +21,12 @@
 namespace tdm::driver::campaign {
 
 /**
- * Flat canonical description of @p exp. Applies the same normalization
- * run() applies (scheduler override, implied TDM-optimal granularity)
- * and resolves workload short names, so equivalent experiments
- * serialize identically. Doubles are rendered as hexfloats to preserve
- * their exact bits. Fatal if the workload name is unknown (matching
- * driver::run).
+ * Flat canonical description of @p exp: spec::canonicalSpec. Applies
+ * the same normalization run() applies (implied TDM-optimal
+ * granularity) and resolves workload short names, so equivalent
+ * experiments serialize identically. Doubles render as the shortest
+ * decimal that round-trips bit-exactly. Throws spec::SpecError if the
+ * workload name is unknown.
  */
 sim::Config canonicalConfig(const Experiment &exp);
 

@@ -14,10 +14,7 @@ run(const Experiment &exp)
 
     rt::TaskGraph graph = wl::buildWorkload(exp.workload, params);
 
-    cpu::MachineConfig cfg = exp.config;
-    cfg.scheduler = exp.scheduler;
-
-    core::Machine machine(cfg, graph, exp.runtime);
+    core::Machine machine(exp.config, graph, exp.runtime);
     core::MachineResult mr = machine.run();
 
     RunSummary s;

@@ -15,14 +15,29 @@
 
 namespace tdm::driver {
 
-/** One experiment = workload x runtime x scheduler x machine config. */
+/**
+ * One experiment = workload x runtime x scheduler x machine config.
+ *
+ * The scheduling policy lives in config.scheduler — the Machine reads
+ * it from there, and the spec API binds it as the single `scheduler`
+ * key. (It used to be duplicated as a second Experiment field that
+ * run() stitched over the config one.)
+ */
 struct Experiment
 {
     std::string workload = "cholesky";
     wl::WorkloadParams params{};
     core::RuntimeType runtime = core::RuntimeType::Software;
-    std::string scheduler = "fifo";
     cpu::MachineConfig config{};
+
+    /** Deprecated shim for the removed duplicate field; the policy's
+     *  one source of truth is config.scheduler. Read-only so writes
+     *  migrate to config.scheduler (or the spec API, which validates
+     *  the policy name). */
+    [[deprecated("use config.scheduler")]] const std::string &
+    scheduler() const {
+        return config.scheduler;
+    }
 };
 
 /** Summary of one run. */

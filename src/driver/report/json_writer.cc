@@ -29,6 +29,18 @@ writeJob(std::ostream &os, const campaign::JobResult &j,
     os << indent << "{\n";
     os << indent << "  \"label\": \"" << jsonEscape(j.label) << "\",\n";
     os << indent << "  \"digest\": \"" << jsonEscape(j.digest) << "\",\n";
+    os << indent << "  \"spec\": {";
+    {
+        bool first = true;
+        for (const auto &[k, v] : j.spec.entries()) {
+            os << (first ? "\n" : ",\n") << indent << "    \""
+               << jsonEscape(k) << "\": \"" << jsonEscape(v) << "\"";
+            first = false;
+        }
+        if (!first)
+            os << "\n" << indent << "  ";
+    }
+    os << "},\n";
     os << indent << "  \"cache_hit\": " << (j.cacheHit ? "true" : "false")
        << ",\n";
     os << indent << "  \"ok\": " << (j.ok() ? "true" : "false") << ",\n";

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Text campaign format: whole studies defined at runtime, no recompile.
+ *
+ * A *.campaign file is line-oriented:
+ *
+ *     # DMU sizing study
+ *     [meta]
+ *     name = sweep_dmu_sizing
+ *     description = TAT/DAT sizing sweep under TDM
+ *     label = {workload}/tat{dmu.tat_entries}/dat{dmu.dat_entries}
+ *
+ *     set runtime = tdm
+ *     set scheduler = age
+ *     axis dmu.tat_entries = 512, 1024, 2048
+ *     zip workload, workload.granularity = cholesky, 262144 | qr, 128
+ *
+ * Grammar:
+ *   - `#` starts a comment; blank lines are ignored; a trailing `\`
+ *     continues the statement on the next line.
+ *   - `[meta]` opens the header; inside it `name`, `description` and
+ *     `label` may be assigned. `name` defaults to the file stem.
+ *   - `set KEY = VALUE` fixes a key on every point.
+ *   - `axis KEY = v1, v2, ...` adds a product axis.
+ *   - `zip K1, K2, ... = v1, v2, ... | v1, v2, ... | ...` adds a tuple
+ *     axis: each `|`-separated row assigns all listed keys together.
+ *
+ * Keys are validated against the binding registry at parse time (with
+ * near-miss suggestions); values are validated when the grid expands.
+ * All errors are SpecError carrying file:line context.
+ */
+
+#ifndef TDM_DRIVER_SPEC_CAMPAIGN_FILE_HH
+#define TDM_DRIVER_SPEC_CAMPAIGN_FILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "driver/spec/grid.hh"
+
+namespace tdm::driver::spec {
+
+/** A parsed campaign file: identity plus the grid it declares. */
+struct FileCampaign
+{
+    std::string name;
+    std::string description;
+    Grid grid;
+
+    /** Expand to a runnable campaign. */
+    campaign::Campaign toCampaign() const {
+        return grid.toCampaign(name, description);
+    }
+};
+
+/** Parse campaign text; @p origin names the source in errors. */
+FileCampaign parseCampaignFile(std::istream &in,
+                               const std::string &origin);
+
+/** Open and parse @p path; the default name is the file stem. */
+FileCampaign loadCampaignFile(const std::string &path);
+
+} // namespace tdm::driver::spec
+
+#endif // TDM_DRIVER_SPEC_CAMPAIGN_FILE_HH

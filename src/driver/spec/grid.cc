@@ -1,0 +1,155 @@
+#include "driver/spec/grid.hh"
+
+namespace tdm::driver::spec {
+
+std::vector<std::string>
+valueStrings(std::initializer_list<std::uint64_t> values)
+{
+    std::vector<std::string> out;
+    out.reserve(values.size());
+    for (std::uint64_t v : values)
+        out.push_back(std::to_string(v));
+    return out;
+}
+
+Grid &
+Grid::set(const std::string &key, const std::string &value)
+{
+    base_.set(key, value);
+    return *this;
+}
+
+Grid &
+Grid::axis(const std::string &key, std::vector<std::string> values)
+{
+    TupleAxis a;
+    a.keys = {key};
+    a.rows.reserve(values.size());
+    for (std::string &v : values)
+        a.rows.push_back({std::move(v)});
+    axes_.push_back(std::move(a));
+    return *this;
+}
+
+Grid &
+Grid::zip(std::vector<std::string> keys,
+          std::vector<std::vector<std::string>> rows)
+{
+    if (keys.empty())
+        throw SpecError("zip axis needs at least one key");
+    for (const auto &row : rows) {
+        if (row.size() != keys.size())
+            throw SpecError(
+                "zip axis over " + std::to_string(keys.size())
+                + " keys got a row with " + std::to_string(row.size())
+                + " values");
+    }
+    axes_.push_back(TupleAxis{std::move(keys), std::move(rows)});
+    return *this;
+}
+
+Grid &
+Grid::label(std::string templ)
+{
+    label_ = std::move(templ);
+    return *this;
+}
+
+std::size_t
+Grid::size() const
+{
+    std::size_t n = 1;
+    for (const TupleAxis &a : axes_)
+        n *= a.rows.size();
+    return n;
+}
+
+namespace {
+
+std::string
+renderLabelFrom(const std::string &templ, const sim::Config &full)
+{
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < templ.size()) {
+        const std::size_t open = templ.find('{', pos);
+        if (open == std::string::npos) {
+            out += templ.substr(pos);
+            break;
+        }
+        const std::size_t close = templ.find('}', open);
+        if (close == std::string::npos)
+            throw SpecError("label template '" + templ
+                            + "': unterminated '{'");
+        out += templ.substr(pos, open - pos);
+        const std::string key = templ.substr(open + 1, close - open - 1);
+        if (!full.contains(key))
+            throw SpecError("label template references unknown key '"
+                            + key + "'");
+        out += full.getString(key);
+        pos = close + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderLabel(const std::string &templ, const Experiment &exp)
+{
+    return renderLabelFrom(templ, describe(exp));
+}
+
+std::vector<SweepPoint>
+Grid::points() const
+{
+    std::vector<SweepPoint> out;
+    const std::size_t total = size();
+    out.reserve(total);
+
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    for (std::size_t i = 0; i < total; ++i) {
+        // First axis outermost: decompose i with the last axis fastest.
+        std::size_t rem = i;
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            idx[a] = rem % axes_[a].rows.size();
+            rem /= axes_[a].rows.size();
+        }
+
+        sim::Config spec = base_;
+        std::vector<std::string> axisValues;
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const TupleAxis &ax = axes_[a];
+            const auto &row = ax.rows[idx[a]];
+            for (std::size_t k = 0; k < ax.keys.size(); ++k) {
+                spec.set(ax.keys[k], row[k]);
+                axisValues.push_back(row[k]);
+            }
+        }
+
+        SweepPoint p;
+        p.exp = apply(spec);
+        if (!label_.empty()) {
+            p.label = renderLabelFrom(label_, describe(p.exp));
+        } else {
+            for (std::size_t v = 0; v < axisValues.size(); ++v)
+                p.label += (v ? "/" : "") + axisValues[v];
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+campaign::Campaign
+Grid::toCampaign(const std::string &name,
+                 const std::string &description) const
+{
+    campaign::Campaign c;
+    c.name = name;
+    c.description = description;
+    c.points = points();
+    c.labelTemplate = label_;
+    return c;
+}
+
+} // namespace tdm::driver::spec

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Grid expansion over experiment specs.
+ *
+ * A Grid is a base spec (fixed `set` keys) plus ordered axes; its
+ * cartesian product compiles straight to campaign SweepPoints. Three
+ * axis forms cover the built-in figures and arbitrary user studies:
+ *
+ *   axis(key, values)   one key, one value per point            (product)
+ *   zip(keys, rows)     several keys varying together, rows of
+ *                       per-key values                          (product
+ *                       over rows, not over the keys inside one)
+ *
+ * The first-declared axis is outermost (slowest varying), matching the
+ * nested loops the hand-coded campaigns used. Point labels come from a
+ * template such as "{workload}/{runtime}/{scheduler}": each {key} is
+ * substituted with the point's canonical value. Without a template the
+ * label joins the point's axis values with '/'.
+ */
+
+#ifndef TDM_DRIVER_SPEC_GRID_HH
+#define TDM_DRIVER_SPEC_GRID_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "driver/campaign/campaign.hh"
+#include "driver/spec/spec.hh"
+
+namespace tdm::driver::spec {
+
+/** Render a list of integers as axis value strings. */
+std::vector<std::string>
+valueStrings(std::initializer_list<std::uint64_t> values);
+
+/** Substitute every {key} in @p templ with @p exp's canonical value;
+ *  throws SpecError on an unknown key or unterminated brace. */
+std::string renderLabel(const std::string &templ, const Experiment &exp);
+
+class Grid
+{
+  public:
+    /** Fix @p key to @p value on every point. Later set() wins. */
+    Grid &set(const std::string &key, const std::string &value);
+
+    /** Add a product axis over one key. */
+    Grid &axis(const std::string &key, std::vector<std::string> values);
+
+    /**
+     * Add a product axis whose points each assign all of @p keys from
+     * one row of @p rows (every row needs one value per key). This is
+     * both the "list axis" (explicitly enumerated tuples, e.g. the
+     * runtime/scheduler combinations of Fig. 13) and the "zip axis"
+     * (lockstep sweeps, e.g. core count with its fitted mesh).
+     */
+    Grid &zip(std::vector<std::string> keys,
+              std::vector<std::vector<std::string>> rows);
+
+    /** Label template, e.g. "{workload}/c{machine.cores}/{runtime}". */
+    Grid &label(std::string templ);
+
+    /** Number of points (product of axis row counts); cheap — never
+     *  builds an Experiment. */
+    std::size_t size() const;
+
+    /**
+     * Expand to labeled points in declaration order. Validates every
+     * key and value through the binding registry; throws SpecError on
+     * the first bad entry.
+     */
+    std::vector<SweepPoint> points() const;
+
+    /** The base spec (set() keys only, no axes applied). */
+    const sim::Config &base() const { return base_; }
+
+    /** The label template ("" when labels default to axis values). */
+    const std::string &labelTemplate() const { return label_; }
+
+    /** points() wrapped as a named campaign. */
+    campaign::Campaign toCampaign(const std::string &name,
+                                  const std::string &description) const;
+
+  private:
+    struct TupleAxis
+    {
+        std::vector<std::string> keys;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    sim::Config base_;
+    std::vector<TupleAxis> axes_;
+    std::string label_;
+};
+
+} // namespace tdm::driver::spec
+
+#endif // TDM_DRIVER_SPEC_GRID_HH

@@ -48,6 +48,17 @@ makeScheduler(const std::string &name, unsigned num_cores,
     sim::fatal("unknown scheduler policy: ", name);
 }
 
+bool
+hasScheduler(const std::string &name)
+{
+    if (customRegistry().count(name) != 0)
+        return true;
+    for (const std::string &builtin : allSchedulerNames())
+        if (name == builtin)
+            return true;
+    return false;
+}
+
 const std::vector<std::string> &
 allSchedulerNames()
 {

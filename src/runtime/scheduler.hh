@@ -90,6 +90,9 @@ void registerScheduler(const std::string &name, SchedulerFactory factory);
 /** Names of the five built-in policies, in the paper's order. */
 const std::vector<std::string> &allSchedulerNames();
 
+/** Whether @p name resolves to a built-in or registered policy. */
+bool hasScheduler(const std::string &name);
+
 } // namespace tdm::rt
 
 #endif // TDM_RUNTIME_SCHEDULER_HH

@@ -1,11 +1,82 @@
 #include "sim/config.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/logging.hh"
 
 namespace tdm::sim {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const char *expected)
+{
+    throw std::invalid_argument("config key '" + key + "': expected "
+                                + expected + ", got '" + value + "'");
+}
+
+} // namespace
+
+bool
+Config::tryParseInt(const std::string &s, std::int64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+Config::tryParseUint(const std::string &s, std::uint64_t &out)
+{
+    // strtoull silently wraps negative inputs; reject them up front.
+    if (s.empty() || s[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+Config::tryParseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+Config::tryParseBool(const std::string &s, bool &out)
+{
+    if (s == "true" || s == "1") {
+        out = true;
+        return true;
+    }
+    if (s == "false" || s == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
 
 void
 Config::set(const std::string &key, const std::string &value)
@@ -58,7 +129,10 @@ Config::getInt(const std::string &key, std::int64_t dflt) const
     auto it = map_.find(key);
     if (it == map_.end())
         return dflt;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    std::int64_t v;
+    if (!tryParseInt(it->second, v))
+        badValue(key, it->second, "an integer");
+    return v;
 }
 
 std::uint64_t
@@ -67,7 +141,10 @@ Config::getUint(const std::string &key, std::uint64_t dflt) const
     auto it = map_.find(key);
     if (it == map_.end())
         return dflt;
-    return std::strtoull(it->second.c_str(), nullptr, 0);
+    std::uint64_t v;
+    if (!tryParseUint(it->second, v))
+        badValue(key, it->second, "a nonnegative integer");
+    return v;
 }
 
 double
@@ -76,7 +153,10 @@ Config::getDouble(const std::string &key, double dflt) const
     auto it = map_.find(key);
     if (it == map_.end())
         return dflt;
-    return std::strtod(it->second.c_str(), nullptr);
+    double v;
+    if (!tryParseDouble(it->second, v))
+        badValue(key, it->second, "a number");
+    return v;
 }
 
 bool
@@ -85,7 +165,10 @@ Config::getBool(const std::string &key, bool dflt) const
     auto it = map_.find(key);
     if (it == map_.end())
         return dflt;
-    return it->second == "true" || it->second == "1";
+    bool v;
+    if (!tryParseBool(it->second, v))
+        badValue(key, it->second, "true/false/1/0");
+    return v;
 }
 
 void

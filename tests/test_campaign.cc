@@ -31,7 +31,7 @@ smallExperiment(core::RuntimeType rt_, const std::string &sched = "fifo")
     e.workload = "cholesky";
     e.params.granularity = 262144; // 8x8 tiles, 120 tasks
     e.runtime = rt_;
-    e.scheduler = sched;
+    e.config.scheduler = sched;
     e.config.numCores = 8;
     return e;
 }
@@ -95,7 +95,7 @@ TEST(Fingerprint, DistinguishesExperiments)
     const std::string fp = campaign::fingerprint(base);
 
     Experiment e = base;
-    e.scheduler = "age";
+    e.config.scheduler = "age";
     EXPECT_NE(campaign::fingerprint(e), fp);
 
     e = base;
@@ -307,6 +307,11 @@ TEST(Report, JsonAndCsvWriters)
     EXPECT_NE(j.find("\"label\": \"sw, \\\"quoted\\\"\""),
               std::string::npos);
     EXPECT_NE(j.find("\"completed\": true"), std::string::npos);
+    // Every job carries its full canonical spec.
+    EXPECT_NE(j.find("\"spec\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"workload\": \"cholesky\""), std::string::npos);
+    EXPECT_NE(j.find("\"dmu.tat_entries\": \"2048\""),
+              std::string::npos);
     EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
               std::count(j.begin(), j.end(), '}'));
 

@@ -7,6 +7,7 @@
 
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/spec/grid.hh"
 #include "driver/sweep.hh"
 
 using namespace tdm;
@@ -20,7 +21,7 @@ smallExperiment(core::RuntimeType rt_, const std::string &sched = "fifo")
     e.workload = "cholesky";
     e.params.granularity = 262144; // 8x8 tiles, 120 tasks
     e.runtime = rt_;
-    e.scheduler = sched;
+    e.config.scheduler = sched;
     e.config.numCores = 8;
     return e;
 }
@@ -79,6 +80,27 @@ TEST(Sweep, RunsLabeledPoints)
     ASSERT_EQ(results.size(), 2u);
     EXPECT_EQ(results[0].label, "a");
     EXPECT_TRUE(results[1].summary.completed);
+}
+
+TEST(Sweep, RunsGridPoints)
+{
+    // The declarative form of the mutator sweep above: the axis is a
+    // spec key, the points come straight out of the grid.
+    auto points = driver::spec::Grid()
+                      .set("workload", "cholesky")
+                      .set("workload.granularity", "262144")
+                      .set("machine.cores", "8")
+                      .axis("dmu.access_cycles", {"1", "4"})
+                      .label("dmu{dmu.access_cycles}")
+                      .points();
+    auto results = driver::runSweep(points);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].label, "dmu1");
+    EXPECT_EQ(results[1].label, "dmu4");
+    EXPECT_TRUE(results[0].summary.completed);
+    EXPECT_TRUE(results[1].summary.completed);
+    // A faster DMU can't be slower.
+    EXPECT_LE(results[0].summary.makespan, results[1].summary.makespan);
 }
 
 TEST(Report, Geomean)

@@ -53,7 +53,7 @@ TEST_P(GoldenDeterminism, MakespanIsByteIdenticalToSeedKernel)
     driver::Experiment e;
     e.workload = g.workload;
     e.runtime = g.runtime;
-    e.scheduler = g.scheduler;
+    e.config.scheduler = g.scheduler;
     driver::RunSummary s = driver::run(e);
     ASSERT_TRUE(s.completed);
     EXPECT_EQ(s.makespan, g.makespan)

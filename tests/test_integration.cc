@@ -43,7 +43,7 @@ TEST_P(FullStack, CompletesAndAccountsTime)
     driver::Experiment e;
     e.workload = p.workload;
     e.runtime = p.runtime;
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     auto s = driver::run(e);
     ASSERT_TRUE(s.completed);
     EXPECT_EQ(s.machine.tasksExecuted, s.numTasks);
@@ -77,7 +77,7 @@ TEST(Integration, TdmBeatsSwOnCreationBoundBenchmarks)
     for (const char *w : {"cholesky", "qr", "streamcluster"}) {
         driver::Experiment e;
         e.workload = w;
-        e.scheduler = "fifo";
+        e.config.scheduler = "fifo";
         e.runtime = core::RuntimeType::Software;
         auto sw = driver::run(e);
         e.runtime = core::RuntimeType::Tdm;
@@ -93,7 +93,7 @@ TEST(Integration, TdmReducesCreationFractionOnAverage)
     for (const auto &w : wl::allWorkloads()) {
         driver::Experiment e;
         e.workload = w.name;
-        e.scheduler = "fifo";
+        e.config.scheduler = "fifo";
         e.runtime = core::RuntimeType::Software;
         sw_frac.push_back(
             driver::run(e).machine.masterCreationFraction);
@@ -111,11 +111,11 @@ TEST(Integration, FlexibleSchedulingBeatsFixedHardware)
     // Superscalar on benchmarks where policy matters (dedup).
     driver::Experiment e;
     e.workload = "dedup";
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     e.runtime = core::RuntimeType::TaskSuperscalar;
     auto tss = driver::run(e);
     e.runtime = core::RuntimeType::Tdm;
-    e.scheduler = "successor";
+    e.config.scheduler = "successor";
     auto tdm = driver::run(e);
     ASSERT_TRUE(tss.completed && tdm.completed);
     EXPECT_GT(driver::speedup(tss, tdm), 1.05);
@@ -128,7 +128,7 @@ TEST(Integration, DmuPowerIsNegligible)
     // accelerator contributions subtracted via the SW run's ratio.
     driver::Experiment e;
     e.workload = "cholesky";
-    e.scheduler = "fifo";
+    e.config.scheduler = "fifo";
     e.runtime = core::RuntimeType::Tdm;
     auto s = driver::run(e);
     ASSERT_TRUE(s.completed);

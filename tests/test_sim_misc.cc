@@ -59,6 +59,49 @@ TEST(Config, TypedRoundTrip)
     EXPECT_FALSE(c.contains("zz"));
 }
 
+TEST(Config, MalformedValuesAreHardErrors)
+{
+    sim::Config c;
+    c.set("i", std::string("12abc"));
+    c.set("neg", std::string("-3"));
+    c.set("d", std::string("0.1.2"));
+    c.set("b", std::string("maybe"));
+    c.set("huge", std::string("99999999999999999999999999"));
+    c.set("empty", std::string(""));
+    // These used to parse as a silent 0/garbage via strtoll.
+    EXPECT_THROW(c.getInt("i"), std::invalid_argument);
+    EXPECT_THROW(c.getUint("i"), std::invalid_argument);
+    EXPECT_THROW(c.getUint("neg"), std::invalid_argument);
+    EXPECT_THROW(c.getDouble("d"), std::invalid_argument);
+    EXPECT_THROW(c.getBool("b"), std::invalid_argument);
+    EXPECT_THROW(c.getInt("huge"), std::invalid_argument);
+    EXPECT_THROW(c.getInt("empty"), std::invalid_argument);
+    // Missing keys still fall back to the default.
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+}
+
+TEST(Config, StrictParsersAcceptTheFullValue)
+{
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    bool b = false;
+    EXPECT_TRUE(sim::Config::tryParseInt("-42", i));
+    EXPECT_EQ(i, -42);
+    EXPECT_TRUE(sim::Config::tryParseInt("0x10", i)); // hex still works
+    EXPECT_EQ(i, 16);
+    EXPECT_FALSE(sim::Config::tryParseInt("4 2", i));
+    EXPECT_TRUE(sim::Config::tryParseUint("4398046511104", u));
+    EXPECT_EQ(u, 4398046511104ull);
+    EXPECT_FALSE(sim::Config::tryParseUint("-1", u));
+    EXPECT_TRUE(sim::Config::tryParseDouble("2.5e-3", d));
+    EXPECT_DOUBLE_EQ(d, 2.5e-3);
+    EXPECT_FALSE(sim::Config::tryParseDouble("2.5x", d));
+    EXPECT_TRUE(sim::Config::tryParseBool("0", b));
+    EXPECT_FALSE(b);
+    EXPECT_FALSE(sim::Config::tryParseBool("yes", b));
+}
+
 TEST(Config, MergeOverrides)
 {
     sim::Config a, b;

@@ -1,17 +1,22 @@
 /**
  * @file
- * campaign_run — execute registered experiment campaigns on the
- * thread-pooled campaign engine.
+ * campaign_run — execute experiment campaigns on the thread-pooled
+ * campaign engine: registered ones by name, and arbitrary user-defined
+ * studies from *.campaign spec files, no recompile needed.
  *
  * Usage:
- *   campaign_run [options] CAMPAIGN...
+ *   campaign_run [options] [CAMPAIGN...]
  *
  * Options:
  *   --list            list registered campaigns and exit
+ *   --keys            print the spec key reference (markdown) and exit
+ *   --spec FILE       run the campaign defined in FILE (repeatable)
+ *   --set KEY=VALUE   override a spec key on every point (repeatable)
  *   --threads N       worker threads (default: hardware concurrency)
  *   --no-cache        disable result-cache deduplication
  *   --seed-base S     reseed point i with S+i (deterministic per job)
- *   --json FILE       write all results as JSON
+ *   --json FILE       write all results as JSON (with each point's
+ *                     full canonical spec)
  *   --csv FILE        write all results as CSV
  *   --quiet           suppress per-job progress lines
  *
@@ -20,22 +25,32 @@
  * once and hit the cache the second time:
  *
  *   campaign_run fig12 fig13 --threads 8 --json out.json
+ *
+ * A text study with an override:
+ *
+ *   campaign_run --spec examples/sweep_dmu_sizing.campaign \
+ *                --set machine.cores=16 --json out.json
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
 #include "driver/report/csv_writer.hh"
 #include "driver/report/json_writer.hh"
+#include "driver/spec/campaign_file.hh"
+#include "driver/spec/grid.hh"
+#include "driver/spec/spec.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
 namespace cmp = tdm::driver::campaign;
+namespace spc = tdm::driver::spec;
 
 namespace {
 
@@ -43,8 +58,9 @@ namespace {
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--list] [--threads N] [--no-cache] [--seed-base S]"
-                 " [--json FILE] [--csv FILE] [--quiet] CAMPAIGN...\n";
+              << " [--list] [--keys] [--spec FILE] [--set KEY=VALUE]"
+                 " [--threads N] [--no-cache] [--seed-base S]"
+                 " [--json FILE] [--csv FILE] [--quiet] [CAMPAIGN...]\n";
     std::exit(2);
 }
 
@@ -57,7 +73,7 @@ listCampaigns()
         t.row()
             .cell(name)
             .cell(static_cast<std::uint64_t>(
-                cmp::makeCampaign(name).points.size()))
+                cmp::campaignPointCount(name)))
             .cell(description);
     }
     t.print(std::cout);
@@ -73,6 +89,8 @@ main(int argc, char **argv)
     opts.progress = true;
     std::string json_file, csv_file;
     std::vector<std::string> names;
+    std::vector<std::string> spec_files;
+    std::vector<std::pair<std::string, std::string>> overrides;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -85,6 +103,20 @@ main(int argc, char **argv)
         if (!std::strcmp(a, "--list")) {
             listCampaigns();
             return 0;
+        } else if (!std::strcmp(a, "--keys")) {
+            spc::writeKeyReference(std::cout);
+            return 0;
+        } else if (!std::strcmp(a, "--spec")) {
+            spec_files.emplace_back(need(i));
+        } else if (!std::strcmp(a, "--set")) {
+            const std::string kv = need(i);
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::cerr << "--set expects KEY=VALUE, got '" << kv
+                          << "'\n";
+                return 2;
+            }
+            overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
         } else if (!std::strcmp(a, "--threads")) {
             opts.threads = static_cast<unsigned>(
                 cmp::parseUintArg(need(i), "--threads", UINT32_MAX));
@@ -104,21 +136,45 @@ main(int argc, char **argv)
             names.emplace_back(a);
         }
     }
-    if (names.empty())
+    if (names.empty() && spec_files.empty())
         usage(argv[0]);
+
+    // Build every campaign up front so spec/validation errors surface
+    // before any simulation starts.
+    std::vector<cmp::Campaign> campaigns;
+    try {
+        for (const std::string &name : names)
+            campaigns.push_back(cmp::makeCampaign(name));
+        for (const std::string &file : spec_files)
+            campaigns.push_back(spc::loadCampaignFile(file).toCampaign());
+        for (cmp::Campaign &c : campaigns) {
+            for (driver::SweepPoint &p : c.points) {
+                for (const auto &[key, value] : overrides)
+                    spc::applyKey(p.exp, key, value);
+                // Re-render labels after overrides: when --set collides
+                // with an axis or label key, the label must describe
+                // what actually runs (collapsed points then show up as
+                // duplicate labels + cache hits, not as a silent lie).
+                if (!overrides.empty() && !c.labelTemplate.empty())
+                    p.label = spc::renderLabel(c.labelTemplate, p.exp);
+            }
+        }
+    } catch (const spc::SpecError &e) {
+        std::cerr << "spec error: " << e.what() << "\n";
+        return 2;
+    }
 
     cmp::CampaignEngine engine(opts);
     std::vector<cmp::CampaignResult> results;
     std::size_t failures = 0;
 
-    for (const std::string &name : names) {
-        cmp::Campaign c = cmp::makeCampaign(name);
+    for (const cmp::Campaign &c : campaigns) {
         if (opts.progress)
-            std::cerr << "== " << name << ": " << c.points.size()
+            std::cerr << "== " << c.name << ": " << c.points.size()
                       << " points ==\n";
         cmp::CampaignResult rep = engine.run(c);
 
-        sim::Table t(name + " (" + c.description + ")");
+        sim::Table t(c.name + " (" + c.description + ")");
         t.header({"label", "status", "time ms", "energy J", "tasks",
                   "sim ms"});
         for (const cmp::JobResult &j : rep.jobs) {
@@ -131,7 +187,7 @@ main(int argc, char **argv)
                 .cell(j.wallMs, 1);
         }
         t.print(std::cout);
-        std::cout << name << ": " << rep.jobs.size() << " points, "
+        std::cout << c.name << ": " << rep.jobs.size() << " points, "
                   << rep.simulated << " simulated, " << rep.cacheHits
                   << " cache hits, " << rep.failures() << " failures, "
                   << rep.threads << " threads, " << rep.wallMs / 1000.0

@@ -9,7 +9,7 @@
  *   --workload NAME      benchmark (default cholesky); see --list
  *   --runtime sw|tdm|carbon|tss   (default tdm)
  *   --scheduler NAME     fifo|lifo|locality|successor|age (default fifo)
- *   --cores N            core count (default 32)
+ *   --cores N            core count (also fits the mesh; default 32)
  *   --granularity G      benchmark-specific granularity (default: optimal)
  *   --seed S             duration-noise seed (default 1)
  *   --tat N --dat N      alias table entries
@@ -17,9 +17,18 @@
  *   --access-cycles N    DMU structure latency
  *   --throttle N         runtime creation throttle
  *   --no-mem             disable the memory hierarchy model
+ *   --set KEY=VALUE      set any spec key (campaign_run --keys lists
+ *                        them); repeatable, applied in order
+ *   --describe           print the canonical experiment spec and exit
  *   --trace FILE         write a Chrome-tracing JSON timeline
  *   --stats              dump component statistics
  *   --list               list workloads and exit
+ *
+ * The convenience flags are shorthands over the same spec keys that
+ * --set (and *.campaign files) address, so every knob of the machine
+ * is reachable from here without recompiling:
+ *
+ *   tdm_run --runtime tdm --set mesh.link_latency=4 --set mem.mlp=4
  */
 
 #include <cstring>
@@ -29,10 +38,11 @@
 
 #include "core/machine.hh"
 #include "dmu/geometry.hh"
-#include "driver/experiment.hh"
+#include "driver/spec/spec.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
+namespace spc = tdm::driver::spec;
 
 namespace {
 
@@ -44,7 +54,8 @@ usage(const char *argv0)
                  " [--scheduler S] [--cores N] [--granularity G]"
                  " [--seed S] [--tat N] [--dat N] [--lists N]"
                  " [--access-cycles N] [--throttle N] [--no-mem]"
-                 " [--trace FILE] [--stats] [--list]\n";
+                 " [--set KEY=VALUE] [--describe] [--trace FILE]"
+                 " [--stats] [--list]\n";
     std::exit(2);
 }
 
@@ -53,13 +64,11 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string workload = "cholesky";
-    std::string runtime = "tdm";
-    std::string scheduler = "fifo";
+    driver::Experiment exp;
+    exp.runtime = core::RuntimeType::Tdm;
     std::string trace_file;
     bool dump_stats = false;
-    cpu::MachineConfig cfg;
-    wl::WorkloadParams params;
+    bool describe_only = false;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -67,70 +76,100 @@ main(int argc, char **argv)
         return argv[++i];
     };
 
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (!std::strcmp(a, "--workload")) {
-            workload = need(i);
-        } else if (!std::strcmp(a, "--runtime")) {
-            runtime = need(i);
-        } else if (!std::strcmp(a, "--scheduler")) {
-            scheduler = need(i);
-        } else if (!std::strcmp(a, "--cores")) {
-            cfg.numCores = std::stoul(need(i));
-            unsigned dim = 2;
-            while (dim * dim < cfg.numCores + 1)
-                ++dim;
-            cfg.mesh.width = cfg.mesh.height = dim;
-        } else if (!std::strcmp(a, "--granularity")) {
-            params.granularity = std::stod(need(i));
-        } else if (!std::strcmp(a, "--seed")) {
-            params.seed = std::stoull(need(i));
-        } else if (!std::strcmp(a, "--tat")) {
-            cfg.dmu.tatEntries = std::stoul(need(i));
-            cfg.dmu.readyQueueEntries = cfg.dmu.tatEntries;
-        } else if (!std::strcmp(a, "--dat")) {
-            cfg.dmu.datEntries = std::stoul(need(i));
-        } else if (!std::strcmp(a, "--lists")) {
-            unsigned n = std::stoul(need(i));
-            cfg.dmu.slaEntries = n;
-            cfg.dmu.dlaEntries = n;
-            cfg.dmu.rlaEntries = n;
-        } else if (!std::strcmp(a, "--access-cycles")) {
-            cfg.dmu.accessCycles = std::stoul(need(i));
-        } else if (!std::strcmp(a, "--throttle")) {
-            cfg.throttleTasks = std::stoul(need(i));
-        } else if (!std::strcmp(a, "--no-mem")) {
-            cfg.enableMemModel = false;
-        } else if (!std::strcmp(a, "--trace")) {
-            trace_file = need(i);
-        } else if (!std::strcmp(a, "--stats")) {
-            dump_stats = true;
-        } else if (!std::strcmp(a, "--list")) {
-            sim::Table t("workloads");
-            t.header({"name", "short", "granularity unit", "SW opt",
-                      "TDM opt"});
-            for (const auto &w : wl::allWorkloads())
-                t.row().cell(w.name).cell(w.shortName).cell(w.granUnit)
-                    .cell(w.swOptimal, 0).cell(w.tdmOptimal, 0);
-            t.print(std::cout);
-            return 0;
-        } else {
-            usage(argv[0]);
+    try {
+        auto set = [&](const char *key, const std::string &value) {
+            spc::applyKey(exp, key, value);
+        };
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (!std::strcmp(a, "--workload")) {
+                set("workload", need(i));
+            } else if (!std::strcmp(a, "--runtime")) {
+                set("runtime", need(i));
+            } else if (!std::strcmp(a, "--scheduler")) {
+                set("scheduler", need(i));
+            } else if (!std::strcmp(a, "--cores")) {
+                set("machine.cores", need(i));
+                // Fit the mesh around cores + the DMU node.
+                unsigned dim = 2;
+                while (dim * dim < exp.config.numCores + 1)
+                    ++dim;
+                const std::string d = std::to_string(dim);
+                set("mesh.width", d);
+                set("mesh.height", d);
+            } else if (!std::strcmp(a, "--granularity")) {
+                set("workload.granularity", need(i));
+            } else if (!std::strcmp(a, "--seed")) {
+                set("workload.seed", need(i));
+            } else if (!std::strcmp(a, "--tat")) {
+                const std::string n = need(i);
+                set("dmu.tat_entries", n);
+                set("dmu.ready_queue_entries", n);
+            } else if (!std::strcmp(a, "--dat")) {
+                set("dmu.dat_entries", need(i));
+            } else if (!std::strcmp(a, "--lists")) {
+                const std::string n = need(i);
+                set("dmu.sla_entries", n);
+                set("dmu.dla_entries", n);
+                set("dmu.rla_entries", n);
+            } else if (!std::strcmp(a, "--access-cycles")) {
+                set("dmu.access_cycles", need(i));
+            } else if (!std::strcmp(a, "--throttle")) {
+                set("machine.throttle_tasks", need(i));
+            } else if (!std::strcmp(a, "--no-mem")) {
+                set("machine.mem_model", "false");
+            } else if (!std::strcmp(a, "--set")) {
+                const std::string kv = need(i);
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    std::cerr << "--set expects KEY=VALUE, got '" << kv
+                              << "'\n";
+                    return 2;
+                }
+                set(kv.substr(0, eq).c_str(), kv.substr(eq + 1));
+            } else if (!std::strcmp(a, "--describe")) {
+                describe_only = true;
+            } else if (!std::strcmp(a, "--trace")) {
+                trace_file = need(i);
+            } else if (!std::strcmp(a, "--stats")) {
+                dump_stats = true;
+            } else if (!std::strcmp(a, "--list")) {
+                sim::Table t("workloads");
+                t.header({"name", "short", "granularity unit", "SW opt",
+                          "TDM opt"});
+                for (const auto &w : wl::allWorkloads())
+                    t.row().cell(w.name).cell(w.shortName)
+                        .cell(w.granUnit).cell(w.swOptimal, 0)
+                        .cell(w.tdmOptimal, 0);
+                t.print(std::cout);
+                return 0;
+            } else {
+                usage(argv[0]);
+            }
         }
+
+        if (describe_only) {
+            spc::canonicalSpec(exp).dump(std::cout);
+            return 0;
+        }
+    } catch (const spc::SpecError &e) {
+        std::cerr << "spec error: " << e.what() << "\n";
+        return 2;
     }
 
-    core::RuntimeType rt_ = core::runtimeFromString(runtime);
+    wl::WorkloadParams params = exp.params;
     if (params.granularity == 0.0)
-        params.tdmOptimal = core::traitsOf(rt_).usesDmu();
-    rt::TaskGraph graph = wl::buildWorkload(workload, params);
-    cfg.scheduler = scheduler;
+        params.tdmOptimal = core::traitsOf(exp.runtime).usesDmu();
+    rt::TaskGraph graph = wl::buildWorkload(exp.workload, params);
 
-    core::Machine m(cfg, graph, rt_);
+    core::Machine m(exp.config, graph, exp.runtime);
     if (!trace_file.empty())
         m.enableTrace();
     core::MachineResult res = m.run();
 
-    sim::Table t(workload + " on " + runtime + "+" + scheduler);
+    const std::string runtime = core::traitsOf(exp.runtime).name;
+    sim::Table t(exp.workload + " on " + runtime + "+"
+                 + exp.config.scheduler);
     t.header({"metric", "value"});
     t.row().cell("completed").cell(res.completed ? "yes" : "NO");
     t.row().cell("tasks").cell(res.tasksExecuted);
@@ -144,17 +183,17 @@ main(int argc, char **argv)
         100.0 * res.workersTotal.fraction(cpu::Phase::Exec), 1);
     t.row().cell("workers IDLE %").cell(
         100.0 * res.workersTotal.fraction(cpu::Phase::Idle), 1);
-    if (core::traitsOf(rt_).usesDmu()) {
+    if (core::traitsOf(exp.runtime).usesDmu()) {
         t.row().cell("DMU accesses").cell(res.dmuAccesses);
         t.row().cell("DMU blocked ops").cell(res.dmuBlockedOps);
         t.row().cell("DMU storage KB").cell(
-            dmu::totalStorageKB(cfg.dmu), 2);
+            dmu::totalStorageKB(exp.config.dmu), 2);
     }
     t.print(std::cout);
 
     if (!trace_file.empty()) {
         std::ofstream f(trace_file);
-        m.trace().writeChromeTrace(f, workload.c_str());
+        m.trace().writeChromeTrace(f, exp.workload.c_str());
         std::cout << "trace: " << trace_file << " ("
                   << m.trace().size() << " intervals)\n";
     }
