@@ -16,7 +16,7 @@
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
 

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -45,12 +45,12 @@ main()
     }
     t.print(std::cout);
     std::cout << "\naverage creation time: SW "
-              << driver::mean(sw_frac) << "% -> TDM "
-              << driver::mean(tdm_frac)
+              << driver::report::mean(sw_frac) << "% -> TDM "
+              << driver::report::mean(tdm_frac)
               << "%  (paper: 31.0% -> 14.5%)\n";
     std::cout << "average idle time: SW "
-              << driver::mean(sw_idle) * 100.0 << "% -> TDM "
-              << driver::mean(tdm_idle) * 100.0
+              << driver::report::mean(sw_idle) * 100.0 << "% -> TDM "
+              << driver::report::mean(tdm_idle) * 100.0
               << "%  (paper: 32% -> 22%)\n";
     return 0;
 }

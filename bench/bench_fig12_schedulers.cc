@@ -18,7 +18,7 @@
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "runtime/scheduler.hh"
 #include "sim/table.hh"
 
@@ -94,8 +94,8 @@ main(int argc, char **argv)
     auto &avg_s = ts.row().cell("AVG");
     auto &avg_e = te.row().cell("AVG");
     for (std::size_t c = 0; c < sp_cols.size(); ++c) {
-        avg_s.cell(driver::geomean(sp_cols[c]), 3);
-        avg_e.cell(driver::geomean(edp_cols[c]), 3);
+        avg_s.cell(driver::report::geomean(sp_cols[c]), 3);
+        avg_e.cell(driver::report::geomean(edp_cols[c]), 3);
     }
     ts.print(std::cout);
     std::cout << '\n';

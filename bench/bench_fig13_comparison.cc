@@ -19,7 +19,7 @@
 #include "core/tss_runtime.hh"
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "runtime/scheduler.hh"
 #include "sim/table.hh"
 
@@ -77,14 +77,14 @@ main(int argc, char **argv)
     }
     ts.row()
         .cell("AVG")
-        .cell(driver::geomean(sp_carbon), 3)
-        .cell(driver::geomean(sp_tss), 3)
-        .cell(driver::geomean(sp_tdm), 3);
+        .cell(driver::report::geomean(sp_carbon), 3)
+        .cell(driver::report::geomean(sp_tss), 3)
+        .cell(driver::report::geomean(sp_tdm), 3);
     te.row()
         .cell("AVG")
-        .cell(driver::geomean(edp_carbon), 3)
-        .cell(driver::geomean(edp_tss), 3)
-        .cell(driver::geomean(edp_tdm), 3);
+        .cell(driver::report::geomean(edp_carbon), 3)
+        .cell(driver::report::geomean(edp_tss), 3)
+        .cell(driver::report::geomean(edp_tdm), 3);
     ts.print(std::cout);
     std::cout << '\n';
     te.print(std::cout);

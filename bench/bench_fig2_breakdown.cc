@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -52,9 +52,9 @@ main()
     }
     t.print(std::cout);
     std::cout << "\nworkers avg EXEC "
-              << driver::percent(driver::mean(wexec), 1)
+              << driver::report::percent(driver::report::mean(wexec), 1)
               << " (paper ~65%), avg IDLE "
-              << driver::percent(driver::mean(widle), 1)
+              << driver::report::percent(driver::report::mean(widle), 1)
               << " (paper ~32%)\n";
     return 0;
 }

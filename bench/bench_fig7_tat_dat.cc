@@ -17,7 +17,7 @@
 #include <string>
 
 #include "driver/campaign/engine.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "driver/spec/grid.hh"
 #include "sim/table.hh"
 
@@ -121,7 +121,7 @@ main(int argc, char **argv)
             std::vector<double> v;
             for (const auto &name : workloads)
                 v.push_back(relPerf(name, dat));
-            avg.cell(driver::geomean(v), 3);
+            avg.cell(driver::report::geomean(v), 3);
         }
         t.print(std::cout);
         std::cout << '\n';

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -58,7 +58,7 @@ main()
             double t = runWith(used[i], sla, dla, rla);
             v.push_back(t > 0 ? base[i] / t : 0.0);
         }
-        return driver::geomean(v);
+        return driver::report::geomean(v);
     };
 
     sim::Table t1("Figure 8a: all three list arrays sized equally");

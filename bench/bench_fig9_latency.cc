@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -52,7 +52,7 @@ main()
     }
     auto &avg = t.row().cell("AVG");
     for (auto &c : cols)
-        avg.cell(driver::geomean(c), 4);
+        avg.cell(driver::report::geomean(c), 4);
     t.print(std::cout);
     std::cout << "\npaper AVG: 0.998 at 1 cycle, 0.991 at 16 cycles\n";
     return 0;

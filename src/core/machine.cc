@@ -10,7 +10,8 @@ namespace tdm::core {
 Machine::Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
                  RuntimeType runtime)
     : cfg_(cfg), graph_(graph), traits_(traitsOf(runtime)),
-      phases_(cfg.numCores), mesh_(cfg.mesh), cores_(cfg.numCores)
+      phases_(cfg.numCores), mesh_(cfg.mesh), cores_(cfg.numCores),
+      acct_(cfg.power)
 {
     if (cfg_.numCores < 2)
         sim::fatal("machine needs at least 2 cores (master + worker)");
@@ -42,6 +43,103 @@ Machine::Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
     descToTask_.reserve(graph_.numTasks());
     for (const rt::Task &t : graph_.tasks())
         descToTask_.emplace(t.descAddr, t.id);
+
+    registerMetrics();
+}
+
+void
+Machine::registerMetrics()
+{
+    sim::MetricContext m = metrics_.context("machine");
+    m.counter("tasks_executed", &tasksExecuted_, "task bodies retired");
+    m.counter("master_create_ticks", &masterCreateTicks_,
+              "master ticks spent in task-creation segments");
+    m.distribution("task_cycles", &taskCycles_,
+                   "task body duration (compute + memory stall)");
+    m.gauge("completed", [this] { return finished_ ? 1.0 : 0.0; },
+            "run reached the end of the task graph");
+    m.gauge("makespan_ticks",
+            [this] {
+                return static_cast<double>(finished_ ? makespan_
+                                                     : eq_.now());
+            },
+            "end-to-end run length in ticks");
+    m.formulaFn("time_ms",
+                [this] {
+                    return sim::ticksToSeconds(finished_ ? makespan_
+                                                         : eq_.now())
+                           * 1e3;
+                },
+                "end-to-end run length in milliseconds");
+    m.formulaFn("master_creation_fraction",
+                [this] {
+                    const sim::Tick total =
+                        finished_ ? makespan_ : eq_.now();
+                    return total ? static_cast<double>(masterCreateTicks_)
+                                       / static_cast<double>(total)
+                                 : 0.0;
+                },
+                "fraction of the run the master spent creating tasks");
+
+    phases_.regMetrics(metrics_.context("cpu"));
+    mesh_.regMetrics(metrics_.context("mesh"));
+    if (mem_)
+        mem_->regMetrics(metrics_.context("mem"));
+    if (dmu_)
+        dmu_->regMetrics(metrics_.context("dmu"));
+    if (tracker_)
+        tracker_->regMetrics(metrics_.context("runtime.tracker"));
+    if (pool_)
+        pool_->regMetrics(metrics_.context("runtime.pool"));
+    if (hwq_)
+        hwq_->regMetrics(metrics_.context("runtime.hwq"));
+
+    sim::MetricContext p = metrics_.context("power");
+    acct_.regMetrics(p);
+    p.formulaFn("energy_j",
+                [this] {
+                    return finished_ ? acct_.totalJoules(makespan_)
+                                     : 0.0;
+                },
+                "total chip energy in joules");
+    p.formulaFn("edp",
+                [this] {
+                    return finished_ ? acct_.edp(makespan_) : 0.0;
+                },
+                "energy-delay product in J*s");
+    p.formulaFn("avg_watts",
+                [this] {
+                    return finished_ ? acct_.avgWatts(makespan_) : 0.0;
+                },
+                "average chip power in watts");
+}
+
+void
+Machine::noteFirstExec()
+{
+    sawFirstExec_ = true;
+    warmupEndTick_ = eq_.now();
+    snapWarmupEnd_ = metrics_.snapshot();
+    if (pendingRoiEnd_) {
+        pendingRoiEnd_ = false;
+        noteRoiEnd();
+    }
+}
+
+void
+Machine::noteRoiEnd()
+{
+    if (roiEnded_)
+        return;
+    if (!sawFirstExec_) {
+        // A tiny graph can finish creating before any body starts;
+        // defer so the ROI boundary never precedes the warmup one.
+        pendingRoiEnd_ = true;
+        return;
+    }
+    roiEnded_ = true;
+    roiEndTick_ = eq_.now();
+    snapRoiEnd_ = metrics_.snapshot();
 }
 
 Machine::~Machine() = default;
@@ -147,6 +245,7 @@ Machine::masterCreateNext()
     }
     rt::TaskId id = region.firstTask + createdInRegion_;
     ++createdInRegion_;
+    ++createdTotal_;
     if (traits_.dep == DepMode::Software)
         masterCreateSw(id);
     else
@@ -301,6 +400,8 @@ void
 Machine::masterDoneCreating()
 {
     masterCreating_ = false;
+    if (createdTotal_ == graph_.numTasks())
+        noteRoiEnd();
     tryDispatch(masterCore);
 }
 
@@ -424,6 +525,8 @@ Machine::startExec(sim::CoreId core, const rt::ReadyTask &task)
     }
     sim::Tick dur = t.computeCycles + stall;
     ++cores_[core].tasksRun;
+    if (!sawFirstExec_)
+        noteFirstExec();
     eq_.postIn<&Machine::onExecDone>(dur, this, core, task.id, dur);
 }
 
@@ -431,6 +534,7 @@ void
 Machine::onExecDone(sim::CoreId core, rt::TaskId id, sim::Tick dur)
 {
     phases_.add(core, cpu::Phase::Exec, dur);
+    taskCycles_.sample(static_cast<double>(dur));
     if (traceEnabled_) {
         trace_.record(id, core, eq_.now() - dur, eq_.now(),
                       graph_.task(id).kernel);
@@ -702,20 +806,7 @@ Machine::flushDmuWaiters()
 void
 Machine::dumpStats(std::ostream &os)
 {
-    sim::StatGroup mesh_g("noc");
-    mesh_.regStats(mesh_g);
-    mesh_g.dump(os);
-    if (mem_) {
-        sim::StatGroup mem_g("mem");
-        mem_->regStats(mem_g);
-        mem_g.dump(os);
-    }
-    if (dmu_) {
-        sim::StatGroup dmu_g("dmu");
-        dmu_->regStats(dmu_g);
-        dmu_g.dump(os);
-    }
-    phases_.dump(os);
+    metrics_.dump(os);
 }
 
 // ---------------------------------------------------------------------
@@ -725,6 +816,7 @@ Machine::dumpStats(std::ostream &os)
 MachineResult
 Machine::run()
 {
+    snapRunStart_ = metrics_.snapshot();
     eq_.post<&Machine::onStart>(0, this);
     eq_.run(cfg_.maxTicks);
 
@@ -738,6 +830,7 @@ Machine::run()
         }
         res.makespan = eq_.now();
         res.tasksExecuted = tasksExecuted_;
+        res.metrics = metrics_.values();
         return res;
     }
     if (tasksExecuted_ != graph_.numTasks())
@@ -766,7 +859,7 @@ Machine::run()
                       : 0.0;
 
     // ---- Energy ----
-    pwr::EnergyAccountant acct(cfg_.power);
+    pwr::EnergyAccountant &acct = acct_;
     for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
         const cpu::PhaseBreakdown &b = phases_.core(c);
         sim::Tick busy = std::min<sim::Tick>(b.busy(), makespan_);
@@ -813,6 +906,38 @@ Machine::run()
     res.energyJ = acct.totalJoules(makespan_);
     res.edp = acct.edp(makespan_);
     res.avgWatts = acct.avgWatts(makespan_);
+
+    // ---- Metric tree + phase windows ----
+    // Degenerate graphs may never trigger a boundary; close them at
+    // the end so the three windows always tile [0, makespan].
+    if (!sawFirstExec_) {
+        warmupEndTick_ = makespan_;
+        snapWarmupEnd_ = metrics_.snapshot();
+    }
+    if (!roiEnded_) {
+        roiEndTick_ = makespan_;
+        snapRoiEnd_ = metrics_.snapshot();
+        roiEnded_ = true;
+    }
+    const sim::MetricSnapshot snapEnd = metrics_.snapshot();
+
+    res.metrics = metrics_.values();
+    auto addWindow = [&](const char *name,
+                         const sim::MetricSnapshot &from,
+                         const sim::MetricSnapshot &to, sim::Tick t0,
+                         sim::Tick t1) {
+        const std::string prefix = std::string("window.") + name + ".";
+        res.metrics.set(prefix + "ticks",
+                        static_cast<double>(t1 - t0));
+        const sim::MetricSet w = metrics_.window(from, to);
+        for (const auto &[k, v] : w.entries())
+            res.metrics.set(prefix + k, v);
+    };
+    addWindow("warmup", snapRunStart_, snapWarmupEnd_, 0,
+              warmupEndTick_);
+    addWindow("roi", snapWarmupEnd_, snapRoiEnd_, warmupEndTick_,
+              roiEndTick_);
+    addWindow("drain", snapRoiEnd_, snapEnd, roiEndTick_, makespan_);
     return res;
 }
 

@@ -45,6 +45,7 @@
 #include "runtime/software_tracker.hh"
 #include "runtime/task_graph.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 
 namespace tdm::core {
 
@@ -73,6 +74,15 @@ struct MachineResult
 
     /** Master-thread fraction of time spent creating tasks (Fig. 10). */
     double masterCreationFraction = 0.0;
+
+    /**
+     * The full flattened metric tree of the run: every registered
+     * component metric by dotted key, plus per-phase-window deltas
+     * under "window.{warmup,roi,drain}.*" (completed runs only). The
+     * scalar fields above are a fixed-shape view; this carries
+     * everything, so exports and queries never need a struct edit.
+     */
+    sim::MetricSet metrics;
 };
 
 /**
@@ -97,6 +107,11 @@ class Machine
 
     /** Dump component statistics (gem5 stats.txt style). */
     void dumpStats(std::ostream &os);
+
+    /** The machine's metric registry: every component metric,
+     *  addressable by dotted key path ("dmu.tat.hits"). */
+    const sim::MetricRegistry &metrics() const { return metrics_; }
+
     const mem::MemoryModel *memory() const { return mem_.get(); }
     const RuntimeTraits &traits() const { return traits_; }
     sim::Tick now() const { return eq_.now(); }
@@ -186,6 +201,17 @@ class Machine
 
     rt::TaskId taskOfDesc(std::uint64_t desc_addr) const;
 
+    /** Register every component's metrics (constructor tail). */
+    void registerMetrics();
+
+    /** First task body started: the warmup window ends here. */
+    void noteFirstExec();
+
+    /** Last task created: the ROI window ends here (deferred until
+     *  the first exec if creation outruns it, keeping the window
+     *  boundaries ordered). */
+    void noteRoiEnd();
+
     /**
      * Fill the reusable footprint scratch buffer with @p id's region
      * accesses and return it (avoids a per-task allocation).
@@ -244,6 +270,21 @@ class Machine
     std::uint64_t carbonRr_ = 0; ///< GTU round-robin cursor
     sim::Tick masterCreateTicks_ = 0;
     sim::Tick makespan_ = 0;
+
+    // ---- metric registry + phase windows ----
+    sim::MetricRegistry metrics_;
+    pwr::EnergyAccountant acct_;
+    sim::Distribution taskCycles_{0.0, 1e6, 20};
+
+    std::uint32_t createdTotal_ = 0;
+    bool sawFirstExec_ = false;
+    bool roiEnded_ = false;
+    bool pendingRoiEnd_ = false;
+    sim::Tick warmupEndTick_ = 0;
+    sim::Tick roiEndTick_ = 0;
+    sim::MetricSnapshot snapRunStart_;
+    sim::MetricSnapshot snapWarmupEnd_;
+    sim::MetricSnapshot snapRoiEnd_;
 
     static constexpr sim::CoreId masterCore = 0;
 };

@@ -76,6 +76,49 @@ PhaseStats::chipTotal() const
 }
 
 void
+PhaseStats::regMetrics(sim::MetricContext ctx)
+{
+    // One aggregate scope per Figure-2 row; the per-phase tick sums
+    // are monotone, so phase windows report per-window breakdowns.
+    struct Group
+    {
+        const char *name;
+        std::function<PhaseBreakdown()> get;
+    };
+    const Group groups[] = {
+        {"master", [this] { return master(); }},
+        {"workers", [this] { return workersTotal(); }},
+        {"chip", [this] { return chipTotal(); }},
+    };
+    for (const Group &g : groups) {
+        sim::MetricContext sub = ctx.scope(g.name);
+        auto get = g.get;
+        sub.counterFn("deps_ticks",
+                      [get] { return static_cast<double>(get().deps); },
+                      "ticks in dependence management (DEPS)");
+        sub.counterFn("sched_ticks",
+                      [get] { return static_cast<double>(get().sched); },
+                      "ticks in scheduling operations (SCHED)");
+        sub.counterFn("exec_ticks",
+                      [get] { return static_cast<double>(get().exec); },
+                      "ticks executing task bodies (EXEC)");
+        sub.counterFn("idle_ticks",
+                      [get] { return static_cast<double>(get().idle); },
+                      "ticks waiting for work (IDLE)");
+        sub.formulaFn("exec_fraction",
+                      [get] {
+                          return get().fraction(Phase::Exec);
+                      },
+                      "EXEC share of this row's total time");
+        sub.formulaFn("idle_fraction",
+                      [get] {
+                          return get().fraction(Phase::Idle);
+                      },
+                      "IDLE share of this row's total time");
+    }
+}
+
+void
 PhaseStats::dump(std::ostream &os) const
 {
     for (std::size_t c = 0; c < per_.size(); ++c) {

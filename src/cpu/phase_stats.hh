@@ -12,6 +12,7 @@
 #include <ostream>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace tdm::cpu {
@@ -60,6 +61,10 @@ class PhaseStats
 
     /** Sum over all cores. */
     PhaseBreakdown chipTotal() const;
+
+    /** Register master/workers/chip per-phase tick counters under
+     *  @p ctx's scope ("cpu"). */
+    void regMetrics(sim::MetricContext ctx);
 
     void dump(std::ostream &os) const;
 

@@ -42,6 +42,7 @@ AliasTable::lookup(std::uint64_t addr, std::uint64_t size_bytes,
     for (unsigned w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].addr == addr && base[w].pid == pid) {
             base[w].lastUse = tick_;
+            ++hits_;
             return base[w].id;
         }
     }
@@ -79,14 +80,12 @@ AliasTable::insert(std::uint64_t addr, std::uint64_t size_bytes,
             ++setLive_[set];
             ++live_;
             ++inserts_;
-            statInserts_.set(static_cast<double>(inserts_));
             occSamples_ += occupiedSets();
             ++occCount_;
             return {AliasInsertStatus::Ok, id};
         }
     }
     ++conflicts_;
-    statConflicts_.set(static_cast<double>(conflicts_));
     return {AliasInsertStatus::SetConflict, invalidHwId};
 }
 
@@ -123,11 +122,30 @@ AliasTable::avgOccupiedSets() const
 }
 
 void
-AliasTable::regStats(sim::StatGroup &g)
+AliasTable::regMetrics(sim::MetricContext ctx)
 {
-    g.addScalar(name_ + ".conflicts", &statConflicts_,
+    ctx.counter("lookups", &lookups_, "address lookups");
+    ctx.counter("hits", &hits_, "lookups that found a live entry");
+    ctx.counter("inserts", &inserts_, "successful inserts");
+    ctx.counter("conflicts", &conflicts_,
                 "failed inserts due to set conflicts");
-    g.addScalar(name_ + ".inserts", &statInserts_, "successful inserts");
+    ctx.formulaFn("hit_rate",
+                  [this] {
+                      return lookups_
+                                 ? static_cast<double>(hits_)
+                                       / static_cast<double>(lookups_)
+                                 : 0.0;
+                  },
+                  "fraction of lookups that hit");
+    ctx.gauge("occupied_sets",
+              [this] { return static_cast<double>(occupiedSets()); },
+              "sets currently holding at least one valid way");
+    ctx.formulaFn("avg_occupied_sets",
+                  [this] { return avgOccupiedSets(); },
+                  "mean occupied sets sampled at every insert");
+    ctx.gauge("live_entries",
+              [this] { return static_cast<double>(live_); },
+              "live translations");
 }
 
 } // namespace tdm::dmu

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "dmu/geometry.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 
 namespace tdm::dmu {
 
@@ -90,13 +90,16 @@ class AliasTable
 
     /** Cumulative statistics. */
     std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
     std::uint64_t conflicts() const { return conflicts_; }
     std::uint64_t inserts() const { return inserts_; }
 
     /** Mean of occupied-set samples taken at every insert. */
     double avgOccupiedSets() const;
 
-    void regStats(sim::StatGroup &g);
+    /** Register this table's metrics under @p ctx's scope
+     *  ("dmu.tat", "dmu.dat"). */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     unsigned setOf(std::uint64_t addr, std::uint64_t size_bytes) const;
@@ -124,11 +127,9 @@ class AliasTable
     unsigned live_ = 0;
     std::uint64_t tick_ = 0;
 
-    std::uint64_t lookups_ = 0, conflicts_ = 0, inserts_ = 0;
+    std::uint64_t lookups_ = 0, hits_ = 0, conflicts_ = 0, inserts_ = 0;
     double occSamples_ = 0.0;
     std::uint64_t occCount_ = 0;
-
-    sim::Scalar statConflicts_, statInserts_;
 };
 
 } // namespace tdm::dmu

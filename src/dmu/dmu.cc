@@ -423,11 +423,43 @@ Dmu::succCountOf(std::uint64_t desc_addr)
 }
 
 void
-Dmu::regStats(sim::StatGroup &g)
+Dmu::regMetrics(sim::MetricContext ctx)
 {
-    g.addScalar("ops", &statOps_, "DMU operations processed");
-    g.addScalar("blocked", &statBlocked_, "operations blocked on capacity");
-    g.addScalar("accesses", &statAccesses_, "total SRAM accesses");
+    ctx.counter("ops", &statOps_, "DMU operations processed");
+    ctx.counter("blocked", &statBlocked_,
+                "operations blocked on capacity");
+    ctx.counter("accesses", &statAccesses_, "total SRAM accesses");
+
+    // Per-structure SRAM traffic (what the energy model integrates).
+    ctx.counter("task_table.accesses", &counts_.taskTable,
+                "Task Table SRAM accesses");
+    ctx.counter("dep_table.accesses", &counts_.depTable,
+                "Dependence Table SRAM accesses");
+    ctx.counter("sla.accesses", &counts_.sla,
+                "Successor List Array SRAM accesses");
+    ctx.counter("dla.accesses", &counts_.dla,
+                "Dependence List Array SRAM accesses");
+    ctx.counter("rla.accesses", &counts_.rla,
+                "Reader List Array SRAM accesses");
+    ctx.counter("ready_queue.accesses", &counts_.readyQueue,
+                "Ready Queue SRAM accesses");
+
+    ctx.gauge("tasks_in_flight",
+              [this] { return static_cast<double>(tasksInFlight()); },
+              "tasks currently tracked");
+    ctx.gauge("deps_in_flight",
+              [this] { return static_cast<double>(depsInFlight()); },
+              "dependences currently tracked");
+    ctx.gauge("ready",
+              [this] { return static_cast<double>(readyCount()); },
+              "ready tasks queued");
+
+    sim::MetricContext tat_ctx = ctx.scope("tat");
+    tat_ctx.counter("accesses", &counts_.tat, "TAT SRAM accesses");
+    tat_.regMetrics(tat_ctx);
+    sim::MetricContext dat_ctx = ctx.scope("dat");
+    dat_ctx.counter("accesses", &counts_.dat, "DAT SRAM accesses");
+    dat_.regMetrics(dat_ctx);
 }
 
 } // namespace tdm::dmu

@@ -31,7 +31,7 @@
 #include "dmu/list_array.hh"
 #include "dmu/ready_queue.hh"
 #include "dmu/task_table.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 
 namespace tdm::dmu {
 
@@ -149,7 +149,9 @@ class Dmu
     /** Blocked-operation statistics. */
     std::uint64_t blockedOps() const { return blockedOps_; }
 
-    void regStats(sim::StatGroup &g);
+    /** Register the DMU's metric tree under @p ctx's scope ("dmu"):
+     *  operation/access counters plus tat/dat sub-scopes. */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     TaskHwId requireTask(std::uint64_t desc_addr, std::uint32_t pid,

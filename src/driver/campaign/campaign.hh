@@ -34,6 +34,14 @@ struct Campaign
      * hand-assembled point lists.
      */
     std::string labelTemplate;
+
+    /**
+     * Comma-separated metric-key globs selecting the subtree each
+     * point exports ("dmu.*,mesh.*"); empty exports the full tree.
+     * Set by the `metrics` directive of *.campaign files and
+     * overridden by campaign_run --metrics.
+     */
+    std::string metrics;
 };
 
 /** Builds a campaign's points on demand. */

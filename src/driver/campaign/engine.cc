@@ -102,7 +102,9 @@ CampaignEngine::CampaignEngine(EngineOptions opts) : opts_(opts) {}
 CampaignResult
 CampaignEngine::run(const Campaign &c)
 {
-    return run(c.name, c.points);
+    CampaignResult rep = run(c.name, c.points);
+    rep.metricsPattern = c.metrics;
+    return rep;
 }
 
 CampaignResult

@@ -68,6 +68,10 @@ struct CampaignResult
 {
     std::string name;
     std::vector<JobResult> jobs; ///< in point order
+    /** Metric-selection globs the export writers apply to each job's
+     *  metric tree (from Campaign::metrics / campaign_run --metrics);
+     *  empty selects everything. */
+    std::string metricsPattern;
     unsigned threads = 1;
     double wallMs = 0.0;         ///< end-to-end campaign wall-clock
     std::uint64_t cacheHits = 0;

@@ -2,11 +2,23 @@
 
 namespace tdm::driver::campaign {
 
+namespace {
+
+/** Internal key: schema version + canonical fingerprint. */
+std::string
+versionedKey(const std::string &key)
+{
+    return "schema=" + std::to_string(ResultCache::kSchemaVersion) + ";"
+         + key;
+}
+
+} // namespace
+
 std::optional<RunSummary>
 ResultCache::lookup(const std::string &key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(key);
+    auto it = map_.find(versionedKey(key));
     if (it == map_.end()) {
         ++misses_;
         return std::nullopt;
@@ -19,7 +31,7 @@ void
 ResultCache::store(const std::string &key, const RunSummary &summary)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    map_[key] = summary;
+    map_[versionedKey(key)] = summary;
 }
 
 std::size_t

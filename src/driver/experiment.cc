@@ -17,16 +17,24 @@ run(const Experiment &exp)
     core::Machine machine(exp.config, graph, exp.runtime);
     core::MachineResult mr = machine.run();
 
+    // Workload-shape facts live outside the machine's registry; fold
+    // them into the tree so exports are self-contained.
+    mr.metrics.set("workload.num_tasks",
+                   static_cast<double>(graph.numTasks()));
+    mr.metrics.set("workload.avg_task_us", graph.avgTaskUs());
+
     RunSummary s;
-    s.completed = mr.completed;
-    s.makespan = mr.makespan;
-    s.timeMs = mr.timeMs;
-    s.energyJ = mr.energyJ;
-    s.edp = mr.edp;
-    s.avgWatts = mr.avgWatts;
+    s.machine = std::move(mr);
+    const sim::MetricSet &m = s.machine.metrics;
+    s.completed = m.get("machine.completed") != 0.0;
+    s.makespan = static_cast<sim::Tick>(
+        m.get("machine.makespan_ticks"));
+    s.timeMs = m.get("machine.time_ms");
+    s.energyJ = m.get("power.energy_j");
+    s.edp = m.get("power.edp");
+    s.avgWatts = m.get("power.avg_watts");
     s.numTasks = graph.numTasks();
     s.avgTaskUs = graph.avgTaskUs();
-    s.machine = mr;
     return s;
 }
 

@@ -40,7 +40,15 @@ struct Experiment
     }
 };
 
-/** Summary of one run. */
+/**
+ * Summary of one run: a thin typed view over the run's metric tree.
+ *
+ * The scalar fields below are populated from machine.metrics in run()
+ * (one place), so the MetricSet — not this struct — is the source of
+ * truth that flows through the campaign engine, the result cache and
+ * the JSON/CSV writers. New measured quantities surface through the
+ * metric registry without touching this struct.
+ */
 struct RunSummary
 {
     bool completed = false;
@@ -54,6 +62,10 @@ struct RunSummary
     double avgTaskUs = 0.0;
 
     core::MachineResult machine{};
+
+    /** The run's full flattened metric tree ("dmu.tat.hits", ...,
+     *  plus "workload.*" keys and "window.{warmup,roi,drain}.*"). */
+    const sim::MetricSet &metrics() const { return machine.metrics; }
 };
 
 /**

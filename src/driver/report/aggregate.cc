@@ -1,10 +1,10 @@
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 
 #include <cmath>
 #include <iomanip>
 #include <sstream>
 
-namespace tdm::driver {
+namespace tdm::driver::report {
 
 double
 geomean(const std::vector<double> &values)
@@ -40,4 +40,4 @@ percent(double ratio_minus_one, int precision)
     return oss.str();
 }
 
-} // namespace tdm::driver
+} // namespace tdm::driver::report

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Cross-run aggregation helpers for reports and bench tables
+ * (geomean/mean/percent). Part of the driver/report module alongside
+ * the JSON/CSV writers and the metric-key reference; this used to be
+ * a stray top-level driver/report.hh.
+ */
+
+#ifndef TDM_DRIVER_REPORT_AGGREGATE_HH
+#define TDM_DRIVER_REPORT_AGGREGATE_HH
+
+#include <string>
+#include <vector>
+
+namespace tdm::driver::report {
+
+/** Geometric mean; ignores non-positive entries. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** "12.3%" style formatting of a ratio-1. */
+std::string percent(double ratio_minus_one, int precision = 1);
+
+} // namespace tdm::driver::report
+
+#endif // TDM_DRIVER_REPORT_AGGREGATE_HH

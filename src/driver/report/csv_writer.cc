@@ -1,6 +1,7 @@
 #include "driver/report/csv_writer.hh"
 
 #include <iomanip>
+#include <set>
 #include <sstream>
 
 namespace tdm::driver::report {
@@ -25,11 +26,38 @@ csvField(const std::string &s)
 
 namespace {
 
+/**
+ * Union of the metric keys every job would export under its
+ * campaign's selection pattern: the CSV metric columns. One shared
+ * header means a job lacking a key (different runtime model) gets an
+ * empty cell instead of a ragged row.
+ */
+std::vector<std::string>
+metricColumns(const std::vector<campaign::CampaignResult> &campaigns)
+{
+    std::set<std::string> keys;
+    for (const campaign::CampaignResult &c : campaigns)
+        for (const campaign::JobResult &j : c.jobs) {
+            const sim::MetricSet sel =
+                j.summary.metrics().select(c.metricsPattern);
+            for (const auto &[k, v] : sel.entries())
+                keys.insert(k);
+        }
+    return {keys.begin(), keys.end()};
+}
+
 void
-writeRows(std::ostream &os, const campaign::CampaignResult &c)
+writeRows(std::ostream &os, const campaign::CampaignResult &c,
+          const std::vector<std::string> &metric_cols)
 {
     for (const campaign::JobResult &j : c.jobs) {
         const RunSummary &s = j.summary;
+        // Fill cells from this campaign's own selection, not the full
+        // tree: when campaigns with different patterns share the
+        // union header, a row must stay empty in columns its pattern
+        // excluded.
+        const sim::MetricSet sel =
+            s.metrics().select(c.metricsPattern);
         std::ostringstream row;
         row << std::setprecision(17);
         row << csvField(c.name) << ',' << csvField(j.label) << ','
@@ -42,6 +70,11 @@ writeRows(std::ostream &os, const campaign::CampaignResult &c)
             << s.machine.dmuAccesses << ',' << s.machine.dmuBlockedOps
             << ',' << s.machine.steals << ','
             << s.machine.masterCreationFraction;
+        for (const std::string &k : metric_cols) {
+            row << ',';
+            if (sel.contains(k))
+                row << sel.get(k);
+        }
         os << row.str() << '\n';
     }
 }
@@ -52,12 +85,17 @@ void
 writeCsv(std::ostream &os,
          const std::vector<campaign::CampaignResult> &campaigns)
 {
+    const std::vector<std::string> metric_cols =
+        metricColumns(campaigns);
     os << "campaign,label,digest,cache_hit,ok,error,wall_ms,completed,"
           "makespan,time_ms,energy_j,edp,avg_watts,num_tasks,"
           "avg_task_us,tasks_executed,dmu_accesses,dmu_blocked_ops,"
-          "steals,master_creation_fraction\n";
+          "steals,master_creation_fraction";
+    for (const std::string &k : metric_cols)
+        os << ',' << csvField(k);
+    os << '\n';
     for (const campaign::CampaignResult &c : campaigns)
-        writeRows(os, c);
+        writeRows(os, c, metric_cols);
 }
 
 void

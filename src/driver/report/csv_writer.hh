@@ -2,6 +2,9 @@
  * @file
  * CSV export of campaign results: one row per job, campaigns
  * concatenated under a single header, for spreadsheet-style analysis.
+ * The fixed summary columns are followed by one column per selected
+ * metric key (the union across all jobs of each campaign's metric
+ * pattern); a job lacking a key leaves the cell empty.
  */
 
 #ifndef TDM_DRIVER_REPORT_CSV_WRITER_HH

@@ -23,7 +23,7 @@ num(std::ostream &os, double v)
 
 void
 writeJob(std::ostream &os, const campaign::JobResult &j,
-         const char *indent)
+         const std::string &metrics_pattern, const char *indent)
 {
     const RunSummary &s = j.summary;
     os << indent << "{\n";
@@ -76,7 +76,25 @@ writeJob(std::ostream &os, const campaign::JobResult &j,
     os << indent << "  \"steals\": " << s.machine.steals << ",\n";
     os << indent << "  \"master_creation_fraction\": ";
     num(os, s.machine.masterCreationFraction);
-    os << "\n" << indent << "}";
+    os << ",\n";
+    // The full (or selected) metric tree, flat dotted keys. This is
+    // the machine-readable payload; the fixed fields above are the
+    // historical view.
+    os << indent << "  \"metrics\": {";
+    {
+        const sim::MetricSet selected =
+            s.metrics().select(metrics_pattern);
+        bool first = true;
+        for (const auto &[k, v] : selected.entries()) {
+            os << (first ? "\n" : ",\n") << indent << "    \""
+               << jsonEscape(k) << "\": ";
+            num(os, v);
+            first = false;
+        }
+        if (!first)
+            os << "\n" << indent << "  ";
+    }
+    os << "}\n" << indent << "}";
 }
 
 void
@@ -92,9 +110,12 @@ writeCampaign(std::ostream &os, const campaign::CampaignResult &c,
     os << indent << "  \"cache_hits\": " << c.cacheHits << ",\n";
     os << indent << "  \"simulated\": " << c.simulated << ",\n";
     os << indent << "  \"failures\": " << c.failures() << ",\n";
+    os << indent << "  \"metrics_pattern\": \""
+       << jsonEscape(c.metricsPattern) << "\",\n";
     os << indent << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < c.jobs.size(); ++i) {
-        writeJob(os, c.jobs[i], (std::string(indent) + "    ").c_str());
+        writeJob(os, c.jobs[i], c.metricsPattern,
+                 (std::string(indent) + "    ").c_str());
         os << (i + 1 < c.jobs.size() ? ",\n" : "\n");
     }
     os << indent << "  ]\n";

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Generated metric-key reference (the output-side twin of the spec
+ * key reference): every key the metric registry exposes, with its
+ * kind and description, as a markdown table for the README.
+ */
+
+#ifndef TDM_DRIVER_REPORT_METRIC_REFERENCE_HH
+#define TDM_DRIVER_REPORT_METRIC_REFERENCE_HH
+
+#include <iosfwd>
+
+namespace tdm::driver::report {
+
+/**
+ * Write the metric-key reference as markdown. The table is discovered,
+ * not hand-maintained: a small machine is built per runtime model and
+ * the union of their registries is listed (runtimes register different
+ * schedulers' metrics — e.g. runtime.tracker.* only exists under the
+ * software runtime). Synthetic export-time keys (workload.*,
+ * window.*) are documented in a trailing note.
+ */
+void writeMetricReference(std::ostream &os);
+
+} // namespace tdm::driver::report
+
+#endif // TDM_DRIVER_REPORT_METRIC_REFERENCE_HH

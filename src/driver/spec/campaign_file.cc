@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/metrics.hh"
+
 namespace tdm::driver::spec {
 
 namespace {
@@ -99,7 +101,10 @@ parseCampaignFile(std::istream &in, const std::string &origin)
         const bool isSet = stmt.rfind("set ", 0) == 0;
         const bool isAxis = stmt.rfind("axis ", 0) == 0;
         const bool isZip = stmt.rfind("zip ", 0) == 0;
-        if (isSet || isAxis || isZip)
+        const bool isMetrics = stmt.rfind("metrics", 0) == 0
+                               && (stmt.size() == 7 || stmt[7] == ' '
+                                   || stmt[7] == '=');
+        if (isSet || isAxis || isZip || isMetrics)
             inMeta = false;
 
         const std::size_t eq = stmt.find('=');
@@ -120,6 +125,28 @@ parseCampaignFile(std::istream &in, const std::string &origin)
                 fail(origin, startLine,
                      "unknown [meta] key '" + key
                          + "' (name, description, label)");
+            continue;
+        }
+
+        if (isMetrics) {
+            // The keyword must stand alone before '=' — `metrics
+            // dmu.* = mesh.*` would otherwise silently select the
+            // wrong subtree.
+            if (trim(stmt.substr(0, eq)) != "metrics")
+                fail(origin, startLine,
+                     "expected 'metrics = glob, ...', got '" + stmt
+                         + "'");
+            const std::string value = trim(stmt.substr(eq + 1));
+            if (value.empty())
+                fail(origin, startLine, "metrics: empty selection");
+            try {
+                // Validate glob tokens now; matching is deferred until
+                // export, when the run's tree exists.
+                sim::MetricSet::parsePatterns(value);
+            } catch (const sim::MetricError &e) {
+                fail(origin, startLine, e.what());
+            }
+            fc.metrics = value;
             continue;
         }
 
@@ -165,7 +192,8 @@ parseCampaignFile(std::istream &in, const std::string &origin)
             fc.grid.zip(keys, std::move(rows));
         } else {
             fail(origin, startLine,
-                 "expected 'set', 'axis', 'zip' or '[meta]', got '"
+                 "expected 'set', 'axis', 'zip', 'metrics' or "
+                 "'[meta]', got '"
                      + stmt + "'");
         }
     }

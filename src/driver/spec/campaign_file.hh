@@ -14,6 +14,7 @@
  *     set scheduler = age
  *     axis dmu.tat_entries = 512, 1024, 2048
  *     zip workload, workload.granularity = cholesky, 262144 | qr, 128
+ *     metrics = dmu.*, mesh.avg_hop_latency
  *
  * Grammar:
  *   - `#` starts a comment; blank lines are ignored; a trailing `\`
@@ -24,6 +25,10 @@
  *   - `axis KEY = v1, v2, ...` adds a product axis.
  *   - `zip K1, K2, ... = v1, v2, ... | v1, v2, ... | ...` adds a tuple
  *     axis: each `|`-separated row assigns all listed keys together.
+ *   - `metrics = glob, glob, ...` selects the metric subtree each
+ *     point exports (comma-separated globs over dotted metric keys,
+ *     e.g. "dmu.*"); without it the full tree is exported.
+ *     campaign_run --metrics overrides it.
  *
  * Keys are validated against the binding registry at parse time (with
  * near-miss suggestions); values are validated when the grid expands.
@@ -45,11 +50,16 @@ struct FileCampaign
 {
     std::string name;
     std::string description;
+    /** Metric-selection globs from the `metrics` directive ("" =
+     *  export everything). */
+    std::string metrics;
     Grid grid;
 
     /** Expand to a runnable campaign. */
     campaign::Campaign toCampaign() const {
-        return grid.toCampaign(name, description);
+        campaign::Campaign c = grid.toCampaign(name, description);
+        c.metrics = metrics;
+        return c;
     }
 };
 

@@ -99,4 +99,17 @@ HwTaskQueues::storageKB() const
     return static_cast<double>(queues_.size()) * capacity_ * 8.0 / 1024.0;
 }
 
+void
+HwTaskQueues::regMetrics(sim::MetricContext ctx)
+{
+    ctx.counter("pushes", &pushes_, "tasks enqueued");
+    ctx.counter("local_pops", &localPops_, "pops from the local queue");
+    ctx.counter("steals", &steals_, "successful remote steals");
+    ctx.counter("failed_steals", &failedSteals_,
+                "steal attempts that found every queue empty");
+    ctx.gauge("queued",
+              [this] { return static_cast<double>(totalSize()); },
+              "tasks currently queued across all cores");
+}
+
 } // namespace tdm::hw

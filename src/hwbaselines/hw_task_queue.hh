@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace tdm::hw {
@@ -59,6 +60,10 @@ class HwTaskQueues
 
     /** Storage of all queues in KB (entries x 64-bit descriptors). */
     double storageKB() const;
+
+    /** Register queue traffic metrics under @p ctx's scope
+     *  ("runtime.hwq"). */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     std::vector<std::deque<rt::ReadyTask>> queues_;

@@ -79,20 +79,35 @@ MemoryModel::taskAccessTime(sim::CoreId core,
 }
 
 void
-MemoryModel::regStats(sim::StatGroup &g)
+MemoryModel::regMetrics(sim::MetricContext ctx)
 {
-    // Stat values are snapshotted from the raw counters here rather
-    // than refreshed on every task access: regStats() immediately
-    // precedes a dump, and it keeps the per-task hot path free of
-    // bookkeeping stores.
-    statL1Hits_.set(static_cast<double>(l1Hits_));
-    statL1Misses_.set(static_cast<double>(l1Misses_));
-    statL2Hits_.set(static_cast<double>(l2Hits_));
-    statL2Misses_.set(static_cast<double>(l2Misses_));
-    g.addScalar("l1_hits", &statL1Hits_, "region hits in any L1");
-    g.addScalar("l1_misses", &statL1Misses_, "region misses in L1");
-    g.addScalar("l2_hits", &statL2Hits_, "region hits in shared L2");
-    g.addScalar("l2_misses", &statL2Misses_, "region misses to DRAM");
+    ctx.counter("l1_hits", &l1Hits_, "region hits in any L1");
+    ctx.counter("l1_misses", &l1Misses_, "region misses in L1");
+    ctx.counter("l2_hits", &l2Hits_, "region hits in shared L2");
+    ctx.counter("l2_misses", &l2Misses_, "region misses to DRAM");
+    ctx.counter("l1_line_accesses", &l1LineAcc_,
+                "L1 traffic in cache lines");
+    ctx.counter("l2_line_accesses", &l2LineAcc_,
+                "L2 traffic in cache lines");
+    ctx.counter("dram_line_accesses", &dramLineAcc_,
+                "DRAM traffic in cache lines");
+    ctx.formulaFn("l1_hit_rate",
+                  [this] {
+                      const std::uint64_t n = l1Hits_ + l1Misses_;
+                      return n ? static_cast<double>(l1Hits_)
+                                     / static_cast<double>(n)
+                               : 0.0;
+                  },
+                  "fraction of region classifications that hit in L1");
+    ctx.formulaFn("l2_hit_rate",
+                  [this] {
+                      const std::uint64_t n = l2Hits_ + l2Misses_;
+                      return n ? static_cast<double>(l2Hits_)
+                                     / static_cast<double>(n)
+                               : 0.0;
+                  },
+                  "fraction of L1-missing classifications that hit in "
+                  "L2");
 }
 
 } // namespace tdm::mem

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "mem/region_cache.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace tdm::mem {
@@ -77,7 +77,10 @@ class MemoryModel
 
     const MemConfig &config() const { return cfg_; }
 
-    void regStats(sim::StatGroup &g);
+    /** Register hit/miss and line-traffic metrics under @p ctx's
+     *  scope ("mem"). Counters read the live accounting directly, so
+     *  snapshots taken mid-run see current values. */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     MemConfig cfg_;
@@ -87,8 +90,6 @@ class MemoryModel
     std::uint64_t l1Hits_ = 0, l1Misses_ = 0;
     std::uint64_t l2Hits_ = 0, l2Misses_ = 0;
     std::uint64_t l1LineAcc_ = 0, l2LineAcc_ = 0, dramLineAcc_ = 0;
-
-    sim::Scalar statL1Hits_, statL1Misses_, statL2Hits_, statL2Misses_;
 };
 
 } // namespace tdm::mem

@@ -101,8 +101,8 @@ Mesh::transfer(NodeId from, NodeId to, unsigned bytes)
         flitHops_ += flits;
     });
     ++messages_;
-    statMessages_.set(static_cast<double>(messages_));
-    statFlitHops_.set(static_cast<double>(flitHops_));
+    hopSum_ += hops(from, to);
+    msgLatency_.sample(static_cast<double>(lat));
     return lat;
 }
 
@@ -123,10 +123,24 @@ Mesh::maxLinkFlits() const
 }
 
 void
-Mesh::regStats(sim::StatGroup &g)
+Mesh::regMetrics(sim::MetricContext ctx)
 {
-    g.addScalar("messages", &statMessages_, "messages routed");
-    g.addScalar("flit_hops", &statFlitHops_, "flit-hops traversed");
+    ctx.counter("messages", &messages_, "messages routed");
+    ctx.counter("flit_hops", &flitHops_, "flit-hops traversed");
+    ctx.counter("hop_sum", &hopSum_, "router hops summed over messages");
+    ctx.average("avg_hop_latency", &msgLatency_,
+                "mean end-to-end message latency in cycles");
+    ctx.formulaFn("avg_hops",
+                  [this] {
+                      return messages_
+                                 ? static_cast<double>(hopSum_)
+                                       / static_cast<double>(messages_)
+                                 : 0.0;
+                  },
+                  "mean router hops per message");
+    ctx.gauge("max_link_flits",
+              [this] { return static_cast<double>(maxLinkFlits()); },
+              "traffic on the busiest link in flits");
 }
 
 } // namespace tdm::noc

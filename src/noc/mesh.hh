@@ -19,7 +19,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace tdm::noc {
@@ -96,8 +96,9 @@ class Mesh
     /** Traffic (flits) on the busiest link. */
     std::uint64_t maxLinkFlits() const;
 
-    /** Register stats on @p g with prefix already applied by caller. */
-    void regStats(sim::StatGroup &g);
+    /** Register traffic and latency metrics under @p ctx's scope
+     *  ("mesh"). */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     /** Index of the link leaving @p node in direction @p dir (0..3). */
@@ -111,8 +112,8 @@ class Mesh
     std::vector<std::uint64_t> linkFlits_;
     std::uint64_t flitHops_ = 0;
     std::uint64_t messages_ = 0;
-    sim::Scalar statMessages_;
-    sim::Scalar statFlitHops_;
+    std::uint64_t hopSum_ = 0;  ///< hops summed over messages
+    sim::Average msgLatency_;   ///< per-message end-to-end latency
 };
 
 } // namespace tdm::noc

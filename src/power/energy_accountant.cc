@@ -50,4 +50,34 @@ EnergyAccountant::avgWatts(sim::Tick makespan) const
     return s > 0.0 ? totalJoules(makespan) / s : 0.0;
 }
 
+void
+EnergyAccountant::regMetrics(sim::MetricContext ctx)
+{
+    // Every accumulator here is charged in one post-run pass (the
+    // machine integrates phase breakdowns and memory traffic after
+    // the event loop ends), so none is live mid-run. Registering them
+    // as counters would put them in phase windows and misattribute
+    // the whole run's energy to the drain window; gauges report the
+    // end-of-run level and stay out of windows.
+    ctx.gauge("core_active_ticks",
+              [this] { return static_cast<double>(activeTicks_); },
+              "core-busy ticks summed over cores");
+    ctx.gauge("core_idle_ticks",
+              [this] { return static_cast<double>(idleTicks_); },
+              "core-idle ticks summed over cores");
+    ctx.gauge("l1_lines",
+              [this] { return static_cast<double>(l1Lines_); },
+              "L1 lines charged for energy");
+    ctx.gauge("l2_lines",
+              [this] { return static_cast<double>(l2Lines_); },
+              "L2 lines charged for energy");
+    ctx.gauge("dram_lines",
+              [this] { return static_cast<double>(dramLines_); },
+              "DRAM lines charged for energy");
+    ctx.gauge("accel_dynamic_pj", [this] { return accelPj_; },
+              "accelerator dynamic energy in picojoules");
+    ctx.gauge("accel_leakage_mw", [this] { return accelLeakMw_; },
+              "accelerator leakage power in milliwatts");
+}
+
 } // namespace tdm::pwr

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "power/core_power.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace tdm::pwr {
@@ -47,6 +48,17 @@ class EnergyAccountant
     double avgWatts(sim::Tick makespan) const;
 
     const CorePowerParams &params() const { return params_; }
+
+    /** Accumulated core-busy ticks (over all cores). */
+    sim::Tick activeTicks() const { return activeTicks_; }
+
+    /** Accelerator dynamic energy accumulated so far, picojoules. */
+    double acceleratorPj() const { return accelPj_; }
+
+    /** Register the energy accumulators under @p ctx's scope
+     *  ("power"). Whole-run totals (energy, EDP) depend on the final
+     *  makespan, so the machine registers those as formulas itself. */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     CorePowerParams params_;

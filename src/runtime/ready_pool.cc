@@ -30,4 +30,16 @@ ReadyPool::pop(sim::CoreId core)
     return t;
 }
 
+void
+ReadyPool::regMetrics(sim::MetricContext ctx)
+{
+    ctx.counter("pushes", &pushes_, "tasks published to the pool");
+    ctx.counter("pops", &pops_, "successful pool pops");
+    ctx.counter("empty_pops", &emptyPops_,
+                "pool pops that found no ready task");
+    ctx.gauge("peak_size",
+              [this] { return static_cast<double>(peak_); },
+              "largest pool population observed");
+}
+
 } // namespace tdm::rt

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "runtime/scheduler.hh"
+#include "sim/metrics.hh"
 
 namespace tdm::rt {
 
@@ -31,6 +32,10 @@ class ReadyPool
     std::uint64_t pops() const { return pops_; }
     std::uint64_t emptyPops() const { return emptyPops_; }
     std::size_t peakSize() const { return peak_; }
+
+    /** Register pool traffic metrics under @p ctx's scope
+     *  ("runtime.pool"). */
+    void regMetrics(sim::MetricContext ctx);
 
   private:
     std::unique_ptr<Scheduler> policy_;

@@ -63,6 +63,11 @@ SoftwareTracker::create(TaskId id)
         }
     }
     work.readyNow = numPreds_[id] == 0;
+    ++creates_;
+    depLookups_ += work.depLookups;
+    edgeInserts_ += work.edgeInserts;
+    readerScans_ += work.readerScans;
+    fragmentSplits_ += work.fragmentSplits;
     return work;
 }
 
@@ -97,7 +102,30 @@ SoftwareTracker::finish(TaskId id)
         if (rs.lastWriter == id)
             rs.lastWriter = invalidTask;
     }
+    ++finishes_;
+    succVisits_ += work.succVisits;
+    depVisits_ += work.depVisits;
     return work;
+}
+
+void
+SoftwareTracker::regMetrics(sim::MetricContext ctx)
+{
+    ctx.counter("creates", &creates_, "tasks registered");
+    ctx.counter("finishes", &finishes_, "tasks retired");
+    ctx.counter("dep_lookups", &depLookups_, "region-map lookups");
+    ctx.counter("edge_inserts", &edgeInserts_, "TDG edges inserted");
+    ctx.counter("reader_scans", &readerScans_,
+                "readers visited by WAR scans");
+    ctx.counter("fragment_splits", &fragmentSplits_,
+                "fragmented-region map splits");
+    ctx.counter("succ_visits", &succVisits_,
+                "successors visited at finish");
+    ctx.counter("dep_visits", &depVisits_,
+                "dependences detached at finish");
+    ctx.gauge("in_flight",
+              [this] { return static_cast<double>(inFlight_); },
+              "tasks created but not yet finished");
 }
 
 } // namespace tdm::rt

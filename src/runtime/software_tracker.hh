@@ -20,6 +20,7 @@
 
 #include "runtime/task.hh"
 #include "runtime/task_graph.hh"
+#include "sim/metrics.hh"
 
 namespace tdm::rt {
 
@@ -74,6 +75,10 @@ class SoftwareTracker
     /** Tasks created but not yet finished. */
     unsigned inFlight() const { return inFlight_; }
 
+    /** Register the tracker's cumulative work counters under @p ctx's
+     *  scope ("runtime.tracker"). */
+    void regMetrics(sim::MetricContext ctx);
+
   private:
     struct RegState
     {
@@ -88,6 +93,12 @@ class SoftwareTracker
     std::vector<bool> created_;
     std::vector<bool> finished_;
     unsigned inFlight_ = 0;
+
+    // Cumulative work, integrated over per-op TrackerCreateWork /
+    // TrackerFinishWork results (those stay per-op for the cost model).
+    std::uint64_t creates_ = 0, finishes_ = 0;
+    std::uint64_t depLookups_ = 0, edgeInserts_ = 0, readerScans_ = 0,
+                  fragmentSplits_ = 0, succVisits_ = 0, depVisits_ = 0;
 };
 
 } // namespace tdm::rt

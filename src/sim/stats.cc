@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <iomanip>
+#include <stdexcept>
 
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace tdm::sim {
 
@@ -108,8 +110,15 @@ double
 StatGroup::lookup(const std::string &n) const
 {
     auto it = items_.find(n);
-    if (it == items_.end())
-        return 0.0;
+    if (it == items_.end()) {
+        std::vector<std::string> names;
+        names.reserve(items_.size());
+        for (const auto &[k, item] : items_)
+            names.push_back(k);
+        throw std::out_of_range("stat group '" + name_
+                                + "': unknown stat '" + n + "'"
+                                + suggestHint(n, names));
+    }
     switch (it->second.kind) {
       case Kind::ScalarK:
         return static_cast<const Scalar *>(it->second.ptr)->value();

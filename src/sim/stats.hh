@@ -75,6 +75,7 @@ class Distribution
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double stdev() const;
     double minSample() const { return min_; }
@@ -129,7 +130,11 @@ class StatGroup
     void addFormula(const std::string &n, const Formula *f,
                     const std::string &desc = "");
 
-    /** Look up a scalar's current value by name (0 if absent). */
+    /**
+     * Look up a stat's current value by name. An unknown name throws
+     * std::out_of_range naming the closest registered stats (it used
+     * to return a silent 0, which made typos read as idle hardware).
+     */
     double lookup(const std::string &n) const;
 
     /** True if a stat with this name is registered. */

@@ -1,0 +1,71 @@
+#include "sim/suggest.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdm::sim {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b, std::size_t cap)
+{
+    if (a.size() > b.size() + cap || b.size() > a.size() + cap)
+        return cap + 1;
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+std::vector<std::string>
+closestMatches(const std::string &name,
+               const std::vector<std::string> &candidates,
+               std::size_t limit)
+{
+    constexpr std::size_t kCap = 3;
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const std::string &c : candidates) {
+        std::size_t d = editDistance(name, c, kCap);
+        const bool related =
+            d <= kCap
+            || (name.size() >= 3 && c.find(name) != std::string::npos)
+            || c.rfind(name + ".", 0) == 0 || name.rfind(c, 0) == 0;
+        if (related)
+            scored.emplace_back(d, c);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[d, c] : scored) {
+        out.push_back(c);
+        if (out.size() >= limit)
+            break;
+    }
+    return out;
+}
+
+std::string
+suggestHint(const std::string &name,
+            const std::vector<std::string> &candidates)
+{
+    const std::vector<std::string> near = closestMatches(name, candidates);
+    if (near.empty())
+        return "";
+    std::string out = "; did you mean: ";
+    for (std::size_t i = 0; i < near.size(); ++i)
+        out += (i ? ", " : "") + near[i];
+    return out + "?";
+}
+
+} // namespace tdm::sim

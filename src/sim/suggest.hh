@@ -1,0 +1,41 @@
+/**
+ * @file
+ * "Did you mean" suggestion helpers shared by every name registry in
+ * the simulator (spec keys, campaign names, stat and metric keys).
+ *
+ * The policy (PR 3): unknown names are hard errors, and the error
+ * message names the closest registered candidates so typos are a
+ * one-round-trip fix.
+ */
+
+#ifndef TDM_SIM_SUGGEST_HH
+#define TDM_SIM_SUGGEST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tdm::sim {
+
+/** Edit distance, capped: anything beyond @p cap returns cap + 1. */
+std::size_t editDistance(const std::string &a, const std::string &b,
+                         std::size_t cap);
+
+/**
+ * Candidates most similar to @p name (edit distance <= 3 or sharing a
+ * prefix), closest first, at most @p limit — for "did you mean"
+ * messages on unknown names.
+ */
+std::vector<std::string>
+closestMatches(const std::string &name,
+               const std::vector<std::string> &candidates,
+               std::size_t limit = 3);
+
+/** closestMatches rendered as "; did you mean: a, b?" — empty when
+ *  nothing is close. */
+std::string suggestHint(const std::string &name,
+                        const std::vector<std::string> &candidates);
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_SUGGEST_HH

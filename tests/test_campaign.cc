@@ -325,6 +325,37 @@ TEST(Report, JsonAndCsvWriters)
     EXPECT_NE(c.find("writers,tdm,"), std::string::npos);
 }
 
+TEST(Report, MetricSelectionFlowsThroughEngineAndWriters)
+{
+    campaign::Campaign c;
+    c.name = "sel";
+    c.points = {{"tdm", smallExperiment(core::RuntimeType::Tdm)}};
+    c.metrics = "dmu.tat.*";
+
+    campaign::CampaignEngine engine;
+    campaign::CampaignResult rep = engine.run(c);
+    EXPECT_EQ(rep.metricsPattern, "dmu.tat.*");
+    // The full tree rides on the summary; selection happens at export.
+    EXPECT_TRUE(
+        rep.jobs[0].summary.metrics().contains("mesh.messages"));
+
+    std::ostringstream json;
+    report::writeJson(json, rep);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"metrics_pattern\": \"dmu.tat.*\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"metrics\": {"), std::string::npos);
+    EXPECT_NE(j.find("\"dmu.tat.hits\":"), std::string::npos);
+    EXPECT_EQ(j.find("\"mesh.messages\":"), std::string::npos);
+
+    std::ostringstream csv;
+    report::writeCsv(csv, rep);
+    const std::string cs = csv.str();
+    const std::string header = cs.substr(0, cs.find('\n'));
+    EXPECT_NE(header.find(",dmu.tat.hits"), std::string::npos);
+    EXPECT_EQ(header.find("mesh.messages"), std::string::npos);
+}
+
 TEST(Report, CsvFieldQuotesPerRfc4180)
 {
     EXPECT_EQ(report::csvField("plain"), "plain");

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 #include "driver/spec/grid.hh"
 #include "driver/sweep.hh"
 
@@ -105,14 +105,14 @@ TEST(Sweep, RunsGridPoints)
 
 TEST(Report, Geomean)
 {
-    EXPECT_DOUBLE_EQ(driver::geomean({1.0, 4.0}), 2.0);
-    EXPECT_DOUBLE_EQ(driver::geomean({}), 0.0);
-    EXPECT_DOUBLE_EQ(driver::geomean({2.0, 0.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(driver::report::geomean({1.0, 4.0}), 2.0);
+    EXPECT_DOUBLE_EQ(driver::report::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(driver::report::geomean({2.0, 0.0, 8.0}), 4.0);
 }
 
 TEST(Report, MeanAndPercent)
 {
-    EXPECT_DOUBLE_EQ(driver::mean({1.0, 3.0}), 2.0);
-    EXPECT_EQ(driver::percent(0.123), "12.3%");
-    EXPECT_EQ(driver::percent(-0.204), "-20.4%");
+    EXPECT_DOUBLE_EQ(driver::report::mean({1.0, 3.0}), 2.0);
+    EXPECT_EQ(driver::report::percent(0.123), "12.3%");
+    EXPECT_EQ(driver::report::percent(-0.204), "-20.4%");
 }

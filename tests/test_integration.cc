@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/experiment.hh"
-#include "driver/report.hh"
+#include "driver/report/aggregate.hh"
 
 using namespace tdm;
 
@@ -102,7 +102,7 @@ TEST(Integration, TdmReducesCreationFractionOnAverage)
             driver::run(e).machine.masterCreationFraction);
     }
     // Figure 10's claim: average creation time drops substantially.
-    EXPECT_LT(driver::mean(tdm_frac), 0.6 * driver::mean(sw_frac));
+    EXPECT_LT(driver::report::mean(tdm_frac), 0.6 * driver::report::mean(sw_frac));
 }
 
 TEST(Integration, FlexibleSchedulingBeatsFixedHardware)

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the metric registry: scoped registration, key-path
+ * addressing with near-miss errors, glob selection, flattening, and
+ * snapshot/window phase deltas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/metrics.hh"
+#include "sim/suggest.hh"
+
+using namespace tdm;
+
+namespace {
+
+/** Registry with one metric of every kind under dmu/mesh scopes. */
+struct Rig
+{
+    sim::MetricRegistry reg;
+    sim::Scalar hits, misses;
+    std::uint64_t accesses = 0;
+    sim::Average occupancy;
+    sim::Distribution latency{0.0, 100.0, 10};
+    sim::Formula hitRate;
+    double level = 0.0;
+
+    Rig()
+    {
+        hitRate.define([this] {
+            const double total = hits.value() + misses.value();
+            return total ? hits.value() / total : 0.0;
+        });
+        sim::MetricContext dmu = reg.context("dmu");
+        sim::MetricContext tat = dmu.scope("tat");
+        tat.counter("hits", &hits, "TAT hits");
+        tat.counter("misses", &misses, "TAT misses");
+        tat.formula("hit_rate", &hitRate, "TAT hit rate");
+        dmu.counter("accesses", &accesses, "DMU accesses");
+        sim::MetricContext mesh = reg.context("mesh");
+        mesh.average("occupancy", &occupancy, "link occupancy");
+        mesh.distribution("latency", &latency, "packet latency");
+        mesh.gauge("level", [this] { return level; }, "queue level");
+    }
+};
+
+} // namespace
+
+TEST(MetricContext, ScopedKeysAndValues)
+{
+    Rig r;
+    r.hits += 3.0;
+    r.misses += 1.0;
+    r.accesses = 9;
+    EXPECT_TRUE(r.reg.contains("dmu.tat.hits"));
+    EXPECT_DOUBLE_EQ(r.reg.value("dmu.tat.hits"), 3.0);
+    EXPECT_DOUBLE_EQ(r.reg.value("dmu.accesses"), 9.0);
+    EXPECT_DOUBLE_EQ(r.reg.value("dmu.tat.hit_rate"), 0.75);
+    EXPECT_EQ(r.reg.size(), 7u);
+}
+
+TEST(MetricRegistry, UnknownKeyThrowsWithSuggestion)
+{
+    Rig r;
+    try {
+        r.reg.value("dmu.tat.hit");
+        FAIL() << "expected MetricError";
+    } catch (const sim::MetricError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("dmu.tat.hit"), std::string::npos);
+        EXPECT_NE(msg.find("dmu.tat.hits"), std::string::npos);
+    }
+}
+
+TEST(MetricRegistry, DuplicateAndEmptyKeysThrow)
+{
+    Rig r;
+    sim::Scalar s;
+    EXPECT_THROW(r.reg.context("dmu").scope("tat").counter("hits", &s,
+                                                           ""),
+                 sim::MetricError);
+    EXPECT_THROW(r.reg.context("").counter("", &s, ""),
+                 sim::MetricError);
+}
+
+TEST(MetricRegistry, ValuesFlattenSubkeys)
+{
+    Rig r;
+    r.occupancy.sample(2.0);
+    r.occupancy.sample(4.0);
+    r.latency.sample(10.0);
+    r.latency.sample(-5.0);  // underflow
+    r.latency.sample(500.0); // overflow
+    const sim::MetricSet v = r.reg.values();
+    EXPECT_DOUBLE_EQ(v.at("mesh.occupancy"), 3.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.occupancy.count"), 2.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.latency.count"), 3.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.latency.underflow"), 1.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.latency.overflow"), 1.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.latency.min"), -5.0);
+    EXPECT_DOUBLE_EQ(v.at("mesh.latency.max"), 500.0);
+}
+
+TEST(MetricSet, AtThrowsGetDefaults)
+{
+    sim::MetricSet s;
+    s.set("dmu.accesses", 5.0);
+    EXPECT_DOUBLE_EQ(s.at("dmu.accesses"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("nope", 7.0), 7.0);
+    EXPECT_THROW(s.at("dmu.acesses"), sim::MetricError);
+}
+
+TEST(MetricSet, GlobMatching)
+{
+    using MS = sim::MetricSet;
+    EXPECT_TRUE(MS::globMatch("dmu.*", "dmu.tat.hits"));
+    EXPECT_TRUE(MS::globMatch("*", "anything.at.all"));
+    EXPECT_TRUE(MS::globMatch("*.hits", "dmu.tat.hits"));
+    EXPECT_TRUE(MS::globMatch("dmu.?at.hits", "dmu.tat.hits"));
+    EXPECT_FALSE(MS::globMatch("dmu.*", "mesh.latency"));
+    EXPECT_FALSE(MS::globMatch("dmu", "dmu.tat.hits"));
+}
+
+TEST(MetricSet, SelectFiltersByCommaGlobs)
+{
+    Rig r;
+    const sim::MetricSet all = r.reg.values();
+    const sim::MetricSet sel = all.select("dmu.tat.*, mesh.occupancy");
+    EXPECT_TRUE(sel.contains("dmu.tat.hits"));
+    EXPECT_TRUE(sel.contains("dmu.tat.hit_rate"));
+    EXPECT_TRUE(sel.contains("mesh.occupancy"));
+    EXPECT_FALSE(sel.contains("dmu.accesses"));
+    EXPECT_FALSE(sel.contains("mesh.latency.mean"));
+
+    // Empty pattern = everything; empty token = hard error.
+    EXPECT_EQ(all.select("").size(), all.size());
+    EXPECT_THROW(all.select("dmu.*,,mesh.*"), sim::MetricError);
+}
+
+TEST(MetricRegistry, WindowDeltasCountersAndMeans)
+{
+    Rig r;
+    r.hits += 10.0;
+    r.occupancy.sample(100.0); // pre-window sample must not leak in
+    const sim::MetricSnapshot t0 = r.reg.snapshot();
+
+    r.hits += 5.0;
+    r.accesses += 7;
+    r.occupancy.sample(2.0);
+    r.occupancy.sample(4.0);
+    r.latency.sample(30.0);
+    r.level = 42.0;
+    const sim::MetricSnapshot t1 = r.reg.snapshot();
+
+    const sim::MetricSet w = r.reg.window(t0, t1);
+    EXPECT_DOUBLE_EQ(w.at("dmu.tat.hits"), 5.0);
+    EXPECT_DOUBLE_EQ(w.at("dmu.accesses"), 7.0);
+    EXPECT_DOUBLE_EQ(w.at("mesh.occupancy"), 3.0); // window-local mean
+    EXPECT_DOUBLE_EQ(w.at("mesh.latency.count"), 1.0);
+    EXPECT_DOUBLE_EQ(w.at("mesh.latency.mean"), 30.0);
+    // Gauges and formulas are excluded from windows.
+    EXPECT_FALSE(w.contains("mesh.level"));
+    EXPECT_FALSE(w.contains("dmu.tat.hit_rate"));
+}
+
+TEST(MetricRegistry, EmptyWindowMeansAreZero)
+{
+    Rig r;
+    r.occupancy.sample(9.0);
+    const sim::MetricSnapshot t0 = r.reg.snapshot();
+    const sim::MetricSnapshot t1 = r.reg.snapshot();
+    const sim::MetricSet w = r.reg.window(t0, t1);
+    EXPECT_DOUBLE_EQ(w.at("mesh.occupancy"), 0.0);
+    EXPECT_DOUBLE_EQ(w.at("mesh.latency.count"), 0.0);
+}
+
+TEST(MetricRegistry, DumpIsGem5Style)
+{
+    Rig r;
+    r.hits += 2.0;
+    std::ostringstream oss;
+    r.reg.dump(oss);
+    EXPECT_NE(oss.str().find("dmu.tat.hits 2 # TAT hits"),
+              std::string::npos);
+    // Flattened distribution subkeys appear as their own lines.
+    EXPECT_NE(oss.str().find("mesh.latency.count 0"),
+              std::string::npos);
+}
+
+TEST(Suggest, ClosestMatchesOrdersByDistance)
+{
+    const std::vector<std::string> cands = {"dmu.tat.hits",
+                                            "dmu.tat.misses",
+                                            "mesh.latency"};
+    const auto near = sim::closestMatches("dmu.tat.hit", cands);
+    ASSERT_FALSE(near.empty());
+    EXPECT_EQ(near[0], "dmu.tat.hits");
+    EXPECT_EQ(sim::suggestHint("zzzzqq", cands), "");
+}

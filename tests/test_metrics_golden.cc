@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Golden metric-namespace test: pins the exact set of dotted metric
+ * keys (and a handful of values) one cholesky/TDM/fifo run exports.
+ *
+ * The key list is the public surface of the observability API —
+ * campaign `metrics` selections, README tables and downstream
+ * analysis scripts all address it by name. A renamed or dropped key
+ * fails here loudly instead of silently exporting nothing. To update
+ * after an intentional change: print RunSummary::metrics() keys for
+ * this experiment and replace the list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+
+using namespace tdm;
+
+namespace {
+
+const char *const kGoldenKeys[] = {
+    "cpu.chip.deps_ticks",
+    "cpu.chip.exec_fraction",
+    "cpu.chip.exec_ticks",
+    "cpu.chip.idle_fraction",
+    "cpu.chip.idle_ticks",
+    "cpu.chip.sched_ticks",
+    "cpu.master.deps_ticks",
+    "cpu.master.exec_fraction",
+    "cpu.master.exec_ticks",
+    "cpu.master.idle_fraction",
+    "cpu.master.idle_ticks",
+    "cpu.master.sched_ticks",
+    "cpu.workers.deps_ticks",
+    "cpu.workers.exec_fraction",
+    "cpu.workers.exec_ticks",
+    "cpu.workers.idle_fraction",
+    "cpu.workers.idle_ticks",
+    "cpu.workers.sched_ticks",
+    "dmu.accesses",
+    "dmu.blocked",
+    "dmu.dat.accesses",
+    "dmu.dat.avg_occupied_sets",
+    "dmu.dat.conflicts",
+    "dmu.dat.hit_rate",
+    "dmu.dat.hits",
+    "dmu.dat.inserts",
+    "dmu.dat.live_entries",
+    "dmu.dat.lookups",
+    "dmu.dat.occupied_sets",
+    "dmu.dep_table.accesses",
+    "dmu.deps_in_flight",
+    "dmu.dla.accesses",
+    "dmu.ops",
+    "dmu.ready",
+    "dmu.ready_queue.accesses",
+    "dmu.rla.accesses",
+    "dmu.sla.accesses",
+    "dmu.task_table.accesses",
+    "dmu.tasks_in_flight",
+    "dmu.tat.accesses",
+    "dmu.tat.avg_occupied_sets",
+    "dmu.tat.conflicts",
+    "dmu.tat.hit_rate",
+    "dmu.tat.hits",
+    "dmu.tat.inserts",
+    "dmu.tat.live_entries",
+    "dmu.tat.lookups",
+    "dmu.tat.occupied_sets",
+    "machine.completed",
+    "machine.makespan_ticks",
+    "machine.master_create_ticks",
+    "machine.master_creation_fraction",
+    "machine.task_cycles.count",
+    "machine.task_cycles.max",
+    "machine.task_cycles.mean",
+    "machine.task_cycles.min",
+    "machine.task_cycles.overflow",
+    "machine.task_cycles.stdev",
+    "machine.task_cycles.underflow",
+    "machine.tasks_executed",
+    "machine.time_ms",
+    "mem.dram_line_accesses",
+    "mem.l1_hit_rate",
+    "mem.l1_hits",
+    "mem.l1_line_accesses",
+    "mem.l1_misses",
+    "mem.l2_hit_rate",
+    "mem.l2_hits",
+    "mem.l2_line_accesses",
+    "mem.l2_misses",
+    "mesh.avg_hop_latency",
+    "mesh.avg_hop_latency.count",
+    "mesh.avg_hops",
+    "mesh.flit_hops",
+    "mesh.hop_sum",
+    "mesh.max_link_flits",
+    "mesh.messages",
+    "power.accel_dynamic_pj",
+    "power.accel_leakage_mw",
+    "power.avg_watts",
+    "power.core_active_ticks",
+    "power.core_idle_ticks",
+    "power.dram_lines",
+    "power.edp",
+    "power.energy_j",
+    "power.l1_lines",
+    "power.l2_lines",
+    "runtime.pool.empty_pops",
+    "runtime.pool.peak_size",
+    "runtime.pool.pops",
+    "runtime.pool.pushes",
+    "window.drain.cpu.chip.deps_ticks",
+    "window.drain.cpu.chip.exec_ticks",
+    "window.drain.cpu.chip.idle_ticks",
+    "window.drain.cpu.chip.sched_ticks",
+    "window.drain.cpu.master.deps_ticks",
+    "window.drain.cpu.master.exec_ticks",
+    "window.drain.cpu.master.idle_ticks",
+    "window.drain.cpu.master.sched_ticks",
+    "window.drain.cpu.workers.deps_ticks",
+    "window.drain.cpu.workers.exec_ticks",
+    "window.drain.cpu.workers.idle_ticks",
+    "window.drain.cpu.workers.sched_ticks",
+    "window.drain.dmu.accesses",
+    "window.drain.dmu.blocked",
+    "window.drain.dmu.dat.accesses",
+    "window.drain.dmu.dat.conflicts",
+    "window.drain.dmu.dat.hits",
+    "window.drain.dmu.dat.inserts",
+    "window.drain.dmu.dat.lookups",
+    "window.drain.dmu.dep_table.accesses",
+    "window.drain.dmu.dla.accesses",
+    "window.drain.dmu.ops",
+    "window.drain.dmu.ready_queue.accesses",
+    "window.drain.dmu.rla.accesses",
+    "window.drain.dmu.sla.accesses",
+    "window.drain.dmu.task_table.accesses",
+    "window.drain.dmu.tat.accesses",
+    "window.drain.dmu.tat.conflicts",
+    "window.drain.dmu.tat.hits",
+    "window.drain.dmu.tat.inserts",
+    "window.drain.dmu.tat.lookups",
+    "window.drain.machine.master_create_ticks",
+    "window.drain.machine.task_cycles.count",
+    "window.drain.machine.task_cycles.mean",
+    "window.drain.machine.tasks_executed",
+    "window.drain.mem.dram_line_accesses",
+    "window.drain.mem.l1_hits",
+    "window.drain.mem.l1_line_accesses",
+    "window.drain.mem.l1_misses",
+    "window.drain.mem.l2_hits",
+    "window.drain.mem.l2_line_accesses",
+    "window.drain.mem.l2_misses",
+    "window.drain.mesh.avg_hop_latency",
+    "window.drain.mesh.flit_hops",
+    "window.drain.mesh.hop_sum",
+    "window.drain.mesh.messages",
+    "window.drain.runtime.pool.empty_pops",
+    "window.drain.runtime.pool.pops",
+    "window.drain.runtime.pool.pushes",
+    "window.drain.ticks",
+    "window.roi.cpu.chip.deps_ticks",
+    "window.roi.cpu.chip.exec_ticks",
+    "window.roi.cpu.chip.idle_ticks",
+    "window.roi.cpu.chip.sched_ticks",
+    "window.roi.cpu.master.deps_ticks",
+    "window.roi.cpu.master.exec_ticks",
+    "window.roi.cpu.master.idle_ticks",
+    "window.roi.cpu.master.sched_ticks",
+    "window.roi.cpu.workers.deps_ticks",
+    "window.roi.cpu.workers.exec_ticks",
+    "window.roi.cpu.workers.idle_ticks",
+    "window.roi.cpu.workers.sched_ticks",
+    "window.roi.dmu.accesses",
+    "window.roi.dmu.blocked",
+    "window.roi.dmu.dat.accesses",
+    "window.roi.dmu.dat.conflicts",
+    "window.roi.dmu.dat.hits",
+    "window.roi.dmu.dat.inserts",
+    "window.roi.dmu.dat.lookups",
+    "window.roi.dmu.dep_table.accesses",
+    "window.roi.dmu.dla.accesses",
+    "window.roi.dmu.ops",
+    "window.roi.dmu.ready_queue.accesses",
+    "window.roi.dmu.rla.accesses",
+    "window.roi.dmu.sla.accesses",
+    "window.roi.dmu.task_table.accesses",
+    "window.roi.dmu.tat.accesses",
+    "window.roi.dmu.tat.conflicts",
+    "window.roi.dmu.tat.hits",
+    "window.roi.dmu.tat.inserts",
+    "window.roi.dmu.tat.lookups",
+    "window.roi.machine.master_create_ticks",
+    "window.roi.machine.task_cycles.count",
+    "window.roi.machine.task_cycles.mean",
+    "window.roi.machine.tasks_executed",
+    "window.roi.mem.dram_line_accesses",
+    "window.roi.mem.l1_hits",
+    "window.roi.mem.l1_line_accesses",
+    "window.roi.mem.l1_misses",
+    "window.roi.mem.l2_hits",
+    "window.roi.mem.l2_line_accesses",
+    "window.roi.mem.l2_misses",
+    "window.roi.mesh.avg_hop_latency",
+    "window.roi.mesh.flit_hops",
+    "window.roi.mesh.hop_sum",
+    "window.roi.mesh.messages",
+    "window.roi.runtime.pool.empty_pops",
+    "window.roi.runtime.pool.pops",
+    "window.roi.runtime.pool.pushes",
+    "window.roi.ticks",
+    "window.warmup.cpu.chip.deps_ticks",
+    "window.warmup.cpu.chip.exec_ticks",
+    "window.warmup.cpu.chip.idle_ticks",
+    "window.warmup.cpu.chip.sched_ticks",
+    "window.warmup.cpu.master.deps_ticks",
+    "window.warmup.cpu.master.exec_ticks",
+    "window.warmup.cpu.master.idle_ticks",
+    "window.warmup.cpu.master.sched_ticks",
+    "window.warmup.cpu.workers.deps_ticks",
+    "window.warmup.cpu.workers.exec_ticks",
+    "window.warmup.cpu.workers.idle_ticks",
+    "window.warmup.cpu.workers.sched_ticks",
+    "window.warmup.dmu.accesses",
+    "window.warmup.dmu.blocked",
+    "window.warmup.dmu.dat.accesses",
+    "window.warmup.dmu.dat.conflicts",
+    "window.warmup.dmu.dat.hits",
+    "window.warmup.dmu.dat.inserts",
+    "window.warmup.dmu.dat.lookups",
+    "window.warmup.dmu.dep_table.accesses",
+    "window.warmup.dmu.dla.accesses",
+    "window.warmup.dmu.ops",
+    "window.warmup.dmu.ready_queue.accesses",
+    "window.warmup.dmu.rla.accesses",
+    "window.warmup.dmu.sla.accesses",
+    "window.warmup.dmu.task_table.accesses",
+    "window.warmup.dmu.tat.accesses",
+    "window.warmup.dmu.tat.conflicts",
+    "window.warmup.dmu.tat.hits",
+    "window.warmup.dmu.tat.inserts",
+    "window.warmup.dmu.tat.lookups",
+    "window.warmup.machine.master_create_ticks",
+    "window.warmup.machine.task_cycles.count",
+    "window.warmup.machine.task_cycles.mean",
+    "window.warmup.machine.tasks_executed",
+    "window.warmup.mem.dram_line_accesses",
+    "window.warmup.mem.l1_hits",
+    "window.warmup.mem.l1_line_accesses",
+    "window.warmup.mem.l1_misses",
+    "window.warmup.mem.l2_hits",
+    "window.warmup.mem.l2_line_accesses",
+    "window.warmup.mem.l2_misses",
+    "window.warmup.mesh.avg_hop_latency",
+    "window.warmup.mesh.flit_hops",
+    "window.warmup.mesh.hop_sum",
+    "window.warmup.mesh.messages",
+    "window.warmup.runtime.pool.empty_pops",
+    "window.warmup.runtime.pool.pops",
+    "window.warmup.runtime.pool.pushes",
+    "window.warmup.ticks",
+    "workload.avg_task_us",
+    "workload.num_tasks",
+};
+
+driver::RunSummary &
+goldenRun()
+{
+    // One simulation shared by every test in this file.
+    static driver::RunSummary s = [] {
+        driver::Experiment e;
+        e.workload = "cholesky";
+        e.runtime = core::RuntimeType::Tdm;
+        e.config.scheduler = "fifo";
+        return driver::run(e);
+    }();
+    return s;
+}
+
+} // namespace
+
+TEST(MetricGolden, NamespaceIsExactlyThePinnedKeySet)
+{
+    const driver::RunSummary &s = goldenRun();
+    ASSERT_TRUE(s.completed);
+
+    std::vector<std::string> actual;
+    for (const auto &[k, v] : s.metrics().entries())
+        actual.push_back(k);
+
+    std::vector<std::string> expected(std::begin(kGoldenKeys),
+                                      std::end(kGoldenKeys));
+    ASSERT_TRUE(std::is_sorted(expected.begin(), expected.end()))
+        << "golden list must stay sorted";
+
+    std::vector<std::string> missing, unexpected;
+    std::set_difference(expected.begin(), expected.end(),
+                        actual.begin(), actual.end(),
+                        std::back_inserter(missing));
+    std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                        expected.end(),
+                        std::back_inserter(unexpected));
+    EXPECT_TRUE(missing.empty())
+        << "metric keys dropped or renamed: "
+        << ::testing::PrintToString(missing);
+    EXPECT_TRUE(unexpected.empty())
+        << "new metric keys not in the golden list (add them): "
+        << ::testing::PrintToString(unexpected);
+}
+
+TEST(MetricGolden, PinnedValuesAreByteIdentical)
+{
+    const driver::RunSummary &s = goldenRun();
+    const sim::MetricSet &m = s.metrics();
+
+    // Integral counters pin exactly: any drift means the simulation
+    // (not just the reporting) changed.
+    EXPECT_DOUBLE_EQ(m.at("machine.makespan_ticks"), 142451635.0);
+    EXPECT_DOUBLE_EQ(m.at("machine.tasks_executed"), 5984.0);
+    EXPECT_DOUBLE_EQ(m.at("workload.num_tasks"), 5984.0);
+    EXPECT_DOUBLE_EQ(m.at("dmu.tat.hits"), 28864.0);
+    EXPECT_DOUBLE_EQ(m.at("dmu.accesses"), 316052.0);
+    EXPECT_DOUBLE_EQ(m.at("machine.completed"), 1.0);
+}
+
+TEST(MetricGolden, PhaseWindowsTileTheRun)
+{
+    const driver::RunSummary &s = goldenRun();
+    const sim::MetricSet &m = s.metrics();
+    const double total = m.at("window.warmup.ticks")
+                       + m.at("window.roi.ticks")
+                       + m.at("window.drain.ticks");
+    EXPECT_DOUBLE_EQ(total, m.at("machine.makespan_ticks"));
+
+    // Counter deltas over the three windows must sum to the run total.
+    const double hits = m.at("window.warmup.dmu.tat.hits")
+                      + m.at("window.roi.dmu.tat.hits")
+                      + m.at("window.drain.dmu.tat.hits");
+    EXPECT_DOUBLE_EQ(hits, m.at("dmu.tat.hits"));
+
+    // Task bodies only start after warmup ends, and most retire in
+    // the ROI (creation overlaps execution under TDM).
+    EXPECT_DOUBLE_EQ(m.at("window.warmup.machine.tasks_executed"), 0.0);
+    EXPECT_GT(m.at("window.roi.machine.tasks_executed"), 0.0);
+}

@@ -407,6 +407,42 @@ TEST(CampaignFile, LabelTemplatePropagatesForReRendering)
     EXPECT_EQ(spc::renderLabel(c.labelTemplate, e), "c32");
 }
 
+TEST(CampaignFile, MetricsDirectivePropagatesToCampaign)
+{
+    std::istringstream in(
+        "set runtime = tdm\n"
+        "metrics = dmu.*, mesh.avg_hop_latency\n");
+    const campaign::Campaign c =
+        spc::parseCampaignFile(in, "c").toCampaign();
+    EXPECT_EQ(c.metrics, "dmu.*, mesh.avg_hop_latency");
+
+    // Without the directive the pattern stays empty (= export all).
+    std::istringstream none("set runtime = tdm\n");
+    EXPECT_EQ(spc::parseCampaignFile(none, "c").toCampaign().metrics,
+              "");
+}
+
+TEST(CampaignFile, MetricsDirectiveValidatesGlobTokens)
+{
+    auto parse = [](const std::string &text) {
+        std::istringstream in(text);
+        return spc::parseCampaignFile(in, "bad.campaign");
+    };
+    EXPECT_THROW(parse("metrics =\n"), spc::SpecError);
+    // Junk between the keyword and '=' must not parse (it would
+    // silently select the wrong subtree).
+    EXPECT_THROW(parse("metrics dmu.* = mesh.*\n"), spc::SpecError);
+    EXPECT_THROW(parse("metrics pattern = dmu.*\n"), spc::SpecError);
+    try {
+        parse("set runtime = tdm\nmetrics = dmu.*,,mesh.*\n");
+        FAIL() << "expected SpecError";
+    } catch (const spc::SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad.campaign:2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(CampaignFile, ErrorsCarryFileAndLineContext)
 {
     auto parse = [](const std::string &text) {

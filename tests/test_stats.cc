@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/stats.hh"
 
@@ -65,6 +67,43 @@ TEST(Distribution, StdevOfConstantIsZero)
     EXPECT_NEAR(d.stdev(), 0.0, 1e-12);
 }
 
+TEST(Distribution, StdevMatchesSampleFormula)
+{
+    sim::Distribution d(0.0, 10.0, 4);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    // Sample (n-1) stdev of the classic sigma=2 data set:
+    // sum of squared deviations = 32, n-1 = 7.
+    EXPECT_NEAR(d.stdev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(Distribution, InitRebuckets)
+{
+    sim::Distribution d(0.0, 1.0, 2);
+    d.sample(0.25);
+    d.sample(2.0); // overflow under the original range
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_EQ(d.overflow(), 1u);
+
+    // init() re-buckets: new range, new bucket count, all
+    // accumulators (moments, extremes, under/overflow) cleared.
+    d.init(0.0, 4.0, 8);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+    EXPECT_NEAR(d.stdev(), 0.0, 1e-12);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    ASSERT_EQ(d.buckets().size(), 8u);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+
+    d.sample(2.0); // overflow before, in range after re-bucketing
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_EQ(d.buckets()[4], 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
 TEST(Formula, EvaluatesLazily)
 {
     sim::Scalar a, b;
@@ -74,6 +113,24 @@ TEST(Formula, EvaluatesLazily)
     EXPECT_DOUBLE_EQ(f.value(), 2.0);
     a += 10.0;
     EXPECT_DOUBLE_EQ(f.value(), 4.0);
+}
+
+TEST(Formula, UndefinedFormulaIsZero)
+{
+    sim::Formula f;
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    f.define([] { return 7.0; });
+    EXPECT_DOUBLE_EQ(f.value(), 7.0);
+}
+
+TEST(Formula, SeesLiveStatValuesNotCaptures)
+{
+    sim::Average lat;
+    sim::Formula f([&] { return lat.mean() * 2.0; });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    lat.sample(3.0);
+    lat.sample(5.0);
+    EXPECT_DOUBLE_EQ(f.value(), 8.0);
 }
 
 TEST(StatGroup, DumpAndLookup)
@@ -90,4 +147,21 @@ TEST(StatGroup, DumpAndLookup)
     g.dump(oss);
     EXPECT_NE(oss.str().find("dmu.ops 42"), std::string::npos);
     EXPECT_NE(oss.str().find("# operations"), std::string::npos);
+}
+
+TEST(StatGroup, UnknownLookupThrowsWithSuggestion)
+{
+    sim::StatGroup g("dmu");
+    sim::Scalar hits;
+    g.addScalar("tat_hits", &hits, "");
+    // Silent 0 for a typo used to read as idle hardware; now it's a
+    // hard error naming the near miss (same policy as spec keys).
+    try {
+        g.lookup("tat_hist");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("tat_hist"), std::string::npos);
+        EXPECT_NE(msg.find("tat_hits"), std::string::npos);
+    }
 }

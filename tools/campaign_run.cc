@@ -10,8 +10,12 @@
  * Options:
  *   --list            list registered campaigns and exit
  *   --keys            print the spec key reference (markdown) and exit
+ *   --metric-keys     print the metric key reference (markdown) and exit
  *   --spec FILE       run the campaign defined in FILE (repeatable)
  *   --set KEY=VALUE   override a spec key on every point (repeatable)
+ *   --metrics GLOBS   select the metric subtree each point exports
+ *                     ("dmu.*,mesh.*"); overrides any `metrics`
+ *                     directive in a *.campaign file
  *   --threads N       worker threads (default: hardware concurrency)
  *   --no-cache        disable result-cache deduplication
  *   --seed-base S     reseed point i with S+i (deterministic per job)
@@ -43,9 +47,11 @@
 #include "driver/campaign/engine.hh"
 #include "driver/report/csv_writer.hh"
 #include "driver/report/json_writer.hh"
+#include "driver/report/metric_reference.hh"
 #include "driver/spec/campaign_file.hh"
 #include "driver/spec/grid.hh"
 #include "driver/spec/spec.hh"
+#include "sim/metrics.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -58,9 +64,10 @@ namespace {
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--list] [--keys] [--spec FILE] [--set KEY=VALUE]"
-                 " [--threads N] [--no-cache] [--seed-base S]"
-                 " [--json FILE] [--csv FILE] [--quiet] [CAMPAIGN...]\n";
+              << " [--list] [--keys] [--metric-keys] [--spec FILE]"
+                 " [--set KEY=VALUE] [--metrics GLOBS] [--threads N]"
+                 " [--no-cache] [--seed-base S] [--json FILE]"
+                 " [--csv FILE] [--quiet] [CAMPAIGN...]\n";
     std::exit(2);
 }
 
@@ -88,6 +95,8 @@ main(int argc, char **argv)
     opts.threads = 0; // hardware concurrency
     opts.progress = true;
     std::string json_file, csv_file;
+    std::string metrics_pattern;
+    bool metrics_set = false;
     std::vector<std::string> names;
     std::vector<std::string> spec_files;
     std::vector<std::pair<std::string, std::string>> overrides;
@@ -106,6 +115,9 @@ main(int argc, char **argv)
         } else if (!std::strcmp(a, "--keys")) {
             spc::writeKeyReference(std::cout);
             return 0;
+        } else if (!std::strcmp(a, "--metric-keys")) {
+            driver::report::writeMetricReference(std::cout);
+            return 0;
         } else if (!std::strcmp(a, "--spec")) {
             spec_files.emplace_back(need(i));
         } else if (!std::strcmp(a, "--set")) {
@@ -117,6 +129,16 @@ main(int argc, char **argv)
                 return 2;
             }
             overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+        } else if (!std::strcmp(a, "--metrics")) {
+            metrics_pattern = need(i);
+            metrics_set = true;
+            try {
+                if (!metrics_pattern.empty())
+                    sim::MetricSet::parsePatterns(metrics_pattern);
+            } catch (const sim::MetricError &e) {
+                std::cerr << "--metrics: " << e.what() << "\n";
+                return 2;
+            }
         } else if (!std::strcmp(a, "--threads")) {
             opts.threads = static_cast<unsigned>(
                 cmp::parseUintArg(need(i), "--threads", UINT32_MAX));
@@ -148,6 +170,8 @@ main(int argc, char **argv)
         for (const std::string &file : spec_files)
             campaigns.push_back(spc::loadCampaignFile(file).toCampaign());
         for (cmp::Campaign &c : campaigns) {
+            if (metrics_set)
+                c.metrics = metrics_pattern;
             for (driver::SweepPoint &p : c.points) {
                 for (const auto &[key, value] : overrides)
                     spc::applyKey(p.exp, key, value);

@@ -21,7 +21,8 @@
  *                        them); repeatable, applied in order
  *   --describe           print the canonical experiment spec and exit
  *   --trace FILE         write a Chrome-tracing JSON timeline
- *   --stats              dump component statistics
+ *   --stats              dump the metric tree (gem5 stats.txt format;
+ *                        campaign_run --metric-keys lists every key)
  *   --list               list workloads and exit
  *
  * The convenience flags are shorthands over the same spec keys that

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate a campaign_run --json export against the metrics schema.
+
+Usage: validate_metrics_export.py EXPORT.json SCHEMA.json
+
+The schema (tools/metrics_schema.json) pins the exact metric-key set
+every job must export under its metrics pattern, so CI catches renamed
+or dropped metrics, jobs that silently export an empty tree, and
+derived metrics drifting out of range. Exits non-zero with a per-job
+explanation on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    export = json.load(open(sys.argv[1]))
+    schema = json.load(open(sys.argv[2]))
+
+    required = set(schema["required_keys"])
+    rules = schema.get("value_rules", {})
+
+    jobs = []
+    for c in export["campaigns"]:
+        if c.get("metrics_pattern") != schema["metrics_pattern"]:
+            fail(
+                f"campaign '{c['name']}' exported pattern "
+                f"'{c.get('metrics_pattern')}', schema expects "
+                f"'{schema['metrics_pattern']}'"
+            )
+        jobs.extend(c["jobs"])
+    if not jobs:
+        fail("export contains no jobs")
+
+    for j in jobs:
+        label = j.get("label", "?")
+        if not j.get("ok"):
+            fail(f"job '{label}' failed: {j.get('error')}")
+        metrics = j.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            fail(f"job '{label}' exported no metric tree")
+        keys = set(metrics)
+        if keys != required:
+            missing = sorted(required - keys)
+            extra = sorted(keys - required)
+            fail(
+                f"job '{label}' metric keys diverge from schema: "
+                f"missing={missing} unexpected={extra} "
+                f"(regenerate tools/metrics_schema.json if intentional)"
+            )
+        for k, v in metrics.items():
+            if not isinstance(v, (int, float)):
+                fail(f"job '{label}' metric '{k}' is not numeric: {v!r}")
+        for k, rule in rules.items():
+            v = metrics[k]
+            if "min" in rule and v < rule["min"]:
+                fail(f"job '{label}' metric '{k}'={v} below {rule['min']}")
+            if "max" in rule and v > rule["max"]:
+                fail(f"job '{label}' metric '{k}'={v} above {rule['max']}")
+
+    print(f"{len(jobs)} jobs x {len(required)} metric keys validated")
+
+
+if __name__ == "__main__":
+    main()
