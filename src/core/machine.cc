@@ -7,9 +7,32 @@
 
 namespace tdm::core {
 
+namespace {
+
+const rt::TaskGraph &
+requireGraph(const std::shared_ptr<const rt::TaskGraph> &g)
+{
+    if (!g)
+        sim::fatal("machine needs a non-null task graph");
+    return *g;
+}
+
+} // namespace
+
 Machine::Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
                  RuntimeType runtime)
-    : cfg_(cfg), graph_(graph), traits_(traitsOf(runtime)),
+    : Machine(cfg,
+              std::shared_ptr<const rt::TaskGraph>(
+                  std::shared_ptr<const rt::TaskGraph>{}, &graph),
+              runtime)
+{
+}
+
+Machine::Machine(const cpu::MachineConfig &cfg,
+                 std::shared_ptr<const rt::TaskGraph> graph,
+                 RuntimeType runtime)
+    : cfg_(cfg), graphHold_(std::move(graph)),
+      graph_(requireGraph(graphHold_)), traits_(traitsOf(runtime)),
       phases_(cfg.numCores), mesh_(cfg.mesh), cores_(cfg.numCores),
       acct_(cfg.power)
 {
@@ -40,9 +63,22 @@ Machine::Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
         break; // DMU Ready Queue is the scheduler
     }
 
-    descToTask_.reserve(graph_.numTasks());
-    for (const rt::Task &t : graph_.tasks())
-        descToTask_.emplace(t.descAddr, t.id);
+    // Descriptor addresses are an affine function of the task id
+    // (TaskGraph::createTask bump-allocates them); verify once so
+    // taskOfDesc can be pure arithmetic on the hot path.
+    if (!graph_.tasks().empty()) {
+        descBase_ = graph_.task(0).descAddr;
+        for (const rt::Task &t : graph_.tasks()) {
+            if (t.descAddr != descBase_ + static_cast<std::uint64_t>(t.id)
+                                              * rt::TaskGraph::descStride)
+                sim::panic("task graph descriptor layout is not affine "
+                           "(task ", t.id, ")");
+        }
+    }
+
+    idleNext_.assign(cfg_.numCores, sim::invalidCore);
+    idlePrev_.assign(cfg_.numCores, sim::invalidCore);
+    idleLinked_.assign(cfg_.numCores, 0);
 
     registerMetrics();
 }
@@ -147,10 +183,12 @@ Machine::~Machine() = default;
 rt::TaskId
 Machine::taskOfDesc(std::uint64_t desc_addr) const
 {
-    auto it = descToTask_.find(desc_addr);
-    if (it == descToTask_.end())
+    const std::uint64_t off = desc_addr - descBase_;
+    const std::uint64_t idx = off / rt::TaskGraph::descStride;
+    if (desc_addr < descBase_ || off % rt::TaskGraph::descStride != 0
+        || idx >= graph_.numTasks())
         sim::panic("unknown task descriptor 0x", std::hex, desc_addr);
-    return it->second;
+    return static_cast<rt::TaskId>(idx);
 }
 
 const std::vector<mem::MemAccess> &
@@ -713,12 +751,43 @@ Machine::deliverReady(const rt::ReadyTask &task)
 }
 
 void
+Machine::idlePushBack(sim::CoreId core)
+{
+    idleLinked_[core] = 1;
+    idleNext_[core] = sim::invalidCore;
+    idlePrev_[core] = idleTail_;
+    if (idleTail_ != sim::invalidCore)
+        idleNext_[idleTail_] = core;
+    else
+        idleHead_ = core;
+    idleTail_ = core;
+}
+
+void
+Machine::idleUnlink(sim::CoreId core)
+{
+    if (!idleLinked_[core])
+        return;
+    const sim::CoreId prev = idlePrev_[core];
+    const sim::CoreId next = idleNext_[core];
+    if (prev != sim::invalidCore)
+        idleNext_[prev] = next;
+    else
+        idleHead_ = next;
+    if (next != sim::invalidCore)
+        idlePrev_[next] = prev;
+    else
+        idleTail_ = prev;
+    idleLinked_[core] = 0;
+}
+
+void
 Machine::wakeOneIdle()
 {
-    if (finished_ || idleCores_.empty())
+    if (finished_ || idleHead_ == sim::invalidCore)
         return;
-    sim::CoreId core = idleCores_.front();
-    idleCores_.pop_front();
+    sim::CoreId core = idleHead_;
+    idleUnlink(core);
     wakeCore(core);
 }
 
@@ -737,9 +806,7 @@ Machine::wakeSpecific(sim::CoreId core)
 {
     if (!cores_[core].idle)
         return;
-    auto it = std::find(idleCores_.begin(), idleCores_.end(), core);
-    if (it != idleCores_.end())
-        idleCores_.erase(it);
+    idleUnlink(core);
     wakeCore(core);
 }
 
@@ -749,7 +816,7 @@ Machine::goIdle(sim::CoreId core)
     if (finished_)
         return;
     cores_[core].parkAt(eq_.now());
-    idleCores_.push_back(core);
+    idlePushBack(core);
 }
 
 void
@@ -763,10 +830,7 @@ Machine::onTaskExecuted()
         regionDone_ = true;
         if (cores_[masterCore].idle) {
             // Remove the master from the idle list and resume it.
-            auto it = std::find(idleCores_.begin(), idleCores_.end(),
-                                masterCore);
-            if (it != idleCores_.end())
-                idleCores_.erase(it);
+            idleUnlink(masterCore);
             phases_.add(masterCore, cpu::Phase::Idle,
                         cores_[masterCore].wakeAt(eq_.now()));
             eq_.postIn<&Machine::advanceToNextRegion>(0, this);
@@ -790,7 +854,7 @@ Machine::flushDmuWaiters()
 {
     if (dmuWaiters_.empty())
         return;
-    std::vector<DmuRetry> waiters;
+    std::vector<DmuRetry> &waiters = dmuWaiterScratch_;
     waiters.swap(dmuWaiters_);
     for (const DmuRetry &w : waiters) {
         if (w.isCreate) {
@@ -801,6 +865,7 @@ Machine::flushDmuWaiters()
                                                    w.depIdx, w.segStart);
         }
     }
+    waiters.clear();
 }
 
 void

@@ -25,10 +25,8 @@
 #ifndef TDM_CORE_MACHINE_HH
 #define TDM_CORE_MACHINE_HH
 
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/runtime_model.hh"
@@ -91,8 +89,25 @@ struct MachineResult
 class Machine
 {
   public:
+    /**
+     * Bind to a shared, immutable task graph. The machine only ever
+     * reads the graph, so one graph instance can back any number of
+     * concurrently running machines (the campaign engine builds each
+     * distinct workload graph once and shares it across its worker
+     * threads).
+     */
+    Machine(const cpu::MachineConfig &cfg,
+            std::shared_ptr<const rt::TaskGraph> graph,
+            RuntimeType runtime);
+
+    /**
+     * Borrow @p graph without sharing ownership; the caller keeps it
+     * alive for the machine's lifetime (the natural form for tests and
+     * examples with a stack-owned graph).
+     */
     Machine(const cpu::MachineConfig &cfg, const rt::TaskGraph &graph,
             RuntimeType runtime);
+
     ~Machine();
 
     /** Run to completion and summarize. */
@@ -220,7 +235,8 @@ class Machine
     std::uint32_t swSuccCount(rt::TaskId id) const;
 
     cpu::MachineConfig cfg_;
-    const rt::TaskGraph &graph_;
+    std::shared_ptr<const rt::TaskGraph> graphHold_; ///< may share
+    const rt::TaskGraph &graph_; ///< always valid; == *graphHold_
     RuntimeTraits traits_;
 
     sim::EventQueue eq_;
@@ -236,7 +252,21 @@ class Machine
     cpu::SerialResource dmuPipe_; ///< serialized DMU op processing
 
     std::vector<cpu::CoreState> cores_;
-    std::deque<sim::CoreId> idleCores_;
+
+    /**
+     * FIFO of parked cores as an intrusive doubly-linked list threaded
+     * through per-core link arrays: O(1) park / wake-oldest /
+     * wake-specific with zero allocation (this used to be a std::deque
+     * with a linear std::find for the wake-specific path).
+     */
+    std::vector<sim::CoreId> idleNext_, idlePrev_;
+    std::vector<std::uint8_t> idleLinked_;
+    sim::CoreId idleHead_ = sim::invalidCore;
+    sim::CoreId idleTail_ = sim::invalidCore;
+
+    void idlePushBack(sim::CoreId core);
+    void idleUnlink(sim::CoreId core);
+
     TaskTrace trace_;
     bool traceEnabled_ = false;
 
@@ -249,7 +279,13 @@ class Machine
     bool regionDone_ = false;
     bool finished_ = false;
 
-    std::unordered_map<std::uint64_t, rt::TaskId> descToTask_;
+    /**
+     * Task descriptors are laid out affinely (TaskGraph::descStride),
+     * so desc -> TaskId is pure arithmetic from the first task's
+     * address — no hash map on the dispatch/finish hot path. Zero when
+     * the graph has no tasks.
+     */
+    std::uint64_t descBase_ = 0;
 
     /** A master-side DMU ISA operation parked on a full structure. */
     struct DmuRetry
@@ -260,8 +296,10 @@ class Machine
         sim::Tick segStart;
     };
 
-    // Master blocked on DMU capacity.
+    // Master blocked on DMU capacity (+ drain scratch: the two vectors
+    // ping-pong their warm buffers so flushing never allocates).
     std::vector<DmuRetry> dmuWaiters_;
+    std::vector<DmuRetry> dmuWaiterScratch_;
 
     /** Scratch buffer reused by footprintOf (hot path). */
     std::vector<mem::MemAccess> footprintScratch_;

@@ -18,6 +18,7 @@ AliasTable::AliasTable(std::string name, unsigned entries, unsigned assoc,
         sim::fatal("alias table ", name_, ": sets must be a power of two");
     ways_.assign(entries_, Way{});
     setLive_.assign(numSets_, 0);
+    freeIds_.reset(entries_);
     for (unsigned i = 0; i < entries_; ++i)
         freeIds_.push_back(static_cast<std::uint16_t>(i));
 }
@@ -68,8 +69,7 @@ AliasTable::insert(std::uint64_t addr, std::uint64_t size_bytes,
     Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
     for (unsigned w = 0; w < assoc_; ++w) {
         if (!base[w].valid) {
-            std::uint16_t id = freeIds_.front();
-            freeIds_.pop_front();
+            std::uint16_t id = freeIds_.pop_front();
             base[w].valid = true;
             base[w].addr = addr;
             base[w].pid = pid;

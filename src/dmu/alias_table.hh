@@ -17,12 +17,12 @@
 #define TDM_DMU_ALIAS_TABLE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "dmu/geometry.hh"
+#include "sim/fixed_ring.hh"
 #include "sim/metrics.hh"
 
 namespace tdm::dmu {
@@ -123,7 +123,9 @@ class AliasTable
     std::vector<Way> ways_;
     std::vector<unsigned> setLive_; // valid ways per set
     unsigned occupiedSets_ = 0;    // sets with >= 1 valid way
-    std::deque<std::uint16_t> freeIds_;
+    /** Free internal ids, recycled in FIFO order (fixed ring: id
+     *  allocation on the DMU hot path never touches the heap). */
+    sim::FixedRing<std::uint16_t> freeIds_;
     unsigned live_ = 0;
     std::uint64_t tick_ = 0;
 

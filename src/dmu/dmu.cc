@@ -157,14 +157,23 @@ Dmu::addDependence(std::uint64_t desc_addr, std::uint64_t dep_addr,
         // Exact SLA demand: group the successor-list pushes this
         // operation performs by target list (the same list can be
         // pushed several times, e.g. a reader registered twice).
-        std::unordered_map<ListHead, unsigned> pushes;
+        std::vector<std::pair<ListHead, unsigned>> &pushes = pushScratch_;
+        pushes.clear();
+        auto bump = [&](ListHead head) {
+            for (auto &[h, n] : pushes) {
+                if (h == head) {
+                    ++n;
+                    return;
+                }
+            }
+            pushes.emplace_back(head, 1u);
+        };
         if (dep.hasWriter() && dep.lastWriter != task_id)
-            ++pushes[taskTable_[dep.lastWriter].succList];
+            bump(taskTable_[dep.lastWriter].succList);
         if (is_output) {
             rla_.forEach(dep.readerList, [&](std::uint16_t r) {
                 if (r != task_id)
-                    ++pushes[taskTable_[static_cast<TaskHwId>(r)]
-                                 .succList];
+                    bump(taskTable_[static_cast<TaskHwId>(r)].succList);
             });
         } else {
             if (rla_.pushNeedsEntry(dep.readerList))

@@ -22,7 +22,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dmu/alias_table.hh"
@@ -189,6 +189,14 @@ class Dmu
      * no heap allocation (the simulator's, not the modelled DMU's).
      */
     std::vector<std::uint16_t> scratchIds_;
+
+    /**
+     * Reusable (list head, push count) scratch for add_dependence's
+     * exact SLA capacity pre-check. The handful of target lists per
+     * operation makes a linear scan cheaper than the per-call
+     * std::unordered_map this replaces — and allocation-free.
+     */
+    std::vector<std::pair<ListHead, unsigned>> pushScratch_;
 
     sim::Scalar statOps_, statBlocked_, statAccesses_;
 };

@@ -1,5 +1,7 @@
 #include "dmu/list_array.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tdm::dmu {
@@ -10,12 +12,23 @@ ListArray::ListArray(std::string name, unsigned entries,
 {
     if (entries_ == 0 || elemsPer_ == 0)
         sim::fatal("list array ", name_, ": bad geometry");
-    pool_.resize(entries_);
+    slots_.assign(static_cast<std::size_t>(entries_) * elemsPer_,
+                  invalidHwId);
+    next_.resize(entries_);
+    allocated_.assign(entries_, 0);
+    freeEntries_.reset(entries_);
     for (unsigned i = 0; i < entries_; ++i) {
-        pool_[i].slots.assign(elemsPer_, invalidHwId);
-        pool_[i].next = static_cast<std::uint16_t>(i);
+        next_[i] = static_cast<std::uint16_t>(i);
         freeEntries_.push_back(static_cast<std::uint16_t>(i));
     }
+}
+
+void
+ListArray::resetEntry(std::uint16_t entry)
+{
+    std::uint16_t *s = slotsOf(entry);
+    std::fill(s, s + elemsPer_, invalidHwId);
+    next_[entry] = entry;
 }
 
 ListHead
@@ -23,12 +36,9 @@ ListArray::allocList()
 {
     if (freeEntries_.empty())
         return invalidHwId;
-    std::uint16_t e = freeEntries_.front();
-    freeEntries_.pop_front();
-    Entry &entry = pool_[e];
-    entry.allocated = true;
-    entry.next = e;
-    std::fill(entry.slots.begin(), entry.slots.end(), invalidHwId);
+    std::uint16_t e = freeEntries_.pop_front();
+    allocated_[e] = 1;
+    resetEntry(e);
     ++inUse_;
     peak_ = std::max(peak_, inUse_);
     return e;
@@ -39,8 +49,8 @@ ListArray::chainLength(ListHead head) const
 {
     unsigned n = 1;
     std::uint16_t cur = head;
-    while (pool_[cur].next != cur) {
-        cur = pool_[cur].next;
+    while (next_[cur] != cur) {
+        cur = next_[cur];
         ++n;
     }
     return n;
@@ -56,12 +66,12 @@ unsigned
 ListArray::tailFreeSlots(ListHead head) const
 {
     std::uint16_t cur = head;
-    while (pool_[cur].next != cur)
-        cur = pool_[cur].next;
-    const Entry &tail = pool_[cur];
+    while (next_[cur] != cur)
+        cur = next_[cur];
+    const std::uint16_t *tail = slotsOf(cur);
     unsigned free = 0;
     for (unsigned i = 0; i < elemsPer_; ++i)
-        if (tail.slots[i] == invalidHwId)
+        if (tail[i] == invalidHwId)
             ++free;
     return free;
 }
@@ -78,58 +88,34 @@ ListArray::entriesNeededFor(ListHead head, unsigned pushes) const
 bool
 ListArray::push(ListHead head, std::uint16_t value, unsigned &accesses)
 {
-    if (head == invalidHwId || !pool_[head].allocated)
+    if (head == invalidHwId || !allocated_[head])
         sim::panic("list array ", name_, ": push to invalid list");
     // Walk to the tail; one SRAM access per chain entry.
     std::uint16_t cur = head;
     ++accesses;
-    while (pool_[cur].next != cur) {
-        cur = pool_[cur].next;
+    while (next_[cur] != cur) {
+        cur = next_[cur];
         ++accesses;
     }
-    Entry &tail = pool_[cur];
+    std::uint16_t *tail = slotsOf(cur);
     for (unsigned i = 0; i < elemsPer_; ++i) {
-        if (tail.slots[i] == invalidHwId) {
-            tail.slots[i] = value;
+        if (tail[i] == invalidHwId) {
+            tail[i] = value;
             return true; // write folded into the tail access
         }
     }
     // Need a continuation entry.
     if (freeEntries_.empty())
         return false;
-    std::uint16_t e = freeEntries_.front();
-    freeEntries_.pop_front();
-    Entry &cont = pool_[e];
-    cont.allocated = true;
-    cont.next = e;
-    std::fill(cont.slots.begin(), cont.slots.end(), invalidHwId);
-    cont.slots[0] = value;
-    tail.next = e;
+    std::uint16_t e = freeEntries_.pop_front();
+    allocated_[e] = 1;
+    resetEntry(e);
+    slotsOf(e)[0] = value;
+    next_[cur] = e;
     ++inUse_;
     peak_ = std::max(peak_, inUse_);
     ++accesses; // write of the new entry
     return true;
-}
-
-unsigned
-ListArray::forEach(ListHead head,
-                   const std::function<void(std::uint16_t)> &fn) const
-{
-    if (head == invalidHwId)
-        return 0;
-    unsigned accesses = 0;
-    std::uint16_t cur = head;
-    while (true) {
-        const Entry &e = pool_[cur];
-        ++accesses;
-        for (unsigned i = 0; i < elemsPer_; ++i)
-            if (e.slots[i] != invalidHwId)
-                fn(e.slots[i]);
-        if (e.next == cur)
-            break;
-        cur = e.next;
-    }
-    return accesses;
 }
 
 unsigned
@@ -148,17 +134,17 @@ ListArray::remove(ListHead head, std::uint16_t value)
     unsigned accesses = 0;
     std::uint16_t cur = head;
     while (true) {
-        Entry &e = pool_[cur];
         ++accesses;
+        std::uint16_t *s = slotsOf(cur);
         for (unsigned i = 0; i < elemsPer_; ++i) {
-            if (e.slots[i] == value) {
-                e.slots[i] = invalidHwId;
+            if (s[i] == value) {
+                s[i] = invalidHwId;
                 return accesses;
             }
         }
-        if (e.next == cur)
+        if (next_[cur] == cur)
             break;
-        cur = e.next;
+        cur = next_[cur];
     }
     return accesses;
 }
@@ -169,15 +155,13 @@ ListArray::clear(ListHead head)
     if (head == invalidHwId)
         return 0;
     unsigned accesses = 1;
-    Entry &h = pool_[head];
-    std::uint16_t cur = h.next;
+    std::uint16_t cur = next_[head];
     // Free continuation entries.
     while (cur != head) {
-        Entry &e = pool_[cur];
-        std::uint16_t next = e.next;
+        std::uint16_t next = next_[cur];
         bool last = next == cur;
-        e.allocated = false;
-        e.next = cur;
+        allocated_[cur] = 0;
+        next_[cur] = cur;
         freeEntries_.push_back(cur);
         --inUse_;
         ++accesses;
@@ -185,8 +169,9 @@ ListArray::clear(ListHead head)
             break;
         cur = next;
     }
-    std::fill(h.slots.begin(), h.slots.end(), invalidHwId);
-    h.next = head;
+    std::uint16_t *s = slotsOf(head);
+    std::fill(s, s + elemsPer_, invalidHwId);
+    next_[head] = head;
     return accesses;
 }
 
@@ -196,8 +181,7 @@ ListArray::freeList(ListHead head)
     if (head == invalidHwId)
         return 0;
     unsigned accesses = clear(head);
-    Entry &h = pool_[head];
-    h.allocated = false;
+    allocated_[head] = 0;
     freeEntries_.push_back(head);
     --inUse_;
     return accesses;

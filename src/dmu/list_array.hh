@@ -10,18 +10,25 @@
  *
  * Every operation reports the number of SRAM accesses a hardware walk
  * would make, which the DMU converts into cycles.
+ *
+ * Storage mirrors the modelled SRAM: one contiguous slot slab (entries
+ * x elems-per-entry) plus parallel next/allocated arrays, with a fixed
+ * ring recycling free entries in FIFO order. List walks visit
+ * consecutive memory and alloc/free never touch the heap — this is on
+ * the DMU's per-operation hot path. forEach is a template so walk
+ * callbacks inline instead of paying a std::function dispatch per
+ * chained entry.
  */
 
 #ifndef TDM_DMU_LIST_ARRAY_HH
 #define TDM_DMU_LIST_ARRAY_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "dmu/geometry.hh"
+#include "sim/fixed_ring.hh"
 
 namespace tdm::dmu {
 
@@ -63,8 +70,26 @@ class ListArray
     unsigned entriesNeededFor(ListHead head, unsigned pushes) const;
 
     /** Visit each element in order; returns SRAM accesses. */
-    unsigned forEach(ListHead head,
-                     const std::function<void(std::uint16_t)> &fn) const;
+    template <typename Fn>
+    unsigned
+    forEach(ListHead head, Fn &&fn) const
+    {
+        if (head == invalidHwId)
+            return 0;
+        unsigned accesses = 0;
+        std::uint16_t cur = head;
+        while (true) {
+            ++accesses;
+            const std::uint16_t *slots = slotsOf(cur);
+            for (unsigned i = 0; i < elemsPer_; ++i)
+                if (slots[i] != invalidHwId)
+                    fn(slots[i]);
+            if (next_[cur] == cur)
+                break;
+            cur = next_[cur];
+        }
+        return accesses;
+    }
 
     /** Number of elements in the list. */
     unsigned size(ListHead head) const;
@@ -88,20 +113,30 @@ class ListArray
     const std::string &name() const { return name_; }
 
   private:
-    struct Entry
+    const std::uint16_t *
+    slotsOf(std::uint16_t entry) const
     {
-        std::vector<std::uint16_t> slots; // invalidHwId = empty
-        std::uint16_t next;               // == own index: end of chain
-        bool allocated = false;
-    };
+        return slots_.data()
+               + static_cast<std::size_t>(entry) * elemsPer_;
+    }
 
+    std::uint16_t *
+    slotsOf(std::uint16_t entry)
+    {
+        return slots_.data()
+               + static_cast<std::size_t>(entry) * elemsPer_;
+    }
+
+    void resetEntry(std::uint16_t entry);
     unsigned chainLength(ListHead head) const;
 
     std::string name_;
     unsigned entries_;
     unsigned elemsPer_;
-    std::vector<Entry> pool_;
-    std::deque<std::uint16_t> freeEntries_;
+    std::vector<std::uint16_t> slots_; ///< entries_ x elemsPer_ slab
+    std::vector<std::uint16_t> next_;  ///< == own index: end of chain
+    std::vector<std::uint8_t> allocated_;
+    sim::FixedRing<std::uint16_t> freeEntries_;
     unsigned inUse_ = 0;
     unsigned peak_ = 0;
 };

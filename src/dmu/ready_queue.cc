@@ -4,7 +4,8 @@
 
 namespace tdm::dmu {
 
-ReadyQueue::ReadyQueue(unsigned capacity) : capacity_(capacity)
+ReadyQueue::ReadyQueue(unsigned capacity)
+    : capacity_(capacity), fifo_(capacity)
 {
     if (capacity_ == 0)
         sim::fatal("ready queue capacity must be nonzero");

@@ -8,14 +8,15 @@
 #define TDM_DMU_READY_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "dmu/geometry.hh"
+#include "sim/fixed_ring.hh"
 
 namespace tdm::dmu {
 
 /**
- * Bounded FIFO of task ids.
+ * Bounded FIFO of task ids over a fixed ring — the hardware FIFO it
+ * models is a fixed SRAM, and the ring keeps push/pop allocation-free.
  */
 class ReadyQueue
 {
@@ -23,7 +24,7 @@ class ReadyQueue
     explicit ReadyQueue(unsigned capacity);
 
     bool empty() const { return fifo_.empty(); }
-    bool full() const { return fifo_.size() >= capacity_; }
+    bool full() const { return fifo_.full(); }
     std::size_t size() const { return fifo_.size(); }
     unsigned capacity() const { return capacity_; }
 
@@ -38,7 +39,7 @@ class ReadyQueue
 
   private:
     unsigned capacity_;
-    std::deque<TaskHwId> fifo_;
+    sim::FixedRing<TaskHwId> fifo_;
     std::size_t peak_ = 0;
 };
 

@@ -159,6 +159,15 @@ CampaignEngine::run(const std::string &name,
             dupOf[i] = it->second;
     }
 
+    // Simulated points resolve their task graph through the engine's
+    // build-once graph store from inside the worker loop, so workers
+    // share one immutable graph per distinct (workload, effective
+    // params) instead of each rebuilding it — and the builds
+    // themselves still run with full pool parallelism. A rare
+    // concurrent duplicate build is wasted work, never wrong (first
+    // publisher wins inside the cache).
+    const std::uint64_t graphBuilds0 = graphs_.builds();
+
     // Phase 2: simulate the unique misses on the worker pool. Results
     // land at their input index, so output order never depends on the
     // execution schedule.
@@ -174,7 +183,12 @@ CampaignEngine::run(const std::string &name,
             JobResult &job = report.jobs[i];
             const Clock::time_point j0 = Clock::now();
             try {
-                job.summary = driver::run(exps[i]);
+                // A graph-build failure lands in this job's error,
+                // exactly as it did when every point built its own.
+                job.summary = driver::run(
+                    exps[i],
+                    opts_.shareGraphs ? graphs_.obtain(exps[i])
+                                      : nullptr);
             } catch (const std::exception &e) {
                 job.error = e.what();
                 job.threw = true;
@@ -225,6 +239,13 @@ CampaignEngine::run(const std::string &name,
     }
 
     report.threads = threads;
+    if (opts_.shareGraphs) {
+        report.graphBuilds = graphs_.builds() - graphBuilds0;
+        const std::uint64_t obtained = work.size();
+        report.graphShares = obtained > report.graphBuilds
+                                 ? obtained - report.graphBuilds
+                                 : 0;
+    }
     report.wallMs = msSince(t0);
     for (const JobResult &j : report.jobs)
         if (j.cacheHit)

@@ -20,6 +20,7 @@
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/result_cache.hh"
+#include "driver/graph_cache.hh"
 #include "sim/config.hh"
 
 namespace tdm::driver::campaign {
@@ -43,6 +44,16 @@ struct EngineOptions
 
     /** Print per-job progress lines to stderr. */
     bool progress = false;
+
+    /**
+     * Build each distinct (workload, effective params) graph once per
+     * engine and share it read-only across worker threads, instead of
+     * rebuilding it inside every simulated point. Pure wall-clock
+     * optimization — summaries are byte-identical either way (the
+     * graph-sharing equivalence test pins this). Off is only useful
+     * for that comparison.
+     */
+    bool shareGraphs = true;
 };
 
 /** Outcome of one campaign point. */
@@ -76,6 +87,9 @@ struct CampaignResult
     double wallMs = 0.0;         ///< end-to-end campaign wall-clock
     std::uint64_t cacheHits = 0;
     std::uint64_t simulated = 0;
+    std::uint64_t graphBuilds = 0; ///< distinct task graphs built
+    std::uint64_t graphShares = 0; ///< simulated points served a
+                                   ///< cached shared graph
 
     /** Number of jobs that failed to complete. */
     std::size_t failures() const;
@@ -124,11 +138,17 @@ class CampaignEngine
                        const std::vector<SweepPoint> &points);
 
     ResultCache &cache() { return cache_; }
+
+    /** The engine's build-once task-graph store; like the result
+     *  cache it persists across run() calls. */
+    GraphCache &graphCache() { return graphs_; }
+
     const EngineOptions &options() const { return opts_; }
 
   private:
     EngineOptions opts_;
     ResultCache cache_;
+    GraphCache graphs_;
 };
 
 } // namespace tdm::driver::campaign

@@ -1,5 +1,6 @@
 #include "driver/experiment.hh"
 
+#include "driver/graph_cache.hh"
 #include "sim/logging.hh"
 
 namespace tdm::driver {
@@ -7,12 +8,14 @@ namespace tdm::driver {
 RunSummary
 run(const Experiment &exp)
 {
-    wl::WorkloadParams params = exp.params;
-    const core::RuntimeTraits &traits = core::traitsOf(exp.runtime);
-    if (params.granularity == 0.0 && traits.usesDmu())
-        params.tdmOptimal = true;
+    return run(exp, nullptr);
+}
 
-    rt::TaskGraph graph = wl::buildWorkload(exp.workload, params);
+RunSummary
+run(const Experiment &exp, std::shared_ptr<const rt::TaskGraph> graph)
+{
+    if (!graph)
+        graph = buildGraph(exp);
 
     core::Machine machine(exp.config, graph, exp.runtime);
     core::MachineResult mr = machine.run();
@@ -20,8 +23,8 @@ run(const Experiment &exp)
     // Workload-shape facts live outside the machine's registry; fold
     // them into the tree so exports are self-contained.
     mr.metrics.set("workload.num_tasks",
-                   static_cast<double>(graph.numTasks()));
-    mr.metrics.set("workload.avg_task_us", graph.avgTaskUs());
+                   static_cast<double>(graph->numTasks()));
+    mr.metrics.set("workload.avg_task_us", graph->avgTaskUs());
 
     RunSummary s;
     s.machine = std::move(mr);
@@ -33,8 +36,8 @@ run(const Experiment &exp)
     s.energyJ = m.get("power.energy_j");
     s.edp = m.get("power.edp");
     s.avgWatts = m.get("power.avg_watts");
-    s.numTasks = graph.numTasks();
-    s.avgTaskUs = graph.avgTaskUs();
+    s.numTasks = graph->numTasks();
+    s.avgTaskUs = graph->avgTaskUs();
     return s;
 }
 

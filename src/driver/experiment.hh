@@ -7,6 +7,7 @@
 #ifndef TDM_DRIVER_EXPERIMENT_HH
 #define TDM_DRIVER_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 
 #include "core/machine.hh"
@@ -74,6 +75,17 @@ struct RunSummary
  * caller.
  */
 RunSummary run(const Experiment &exp);
+
+/**
+ * Run one experiment on a pre-built shared graph (the campaign
+ * engine's hot path: each distinct graph is built once per campaign
+ * and shared read-only across worker threads, see driver::GraphCache).
+ * @p graph must be the graph @p exp would build — i.e. built from
+ * effectiveParams(exp); null falls back to building one. The summary
+ * is byte-identical either way.
+ */
+RunSummary run(const Experiment &exp,
+               std::shared_ptr<const rt::TaskGraph> graph);
 
 /** Speedup of @p test over @p base (makespans). */
 double speedup(const RunSummary &base, const RunSummary &test);

@@ -1,0 +1,98 @@
+#include "driver/graph_cache.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "core/runtime_model.hh"
+#include "workloads/registry.hh"
+
+namespace tdm::driver {
+
+wl::WorkloadParams
+effectiveParams(const Experiment &exp)
+{
+    wl::WorkloadParams params = exp.params;
+    if (params.granularity == 0.0
+        && core::traitsOf(exp.runtime).usesDmu())
+        params.tdmOptimal = true;
+    return params;
+}
+
+std::string
+graphKey(const Experiment &exp)
+{
+    const wl::WorkloadParams p = effectiveParams(exp);
+    std::ostringstream key;
+    // Doubles serialize as their bit patterns: exact, locale-free, and
+    // collision-free — this key must never conflate two graphs.
+    key << wl::findWorkload(exp.workload).name
+        << ";granularity=" << std::hex
+        << std::bit_cast<std::uint64_t>(p.granularity)
+        << ";tdm_optimal=" << (p.tdmOptimal ? 1 : 0)
+        << ";seed=" << p.seed << ";duration_noise="
+        << std::bit_cast<std::uint64_t>(p.durationNoise);
+    return key.str();
+}
+
+std::shared_ptr<const rt::TaskGraph>
+buildGraph(const Experiment &exp)
+{
+    return std::make_shared<const rt::TaskGraph>(
+        wl::buildWorkload(exp.workload, effectiveParams(exp)));
+}
+
+std::shared_ptr<const rt::TaskGraph>
+GraphCache::obtain(const Experiment &exp)
+{
+    const std::string key = graphKey(exp);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Build outside the lock: graph construction is the expensive part
+    // and is pure, so a rare duplicate build only wastes work, never
+    // correctness. First publisher wins so all consumers share one
+    // instance.
+    std::shared_ptr<const rt::TaskGraph> built = buildGraph(exp);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, fresh] = map_.emplace(key, std::move(built));
+    if (fresh)
+        ++builds_;
+    else
+        ++hits_;
+    return it->second;
+}
+
+std::uint64_t
+GraphCache::builds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return builds_;
+}
+
+std::size_t
+GraphCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::uint64_t
+GraphCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+GraphCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+}
+
+} // namespace tdm::driver

@@ -51,7 +51,7 @@ TaskGraph::createTask(sim::Tick compute_cycles, std::uint16_t kernel)
     Task t;
     t.id = static_cast<TaskId>(tasks_.size());
     t.descAddr = nextDescAddr_;
-    nextDescAddr_ += 0x140; // descriptor stride, like a heap allocator
+    nextDescAddr_ += descStride; // bump allocation, like a real heap
     t.computeCycles = compute_cycles;
     t.kernel = kernel;
     t.parRegion = static_cast<std::uint32_t>(parRegions_.size()) - 1;

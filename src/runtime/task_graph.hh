@@ -55,6 +55,15 @@ struct TdgEdges
 class TaskGraph
 {
   public:
+    /**
+     * Descriptor-address stride: task i's descriptor lives at
+     * firstDescAddr + i * descStride (createTask mimics a bump
+     * allocator). Consumers exploit the affine layout to map a
+     * descriptor address back to its TaskId with arithmetic instead of
+     * a hash lookup.
+     */
+    static constexpr std::uint64_t descStride = 0x140;
+
     explicit TaskGraph(std::string name);
 
     const std::string &name() const { return name_; }

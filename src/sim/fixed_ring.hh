@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer.
+ *
+ * The hot-path replacement for the std::deque freelists and hardware
+ * FIFOs in the DMU model: one contiguous buffer sized at construction,
+ * never reallocated, so steady-state push/pop performs no heap
+ * traffic. Order semantics are exactly std::deque's push_back /
+ * pop_front, which the DMU's determinism depends on (free ids recycle
+ * in FIFO order).
+ */
+
+#ifndef TDM_SIM_FIXED_RING_HH
+#define TDM_SIM_FIXED_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tdm::sim {
+
+/**
+ * Bounded FIFO over a contiguous slab.
+ */
+template <typename T>
+class FixedRing
+{
+  public:
+    FixedRing() = default;
+
+    explicit FixedRing(std::size_t capacity) { reset(capacity); }
+
+    /** (Re)size to @p capacity and drop all elements. */
+    void
+    reset(std::size_t capacity)
+    {
+        buf_.assign(capacity, T{});
+        head_ = 0;
+        count_ = 0;
+    }
+
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == buf_.size(); }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Append at the tail; the ring is sized so this never overflows
+     *  in correct use — overflow is a modelling bug, not a condition. */
+    void
+    push_back(const T &v)
+    {
+        if (full())
+            panic("FixedRing overflow (capacity ", buf_.size(), ")");
+        buf_[wrap(head_ + count_)] = v;
+        ++count_;
+    }
+
+    const T &
+    front() const
+    {
+        if (empty())
+            panic("FixedRing::front on empty ring");
+        return buf_[head_];
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop_front()
+    {
+        if (empty())
+            panic("FixedRing underflow");
+        T v = buf_[head_];
+        head_ = wrap(head_ + 1);
+        --count_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= buf_.size() ? i - buf_.size() : i;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_FIXED_RING_HH

@@ -15,6 +15,7 @@
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
 #include "driver/campaign/fingerprint.hh"
+#include "driver/graph_cache.hh"
 #include "driver/report/csv_writer.hh"
 #include "driver/report/json_writer.hh"
 #include "driver/sweep.hh"
@@ -265,6 +266,84 @@ TEST(Engine, SeedBaseGivesEachPointItsOwnSeed)
     EXPECT_EQ(rep.simulated, 2u);
     EXPECT_NE(rep.jobs[0].digest, rep.jobs[1].digest);
     EXPECT_NE(rep.jobs[0].summary.makespan, rep.jobs[1].summary.makespan);
+}
+
+TEST(GraphCache, KeySeparatesGraphsAndSharesEqualOnes)
+{
+    // With an explicit granularity the graph is runtime-independent...
+    Experiment sw = smallExperiment(core::RuntimeType::Software);
+    Experiment tdm = smallExperiment(core::RuntimeType::Tdm);
+    EXPECT_EQ(graphKey(sw), graphKey(tdm));
+
+    // ...but a default granularity implies the TDM-optimal one for DMU
+    // runtimes: two different graphs, two different keys.
+    sw.params.granularity = 0.0;
+    tdm.params.granularity = 0.0;
+    EXPECT_NE(graphKey(sw), graphKey(tdm));
+    EXPECT_TRUE(effectiveParams(tdm).tdmOptimal);
+    EXPECT_FALSE(effectiveParams(sw).tdmOptimal);
+
+    // Short names canonicalize; seeds separate.
+    Experiment cho = smallExperiment(core::RuntimeType::Tdm);
+    cho.workload = "cho";
+    EXPECT_EQ(graphKey(cho),
+              graphKey(smallExperiment(core::RuntimeType::Tdm)));
+    cho.params.seed = 7;
+    EXPECT_NE(graphKey(cho),
+              graphKey(smallExperiment(core::RuntimeType::Tdm)));
+
+    // The cache hands out one shared instance per distinct key.
+    GraphCache cache;
+    auto a = cache.obtain(sw);
+    auto b = cache.obtain(smallExperiment(core::RuntimeType::Software));
+    auto c = cache.obtain(tdm);
+    EXPECT_EQ(a.get(), cache.obtain(sw).get());
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(b.get(), c.get());
+    EXPECT_EQ(cache.builds(), 3u);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Engine, SharedGraphRunIsByteIdenticalToPerPointBuilds)
+{
+    // The tentpole guarantee of graph sharing: a campaign simulated on
+    // shared immutable graphs exports exactly what per-point graph
+    // builds export — every metric of every job, bit for bit.
+    const auto points = mixedPoints();
+
+    campaign::EngineOptions shared_opts;
+    shared_opts.threads = 4;
+    shared_opts.shareGraphs = true;
+    campaign::CampaignEngine shared_engine(shared_opts);
+    auto shared = shared_engine.run("mixed", points);
+
+    campaign::EngineOptions rebuild_opts;
+    rebuild_opts.threads = 4;
+    rebuild_opts.shareGraphs = false;
+    campaign::CampaignEngine rebuild_engine(rebuild_opts);
+    auto rebuilt = rebuild_engine.run("mixed", points);
+
+    // All eight points use one explicit granularity, so they share a
+    // single graph; the rebuild path builds none.
+    EXPECT_EQ(shared.graphBuilds, 1u);
+    EXPECT_EQ(shared.graphShares, shared.simulated - 1);
+    EXPECT_EQ(rebuilt.graphBuilds, 0u);
+    EXPECT_EQ(shared_engine.graphCache().size(), 1u);
+
+    ASSERT_EQ(shared.jobs.size(), rebuilt.jobs.size());
+    for (std::size_t i = 0; i < shared.jobs.size(); ++i) {
+        const campaign::JobResult &a = shared.jobs[i];
+        const campaign::JobResult &b = rebuilt.jobs[i];
+        ASSERT_TRUE(a.ok()) << a.label;
+        EXPECT_EQ(a.summary.makespan, b.summary.makespan) << a.label;
+        // The full flattened metric tree — the payload every export
+        // writer serializes — must match exactly, key set and values.
+        EXPECT_EQ(a.summary.metrics().entries(),
+                  b.summary.metrics().entries())
+            << a.label;
+        EXPECT_EQ(a.spec.serialize(), b.spec.serialize()) << a.label;
+    }
 }
 
 TEST(Registry, BuiltinCampaigns)

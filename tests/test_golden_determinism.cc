@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "driver/campaign/engine.hh"
 #include "driver/experiment.hh"
+#include "driver/sweep.hh"
 
 using namespace tdm;
 
@@ -67,3 +69,40 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(core::traitsOf(info.param.runtime).name) + "_"
              + info.param.workload + "_" + info.param.scheduler;
     });
+
+TEST(GoldenDeterminism, SharedGraphCampaignReproducesAllGoldens)
+{
+    // The same twelve pinned runs through the campaign engine's
+    // shared-graph path: each distinct workload graph is built once
+    // and read concurrently by four workers, and every makespan must
+    // still match the seed kernel bit-for-bit — graph sharing (and the
+    // flat LRU/DMU containers underneath) are pure optimizations.
+    std::vector<driver::SweepPoint> points;
+    for (const Golden &g : goldens) {
+        driver::Experiment e;
+        e.workload = g.workload;
+        e.runtime = g.runtime;
+        e.config.scheduler = g.scheduler;
+        points.push_back(driver::SweepPoint{
+            std::string(core::traitsOf(g.runtime).name) + "/"
+                + g.workload + "/" + g.scheduler,
+            e});
+    }
+
+    driver::campaign::EngineOptions opts;
+    opts.threads = 4;
+    driver::campaign::CampaignEngine engine(opts);
+    auto rep = engine.run("goldens", points);
+
+    // 3 workloads x 2 effective granularities (SW vs TDM-implied).
+    EXPECT_EQ(rep.graphBuilds, 6u);
+    EXPECT_EQ(rep.graphShares, 6u);
+
+    ASSERT_EQ(rep.jobs.size(), std::size(goldens));
+    for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+        ASSERT_TRUE(rep.jobs[i].ok()) << rep.jobs[i].label;
+        EXPECT_EQ(rep.jobs[i].summary.makespan, goldens[i].makespan)
+            << "shared-graph path changed the simulation for "
+            << rep.jobs[i].label;
+    }
+}

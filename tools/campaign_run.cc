@@ -18,6 +18,9 @@
  *                     directive in a *.campaign file
  *   --threads N       worker threads (default: hardware concurrency)
  *   --no-cache        disable result-cache deduplication
+ *   --no-graph-share  rebuild each point's task graph instead of
+ *                     sharing one immutable graph per distinct
+ *                     workload (A/B baseline for perf tracking)
  *   --seed-base S     reseed point i with S+i (deterministic per job)
  *   --json FILE       write all results as JSON (with each point's
  *                     full canonical spec)
@@ -66,8 +69,8 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " [--list] [--keys] [--metric-keys] [--spec FILE]"
                  " [--set KEY=VALUE] [--metrics GLOBS] [--threads N]"
-                 " [--no-cache] [--seed-base S] [--json FILE]"
-                 " [--csv FILE] [--quiet] [CAMPAIGN...]\n";
+                 " [--no-cache] [--no-graph-share] [--seed-base S]"
+                 " [--json FILE] [--csv FILE] [--quiet] [CAMPAIGN...]\n";
     std::exit(2);
 }
 
@@ -144,6 +147,8 @@ main(int argc, char **argv)
                 cmp::parseUintArg(need(i), "--threads", UINT32_MAX));
         } else if (!std::strcmp(a, "--no-cache")) {
             opts.useCache = false;
+        } else if (!std::strcmp(a, "--no-graph-share")) {
+            opts.shareGraphs = false;
         } else if (!std::strcmp(a, "--seed-base")) {
             opts.seedBase = cmp::parseUintArg(need(i), "--seed-base");
         } else if (!std::strcmp(a, "--json")) {
@@ -213,7 +218,9 @@ main(int argc, char **argv)
         t.print(std::cout);
         std::cout << c.name << ": " << rep.jobs.size() << " points, "
                   << rep.simulated << " simulated, " << rep.cacheHits
-                  << " cache hits, " << rep.failures() << " failures, "
+                  << " cache hits, " << rep.graphBuilds
+                  << " graphs built (" << rep.graphShares
+                  << " shared), " << rep.failures() << " failures, "
                   << rep.threads << " threads, " << rep.wallMs / 1000.0
                   << " s\n\n";
         failures += rep.failures();
