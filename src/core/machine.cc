@@ -80,6 +80,8 @@ Machine::Machine(const cpu::MachineConfig &cfg,
     idlePrev_.assign(cfg_.numCores, sim::invalidCore);
     idleLinked_.assign(cfg_.numCores, 0);
 
+    tbuf_.configure(cfg_.trace);
+
     registerMetrics();
 }
 
@@ -218,10 +220,47 @@ Machine::dmuOpLatency(sim::CoreId core, unsigned accesses)
     noc::NodeId dmu_node = mesh_.centerNode();
     noc::Mesh::RoundTrip rt =
         mesh_.roundTrip(from, dmu_node, cfg_.dmuMsgBytes);
+    if (tbuf_.on(sim::TraceCat::Noc)) {
+        tbuf_.instant(sim::TracePoint::NocRoundTrip,
+                      static_cast<std::uint16_t>(core), eq_.now(),
+                      static_cast<std::uint32_t>(rt.request
+                                                 + rt.response),
+                      rt.hops);
+    }
     sim::Tick proc = static_cast<sim::Tick>(accesses)
                    * cfg_.dmu.accessCycles;
     sim::Tick done = dmuPipe_.acquire(eq_.now() + rt.request, proc);
     return done + rt.response;
+}
+
+void
+Machine::traceDmuCounters()
+{
+    if (!tbuf_.on(sim::TraceCat::Dmu) || !dmu_)
+        return;
+    const sim::Tick t = eq_.now();
+    using TP = sim::TracePoint;
+    tbuf_.counter(TP::DmuTasksInFlight, t, dmu_->tasksInFlight());
+    tbuf_.counter(TP::DmuDepsInFlight, t, dmu_->depsInFlight());
+    tbuf_.counter(TP::DmuReadyQueue, t, dmu_->readyCount());
+    tbuf_.counter(TP::DmuTatLive, t, dmu_->tat().liveEntries());
+    tbuf_.counter(TP::DmuDatLive, t, dmu_->dat().liveEntries());
+    tbuf_.counter(TP::DmuSlaUsed, t, dmu_->sla().entriesInUse());
+    tbuf_.counter(TP::DmuDlaUsed, t, dmu_->dla().entriesInUse());
+    tbuf_.counter(TP::DmuRlaUsed, t, dmu_->rla().entriesInUse());
+}
+
+void
+Machine::traceWake(sim::CoreId core, sim::Tick idle_since)
+{
+    --idleCount_;
+    if (tbuf_.on(sim::TraceCat::Core)) {
+        tbuf_.span(sim::TracePoint::CoreIdle,
+                   static_cast<std::uint16_t>(core), idle_since,
+                   eq_.now());
+        tbuf_.counter(sim::TracePoint::IdleCores, eq_.now(),
+                      idleCount_);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -324,6 +363,10 @@ Machine::onSwCreateDone(rt::TaskId id, bool ready_now,
 {
     phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
     masterCreateTicks_ += completion - seg_start;
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskCreate, masterCore, seg_start,
+                   completion, id);
+    }
     if (ready_now) {
         deliverReady(rt::ReadyTask{id, swSuccCount(id), sim::invalidCore,
                                    id, completion});
@@ -345,9 +388,15 @@ Machine::masterIssueCreateOp(rt::TaskId id, sim::Tick seg_start)
     const rt::Task &t = graph_.task(id);
     dmu::DmuResult res = dmu_->createTask(t.descAddr);
     if (res.blocked) {
+        if (tbuf_.on(sim::TraceCat::Dmu)) {
+            tbuf_.instant(sim::TracePoint::DmuBlocked, masterCore,
+                          eq_.now(), id,
+                          static_cast<std::uint32_t>(res.reason));
+        }
         dmuWaiters_.push_back(DmuRetry{true, id, 0, seg_start});
         return;
     }
+    traceDmuCounters();
     sim::Tick done = dmuOpLatency(masterCore, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
     eq_.post<&Machine::masterIssueDepOp>(done, this, id, std::size_t{0},
@@ -368,9 +417,15 @@ Machine::masterIssueDepOp(rt::TaskId id, std::size_t dep_idx,
     dmu::DmuResult res = dmu_->addDependence(t.descAddr, region.baseAddr,
                                              region.bytes, d.writes());
     if (res.blocked) {
+        if (tbuf_.on(sim::TraceCat::Dmu)) {
+            tbuf_.instant(sim::TracePoint::DmuBlocked, masterCore,
+                          eq_.now(), id,
+                          static_cast<std::uint32_t>(res.reason));
+        }
         dmuWaiters_.push_back(DmuRetry{false, id, dep_idx, seg_start});
         return;
     }
+    traceDmuCounters();
     sim::Tick done = dmuOpLatency(masterCore, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
     eq_.post<&Machine::masterIssueDepOp>(done, this, id, dep_idx + 1,
@@ -382,6 +437,7 @@ Machine::masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start)
 {
     const rt::Task &t = graph_.task(id);
     dmu::DmuResult res = dmu_->commitTask(t.descAddr);
+    traceDmuCounters();
     sim::Tick done = dmuOpLatency(masterCore, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
     bool ready_now = !res.readyDescAddrs.empty();
@@ -396,6 +452,7 @@ Machine::masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start)
         auto info = dmu_->getReadyTask(acc);
         if (!info)
             sim::panic("ready task vanished from the Ready Queue");
+        traceDmuCounters();
         rt::TaskId got = taskOfDesc(info->descAddr);
         std::uint32_t nsucc = info->numSuccessors;
         sim::Tick fetched = dmuOpLatency(masterCore, acc)
@@ -403,32 +460,41 @@ Machine::masterIssueCommitOp(rt::TaskId id, sim::Tick seg_start)
         sim::Tick hold = cfg_.tdmCosts.poolPushCycles
                        + pool_->policy().pushExtraCycles();
         sim::Tick completion = lock_.acquire(fetched, hold);
-        eq_.post<&Machine::onCommitReadyFetched>(completion, this, got,
-                                                 nsucc, seg_start,
+        eq_.post<&Machine::onCommitReadyFetched>(completion, this, id,
+                                                 got, nsucc, seg_start,
                                                  completion);
-        (void)id;
     } else {
-        eq_.post<&Machine::onCommitDone>(done, this, seg_start, done,
+        eq_.post<&Machine::onCommitDone>(done, this, id, seg_start, done,
                                          ready_now);
     }
 }
 
 void
-Machine::onCommitReadyFetched(rt::TaskId got, std::uint32_t nsucc,
-                              sim::Tick seg_start, sim::Tick completion)
+Machine::onCommitReadyFetched(rt::TaskId created, rt::TaskId got,
+                              std::uint32_t nsucc, sim::Tick seg_start,
+                              sim::Tick completion)
 {
     phases_.add(masterCore, cpu::Phase::Deps, completion - seg_start);
     masterCreateTicks_ += completion - seg_start;
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskCreate, masterCore, seg_start,
+                   completion, created);
+    }
     deliverReady(rt::ReadyTask{got, nsucc, sim::invalidCore, got,
                                completion});
     masterCreateNext();
 }
 
 void
-Machine::onCommitDone(sim::Tick seg_start, sim::Tick done, bool ready_now)
+Machine::onCommitDone(rt::TaskId id, sim::Tick seg_start, sim::Tick done,
+                      bool ready_now)
 {
     phases_.add(masterCore, cpu::Phase::Deps, done - seg_start);
     masterCreateTicks_ += done - seg_start;
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskCreate, masterCore, seg_start,
+                   done, id);
+    }
     if (ready_now && traits_.sched == SchedMode::HardwareFifo)
         wakeOneIdle();
     masterCreateNext();
@@ -483,6 +549,7 @@ Machine::tryDispatch(sim::CoreId core)
       case SchedMode::HardwareFifo: {
         unsigned acc = 0;
         auto info = dmu_->getReadyTask(acc);
+        traceDmuCounters();
         sim::Tick done = dmuOpLatency(core, acc)
                        + cfg_.tdmCosts.issueCycles;
         eq_.post<&Machine::onFifoDispatch>(done, this, core, seg_start,
@@ -498,6 +565,13 @@ Machine::onPoolPopDone(sim::CoreId core, sim::Tick seg_start,
 {
     auto t = pool_->pop(core);
     phases_.add(core, cpu::Phase::Sched, completion - seg_start);
+    if (tbuf_.on(sim::TraceCat::Sched)) {
+        tbuf_.span(sim::TracePoint::SchedPop,
+                   static_cast<std::uint16_t>(core), seg_start,
+                   completion, t ? t->id : UINT32_MAX);
+        tbuf_.counter(sim::TracePoint::PoolDepth, completion,
+                      pool_->size());
+    }
     if (t) {
         startExec(core, *t);
     } else if (core == masterCore && !masterCreating_ && regionDone_) {
@@ -513,6 +587,11 @@ Machine::onCarbonLocalPop(sim::CoreId core, sim::Tick cost)
     auto t = hwq_->popLocal(core);
     if (t) {
         phases_.add(core, cpu::Phase::Sched, cost);
+        if (tbuf_.on(sim::TraceCat::Sched)) {
+            tbuf_.span(sim::TracePoint::SchedPop,
+                       static_cast<std::uint16_t>(core),
+                       eq_.now() - cost, eq_.now(), t->id);
+        }
         startExec(core, *t);
         return;
     }
@@ -526,6 +605,12 @@ Machine::onCarbonSteal(sim::CoreId core, sim::Tick steal_done)
 {
     auto s = hwq_->steal(core);
     phases_.add(core, cpu::Phase::Sched, steal_done);
+    if (tbuf_.on(sim::TraceCat::Sched)) {
+        tbuf_.span(sim::TracePoint::SchedSteal,
+                   static_cast<std::uint16_t>(core),
+                   eq_.now() - steal_done, eq_.now(),
+                   s ? s->id : UINT32_MAX);
+    }
     if (s) {
         startExec(core, *s);
     } else if (core == masterCore && !masterCreating_ && regionDone_) {
@@ -541,6 +626,11 @@ Machine::onFifoDispatch(sim::CoreId core, sim::Tick seg_start,
                         std::optional<dmu::ReadyTaskInfo> info)
 {
     phases_.add(core, cpu::Phase::Sched, done - seg_start);
+    if (tbuf_.on(sim::TraceCat::Sched)) {
+        tbuf_.span(sim::TracePoint::SchedGetReady,
+                   static_cast<std::uint16_t>(core), seg_start, done,
+                   info ? taskOfDesc(info->descAddr) : UINT32_MAX);
+    }
     if (info) {
         rt::TaskId id = taskOfDesc(info->descAddr);
         startExec(core, rt::ReadyTask{id, info->numSuccessors,
@@ -559,7 +649,22 @@ Machine::startExec(sim::CoreId core, const rt::ReadyTask &task)
     sim::Tick stall = 0;
     if (mem_) {
         const auto &fp = footprintOf(task.id);
-        stall = mem_->taskAccessTime(core, fp);
+        if (tbuf_.on(sim::TraceCat::Mem)) {
+            const std::uint64_t l1_before = mem_->l1Misses();
+            const std::uint64_t l2_before = mem_->l2Misses();
+            stall = mem_->taskAccessTime(core, fp);
+            const std::uint64_t l1d = mem_->l1Misses() - l1_before;
+            const std::uint64_t l2d = mem_->l2Misses() - l2_before;
+            if (l1d || l2d) {
+                tbuf_.instant(sim::TracePoint::MemRegionMiss,
+                              static_cast<std::uint16_t>(core),
+                              eq_.now(),
+                              static_cast<std::uint32_t>(l1d),
+                              static_cast<std::uint32_t>(l2d));
+            }
+        } else {
+            stall = mem_->taskAccessTime(core, fp);
+        }
     }
     sim::Tick dur = t.computeCycles + stall;
     ++cores_[core].tasksRun;
@@ -576,6 +681,11 @@ Machine::onExecDone(sim::CoreId core, rt::TaskId id, sim::Tick dur)
     if (traceEnabled_) {
         trace_.record(id, core, eq_.now() - dur, eq_.now(),
                       graph_.task(id).kernel);
+    }
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskExec,
+                   static_cast<std::uint16_t>(core), eq_.now() - dur,
+                   eq_.now(), id, graph_.task(id).kernel);
     }
     finishTask(core, id);
 }
@@ -621,16 +731,24 @@ Machine::finishSw(sim::CoreId core, rt::TaskId id)
         completion += static_cast<sim::Tick>(ready.size())
                     * cfg_.carbon.localOpCycles;
     }
-    eq_.post<&Machine::onSwFinishDone>(completion, this, core, seg_start,
-                                       completion, std::move(ready));
+    eq_.post<&Machine::onSwFinishDone>(completion, this, core, id,
+                                       seg_start, completion,
+                                       std::move(ready));
 }
 
 void
-Machine::onSwFinishDone(sim::CoreId core, sim::Tick seg_start,
-                        sim::Tick completion,
+Machine::onSwFinishDone(sim::CoreId core, rt::TaskId id,
+                        sim::Tick seg_start, sim::Tick completion,
                         const std::vector<rt::ReadyTask> &ready)
 {
     phases_.add(core, cpu::Phase::Deps, completion - seg_start);
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskFinish,
+                   static_cast<std::uint16_t>(core), seg_start,
+                   completion, id);
+        tbuf_.instant(sim::TracePoint::TaskRetire,
+                      static_cast<std::uint16_t>(core), completion, id);
+    }
     for (const rt::ReadyTask &r : ready)
         deliverReady(r);
     onTaskExecuted();
@@ -643,19 +761,28 @@ Machine::finishDmu(sim::CoreId core, rt::TaskId id)
     sim::Tick seg_start = eq_.now();
     const rt::Task &t = graph_.task(id);
     dmu::DmuResult res = dmu_->finishTask(t.descAddr);
+    traceDmuCounters();
     flushDmuWaiters();
     sim::Tick done = dmuOpLatency(core, res.accesses)
                    + cfg_.tdmCosts.issueCycles;
     std::size_t n_ready = res.readyDescAddrs.size();
-    eq_.post<&Machine::onDmuFinishDone>(done, this, core, seg_start, done,
-                                        n_ready);
+    eq_.post<&Machine::onDmuFinishDone>(done, this, core, id, seg_start,
+                                        done, n_ready);
 }
 
 void
-Machine::onDmuFinishDone(sim::CoreId core, sim::Tick seg_start,
-                         sim::Tick done, std::size_t n_ready)
+Machine::onDmuFinishDone(sim::CoreId core, rt::TaskId id,
+                         sim::Tick seg_start, sim::Tick done,
+                         std::size_t n_ready)
 {
     phases_.add(core, cpu::Phase::Deps, done - seg_start);
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.span(sim::TracePoint::TaskFinish,
+                   static_cast<std::uint16_t>(core), seg_start, done,
+                   id);
+        tbuf_.instant(sim::TracePoint::TaskRetire,
+                      static_cast<std::uint16_t>(core), done, id);
+    }
     onTaskExecuted();
     if (traits_.sched == SchedMode::SoftwarePool) {
         getReadyLoop(core, done);
@@ -673,6 +800,7 @@ Machine::getReadyLoop(sim::CoreId core, sim::Tick seg_start)
 {
     unsigned acc = 0;
     auto info = dmu_->getReadyTask(acc);
+    traceDmuCounters();
     sim::Tick done = dmuOpLatency(core, acc) + cfg_.tdmCosts.issueCycles;
     if (info) {
         rt::TaskId id = taskOfDesc(info->descAddr);
@@ -703,6 +831,11 @@ Machine::onGetReadyEmpty(sim::CoreId core, sim::Tick seg_start,
                          sim::Tick done)
 {
     phases_.add(core, cpu::Phase::Sched, done - seg_start);
+    if (tbuf_.on(sim::TraceCat::Sched)) {
+        tbuf_.span(sim::TracePoint::SchedGetReady,
+                   static_cast<std::uint16_t>(core), seg_start, done,
+                   UINT32_MAX);
+    }
     afterFinish(core);
 }
 
@@ -728,9 +861,17 @@ Machine::onStart()
 void
 Machine::deliverReady(const rt::ReadyTask &task)
 {
+    if (tbuf_.on(sim::TraceCat::Task)) {
+        tbuf_.instant(sim::TracePoint::TaskReady, sim::traceNoCore,
+                      eq_.now(), task.id, task.numSuccessors);
+    }
     switch (traits_.sched) {
       case SchedMode::SoftwarePool:
         pool_->push(task);
+        if (tbuf_.on(sim::TraceCat::Sched)) {
+            tbuf_.counter(sim::TracePoint::PoolDepth, eq_.now(),
+                          pool_->size());
+        }
         break;
       case SchedMode::HardwareQueues: {
         // Successor tasks enqueue locally; creation-ready tasks are
@@ -797,7 +938,9 @@ Machine::wakeCore(sim::CoreId core)
     cpu::CoreState &cs = cores_[core];
     if (!cs.idle)
         return;
+    const sim::Tick idle_since = cs.idleSince;
     phases_.add(core, cpu::Phase::Idle, cs.wakeAt(eq_.now()));
+    traceWake(core, idle_since);
     eq_.postIn<&Machine::dispatchEntry>(0, this, core);
 }
 
@@ -817,6 +960,11 @@ Machine::goIdle(sim::CoreId core)
         return;
     cores_[core].parkAt(eq_.now());
     idlePushBack(core);
+    ++idleCount_;
+    if (tbuf_.on(sim::TraceCat::Core)) {
+        tbuf_.counter(sim::TracePoint::IdleCores, eq_.now(),
+                      idleCount_);
+    }
 }
 
 void
@@ -831,8 +979,10 @@ Machine::onTaskExecuted()
         if (cores_[masterCore].idle) {
             // Remove the master from the idle list and resume it.
             idleUnlink(masterCore);
+            const sim::Tick idle_since = cores_[masterCore].idleSince;
             phases_.add(masterCore, cpu::Phase::Idle,
                         cores_[masterCore].wakeAt(eq_.now()));
+            traceWake(masterCore, idle_since);
             eq_.postIn<&Machine::advanceToNextRegion>(0, this);
         }
     } else if (masterCreating_ && cores_[masterCore].idle) {
@@ -910,8 +1060,14 @@ Machine::run()
     // Complete idle accounting for cores parked at the end.
     for (sim::CoreId c = 0; c < cfg_.numCores; ++c) {
         cpu::CoreState &cs = cores_[c];
-        if (cs.idle)
+        if (cs.idle) {
+            if (tbuf_.on(sim::TraceCat::Core)) {
+                tbuf_.span(sim::TracePoint::CoreIdle,
+                           static_cast<std::uint16_t>(c), cs.idleSince,
+                           makespan_);
+            }
             phases_.add(c, cpu::Phase::Idle, cs.wakeAt(makespan_));
+        }
     }
     res.master = phases_.master();
     res.workersTotal = phases_.workersTotal();

@@ -44,6 +44,7 @@
 #include "runtime/task_graph.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/trace.hh"
 
 namespace tdm::core {
 
@@ -120,6 +121,16 @@ class Machine
     void enableTrace() { traceEnabled_ = true; }
     const TaskTrace &trace() const { return trace_; }
 
+    /**
+     * The run's time-resolved trace (armed through
+     * MachineConfig::trace; empty when trace.categories is 0).
+     */
+    const sim::TraceBuffer &traceBuffer() const { return tbuf_; }
+
+    /** Move the trace out (it can hold many MB; callers that outlive
+     *  the machine take it instead of copying). */
+    sim::TraceBuffer takeTraceBuffer() { return std::move(tbuf_); }
+
     /** Dump component statistics (gem5 stats.txt style). */
     void dumpStats(std::ostream &os);
 
@@ -162,11 +173,15 @@ class Machine
     /** Software-runtime task creation segment retired. */
     void onSwCreateDone(rt::TaskId id, bool ready_now,
                         sim::Tick seg_start, sim::Tick completion);
-    /** commit_task whose ready task the master moved into the pool. */
-    void onCommitReadyFetched(rt::TaskId got, std::uint32_t nsucc,
-                              sim::Tick seg_start, sim::Tick completion);
+    /** commit_task whose ready task the master moved into the pool
+     *  (@p created is the task whose creation segment this commits;
+     *  @p got may be a different task queued by a concurrent finish). */
+    void onCommitReadyFetched(rt::TaskId created, rt::TaskId got,
+                              std::uint32_t nsucc, sim::Tick seg_start,
+                              sim::Tick completion);
     /** commit_task response received (no pool transfer). */
-    void onCommitDone(sim::Tick seg_start, sim::Tick done, bool ready_now);
+    void onCommitDone(rt::TaskId id, sim::Tick seg_start, sim::Tick done,
+                      bool ready_now);
     /** Pool pop (under the runtime lock) completed. */
     void onPoolPopDone(sim::CoreId core, sim::Tick seg_start,
                        sim::Tick completion);
@@ -181,12 +196,13 @@ class Machine
     /** Task body (compute + memory stall) retired. */
     void onExecDone(sim::CoreId core, rt::TaskId id, sim::Tick dur);
     /** Software-tracker finish segment retired. */
-    void onSwFinishDone(sim::CoreId core, sim::Tick seg_start,
-                        sim::Tick completion,
+    void onSwFinishDone(sim::CoreId core, rt::TaskId id,
+                        sim::Tick seg_start, sim::Tick completion,
                         const std::vector<rt::ReadyTask> &ready);
     /** finish_task response received. */
-    void onDmuFinishDone(sim::CoreId core, sim::Tick seg_start,
-                         sim::Tick done, std::size_t n_ready);
+    void onDmuFinishDone(sim::CoreId core, rt::TaskId id,
+                         sim::Tick seg_start, sim::Tick done,
+                         std::size_t n_ready);
     /** get_ready_task returned a task; push it to the pool and loop. */
     void onGetReadyPush(sim::CoreId core, sim::Tick seg_start,
                         rt::TaskId id, std::uint32_t nsucc,
@@ -218,6 +234,12 @@ class Machine
 
     /** Register every component's metrics (constructor tail). */
     void registerMetrics();
+
+    // ---- tracing helpers (no-ops when the category is off) ----
+    /** Sample every DMU occupancy counter at the current tick. */
+    void traceDmuCounters();
+    /** Record @p core's just-ended idle span + the idle-core count. */
+    void traceWake(sim::CoreId core, sim::Tick idle_since);
 
     /** First task body started: the warmup window ends here. */
     void noteFirstExec();
@@ -269,6 +291,14 @@ class Machine
 
     TaskTrace trace_;
     bool traceEnabled_ = false;
+
+    /** Time-resolved trace (armed from cfg_.trace; see sim/trace.hh). */
+    sim::TraceBuffer tbuf_;
+
+    /** Parked cores right now (kept unconditionally — one increment
+     *  per park/wake — so the core-category counter track never has
+     *  to walk the idle list). */
+    unsigned idleCount_ = 0;
 
     // Region / creation progress.
     std::uint32_t curRegion_ = 0;

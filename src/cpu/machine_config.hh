@@ -19,6 +19,7 @@
 #include "power/core_power.hh"
 #include "runtime/cost_model.hh"
 #include "sim/config.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace tdm::cpu {
@@ -40,6 +41,7 @@ struct MachineConfig
     hw::CarbonConfig carbon{};
     hw::TssConfig tss{};
     pwr::CorePowerParams power{};
+    sim::TraceConfig trace{};
 
     /** Model the cache hierarchy's effect on task duration. */
     bool enableMemModel = true;

@@ -6,12 +6,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "driver/campaign/fingerprint.hh"
+#include "driver/report/trace_writer.hh"
 #include "sim/logging.hh"
 
 namespace tdm::driver::campaign {
@@ -181,14 +183,34 @@ CampaignEngine::run(const std::string &name,
                 return;
             const std::size_t i = work[w];
             JobResult &job = report.jobs[i];
+            const bool wantTrace =
+                !opts_.traceDir.empty()
+                && exps[i].config.trace.categories != 0;
+            sim::TraceBuffer tb;
             const Clock::time_point j0 = Clock::now();
             try {
                 // A graph-build failure lands in this job's error,
                 // exactly as it did when every point built its own.
-                job.summary = driver::run(
-                    exps[i],
+                std::shared_ptr<const rt::TaskGraph> graph =
                     opts_.shareGraphs ? graphs_.obtain(exps[i])
-                                      : nullptr);
+                                      : nullptr;
+                job.summary = driver::run(exps[i], graph,
+                                          wantTrace ? &tb : nullptr);
+                if (wantTrace) {
+                    const std::string path =
+                        opts_.traceDir + "/" + job.digest + ".json";
+                    std::ofstream f(path);
+                    if (!f) {
+                        sim::warn("cannot write trace file ", path);
+                    } else {
+                        report::TraceMeta meta;
+                        meta.processName = job.label;
+                        meta.numCores = exps[i].config.numCores;
+                        meta.graph = graph.get();
+                        report::writeChromeTrace(f, tb, meta);
+                        job.tracePath = path;
+                    }
+                }
             } catch (const std::exception &e) {
                 job.error = e.what();
                 job.threw = true;
@@ -206,9 +228,9 @@ CampaignEngine::run(const std::string &name,
             const std::size_t k = doneJobs.fetch_add(1) + 1;
             if (opts_.progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
-                std::cerr << "  [" << k << "/" << work.size() << "] "
-                          << job.label << (job.ok() ? "" : " FAILED")
-                          << " (" << job.wallMs << " ms)\n";
+                sim::inform("  [", k, "/", work.size(), "] ",
+                            job.label, job.ok() ? "" : " FAILED",
+                            " (", job.wallMs, " ms)");
             }
         }
     };
@@ -235,6 +257,7 @@ CampaignEngine::run(const std::string &name,
         job.summary = src.summary;
         job.error = src.error;
         job.threw = src.threw;
+        job.tracePath = src.tracePath;
         job.cacheHit = true;
     }
 
@@ -247,9 +270,11 @@ CampaignEngine::run(const std::string &name,
                                  : 0;
     }
     report.wallMs = msSince(t0);
-    for (const JobResult &j : report.jobs)
+    for (const JobResult &j : report.jobs) {
         if (j.cacheHit)
             ++report.cacheHits;
+        report.simMsTotal += j.wallMs;
+    }
     report.simulated = work.size();
     return report;
 }

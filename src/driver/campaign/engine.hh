@@ -46,6 +46,15 @@ struct EngineOptions
     bool progress = false;
 
     /**
+     * When nonempty, every simulated point whose spec enables trace
+     * categories (trace.categories != none) writes its Chrome trace
+     * JSON to "<traceDir>/<digest>.json". The directory must exist.
+     * Points with tracing off are unaffected — their machines never
+     * allocate a buffer.
+     */
+    std::string traceDir;
+
+    /**
      * Build each distinct (workload, effective params) graph once per
      * engine and share it read-only across worker threads, instead of
      * rebuilding it inside every simulated point. Pure wall-clock
@@ -69,6 +78,8 @@ struct JobResult
     std::string error;     ///< empty when the run completed
     bool threw = false;    ///< error came from an exception, not the
                            ///< simulator's incompletion path
+    std::string tracePath; ///< trace JSON written for this point
+                           ///< (EngineOptions::traceDir; else empty)
 
     /** The experiment ran (or was cached) and completed. */
     bool ok() const { return error.empty() && summary.completed; }
@@ -85,6 +96,8 @@ struct CampaignResult
     std::string metricsPattern;
     unsigned threads = 1;
     double wallMs = 0.0;         ///< end-to-end campaign wall-clock
+    double simMsTotal = 0.0;     ///< summed wall-clock of simulated
+                                 ///< points (cache hits cost ~0)
     std::uint64_t cacheHits = 0;
     std::uint64_t simulated = 0;
     std::uint64_t graphBuilds = 0; ///< distinct task graphs built

@@ -14,11 +14,20 @@ run(const Experiment &exp)
 RunSummary
 run(const Experiment &exp, std::shared_ptr<const rt::TaskGraph> graph)
 {
+    return run(exp, std::move(graph), nullptr);
+}
+
+RunSummary
+run(const Experiment &exp, std::shared_ptr<const rt::TaskGraph> graph,
+    sim::TraceBuffer *trace_out)
+{
     if (!graph)
         graph = buildGraph(exp);
 
     core::Machine machine(exp.config, graph, exp.runtime);
     core::MachineResult mr = machine.run();
+    if (trace_out)
+        *trace_out = machine.takeTraceBuffer();
 
     // Workload-shape facts live outside the machine's registry; fold
     // them into the tree so exports are self-contained.

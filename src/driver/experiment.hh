@@ -87,6 +87,16 @@ RunSummary run(const Experiment &exp);
 RunSummary run(const Experiment &exp,
                std::shared_ptr<const rt::TaskGraph> graph);
 
+/**
+ * As above, additionally moving the run's time-resolved trace into
+ * @p trace_out (see sim/trace.hh; empty unless exp.config.trace
+ * enables categories). The summary is identical with or without
+ * @p trace_out — capture is a move, not a re-run.
+ */
+RunSummary run(const Experiment &exp,
+               std::shared_ptr<const rt::TaskGraph> graph,
+               sim::TraceBuffer *trace_out);
+
 /** Speedup of @p test over @p base (makespans). */
 double speedup(const RunSummary &base, const RunSummary &test);
 

@@ -63,7 +63,8 @@ writeRows(std::ostream &os, const campaign::CampaignResult &c,
         row << csvField(c.name) << ',' << csvField(j.label) << ','
             << j.digest << ',' << (j.cacheHit ? 1 : 0) << ','
             << (j.ok() ? 1 : 0) << ',' << csvField(j.error) << ','
-            << j.wallMs << ',' << (s.completed ? 1 : 0) << ','
+            << j.wallMs << ',' << csvField(j.tracePath) << ','
+            << (s.completed ? 1 : 0) << ','
             << s.makespan << ',' << s.timeMs << ',' << s.energyJ << ','
             << s.edp << ',' << s.avgWatts << ',' << s.numTasks << ','
             << s.avgTaskUs << ',' << s.machine.tasksExecuted << ','
@@ -87,7 +88,8 @@ writeCsv(std::ostream &os,
 {
     const std::vector<std::string> metric_cols =
         metricColumns(campaigns);
-    os << "campaign,label,digest,cache_hit,ok,error,wall_ms,completed,"
+    os << "campaign,label,digest,cache_hit,ok,error,wall_ms,trace_path,"
+          "completed,"
           "makespan,time_ms,energy_j,edp,avg_watts,num_tasks,"
           "avg_task_us,tasks_executed,dmu_accesses,dmu_blocked_ops,"
           "steals,master_creation_fraction";

@@ -48,6 +48,8 @@ writeJob(std::ostream &os, const campaign::JobResult &j,
     os << indent << "  \"wall_ms\": ";
     num(os, j.wallMs);
     os << ",\n";
+    os << indent << "  \"trace_path\": \"" << jsonEscape(j.tracePath)
+       << "\",\n";
     os << indent << "  \"completed\": "
        << (s.completed ? "true" : "false") << ",\n";
     os << indent << "  \"makespan\": " << s.makespan << ",\n";
@@ -107,8 +109,13 @@ writeCampaign(std::ostream &os, const campaign::CampaignResult &c,
     os << indent << "  \"wall_ms\": ";
     num(os, c.wallMs);
     os << ",\n";
+    os << indent << "  \"sim_ms_total\": ";
+    num(os, c.simMsTotal);
+    os << ",\n";
     os << indent << "  \"cache_hits\": " << c.cacheHits << ",\n";
     os << indent << "  \"simulated\": " << c.simulated << ",\n";
+    os << indent << "  \"graph_builds\": " << c.graphBuilds << ",\n";
+    os << indent << "  \"graph_shares\": " << c.graphShares << ",\n";
     os << indent << "  \"failures\": " << c.failures() << ",\n";
     os << indent << "  \"metrics_pattern\": \""
        << jsonEscape(c.metricsPattern) << "\",\n";

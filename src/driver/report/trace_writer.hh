@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome trace-event JSON rendering of a sim::TraceBuffer.
+ *
+ * The output is the standard trace-event format (JSON Object Format:
+ * {"traceEvents": [...]}) loadable directly in Perfetto or
+ * chrome://tracing: one process per run, one thread track per core,
+ * complete-span events ("ph":"X") for segments, thread/process
+ * instants ("ph":"i") for point events, and counter tracks ("ph":"C")
+ * for occupancy series. Timestamps are microseconds of simulated time
+ * (ticks at the 2 GHz core clock).
+ */
+
+#ifndef TDM_DRIVER_REPORT_TRACE_WRITER_HH
+#define TDM_DRIVER_REPORT_TRACE_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+#include "runtime/task_graph.hh"
+#include "sim/trace.hh"
+
+namespace tdm::driver::report {
+
+/** Run facts the trace JSON labels itself with. */
+struct TraceMeta
+{
+    /** Process name in the trace UI (e.g. "cholesky on tdm+fifo"). */
+    std::string processName;
+
+    /** Core tracks to declare (thread-name metadata). */
+    unsigned numCores = 0;
+
+    /** Optional task graph: names exec spans by kernel tag. */
+    const rt::TaskGraph *graph = nullptr;
+};
+
+/** Render @p buf as Chrome trace-event JSON. */
+void writeChromeTrace(std::ostream &os, const sim::TraceBuffer &buf,
+                      const TraceMeta &meta);
+
+/** Markdown reference of every trace event/counter the machine can
+ *  record (campaign_run --trace-keys; the README section is this
+ *  output). */
+void writeTraceEventReference(std::ostream &os);
+
+} // namespace tdm::driver::report
+
+#endif // TDM_DRIVER_REPORT_TRACE_WRITER_HH

@@ -8,6 +8,7 @@
 
 #include "core/runtime_model.hh"
 #include "sim/suggest.hh"
+#include "sim/trace.hh"
 #include "runtime/scheduler.hh"
 #include "workloads/registry.hh"
 
@@ -184,6 +185,28 @@ schedulerKey()
                             + v + "'"
                             + suggestHint(v, rt::allSchedulerNames()));
         e.config.scheduler = v;
+    };
+    return b;
+}
+
+Binding
+traceCategoriesKey()
+{
+    Binding b;
+    b.key = "trace.categories";
+    b.kind = ValueKind::Categories;
+    b.doc = "time-resolved trace categories: comma list of "
+            "task,sched,dmu,noc,mem,core, or all, or none";
+    b.get = [](const Experiment &e) {
+        return sim::formatTraceCategories(e.config.trace.categories);
+    };
+    b.set = [](Experiment &e, const std::string &v) {
+        try {
+            e.config.trace.categories = sim::parseTraceCategories(v);
+        } catch (const std::invalid_argument &err) {
+            throw SpecError(std::string("spec key 'trace.categories': ")
+                            + err.what());
+        }
     };
     return b;
 }
@@ -408,6 +431,17 @@ buildRegistry()
     D("power.dram_line_nj", "nJ per 64B line from DRAM",
       [](E &e) -> double & { return e.config.power.dramLineNj; });
 
+    // Trace keys ride in the canonical spec on purpose: a traced
+    // re-run of a campaign point must miss the result cache (a cache
+    // hit would skip the simulation and produce no trace).
+    r.push_back(traceCategoriesKey());
+    U("trace.buffer_events",
+      "hard cap on buffered trace records; further records are "
+      "counted as dropped",
+      [](E &e) -> std::uint64_t & {
+          return e.config.trace.bufferEvents;
+      });
+
     const Experiment defaults{};
     for (Binding &b : r)
         b.defaultValue = b.get(defaults);
@@ -426,6 +460,7 @@ valueKindName(ValueKind kind)
     case ValueKind::Workload: return "workload";
     case ValueKind::Runtime: return "runtime";
     case ValueKind::Scheduler: return "scheduler";
+    case ValueKind::Categories: return "categories";
     }
     return "?";
 }

@@ -48,6 +48,7 @@ enum class ValueKind
     Workload,  ///< registered workload name (short names canonicalize)
     Runtime,   ///< runtime model name: sw/tdm/carbon/tss
     Scheduler, ///< built-in or registered scheduling policy name
+    Categories, ///< trace-category list: task,dmu / all / none
 };
 
 /** "uint", "double", ... for messages and the key reference. */

@@ -112,6 +112,7 @@ Mesh::roundTrip(NodeId from, NodeId to, unsigned bytes)
     RoundTrip rt;
     rt.request = transfer(from, to, bytes);
     rt.response = transfer(to, from, bytes);
+    rt.hops = hops(from, to);
     return rt;
 }
 

@@ -74,6 +74,7 @@ class Mesh
     {
         sim::Tick request = 0;  ///< from -> to
         sim::Tick response = 0; ///< to -> from
+        unsigned hops = 0;      ///< one-way Manhattan hop count
     };
 
     /**

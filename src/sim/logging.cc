@@ -21,6 +21,22 @@ setLogLevel(LogLevel level)
     globalLevel = level;
 }
 
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "quiet")
+        out = LogLevel::Quiet;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
 namespace detail {
 
 void

@@ -25,6 +25,10 @@ enum class LogLevel { Quiet, Warn, Info, Debug };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/** Parse "quiet"/"warn"/"info"/"debug" (the CLIs' --log-level values);
+ *  false on anything else. */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
 namespace detail {
 
 [[noreturn]] void panicImpl(const std::string &msg, const char *file,

@@ -1,0 +1,208 @@
+#include "sim/trace.hh"
+
+#include <stdexcept>
+
+namespace tdm::sim {
+
+namespace {
+
+struct CatName
+{
+    TraceCat cat;
+    const char *name;
+};
+
+constexpr CatName catNames[] = {
+    {TraceCat::Task, "task"}, {TraceCat::Sched, "sched"},
+    {TraceCat::Dmu, "dmu"},   {TraceCat::Noc, "noc"},
+    {TraceCat::Mem, "mem"},   {TraceCat::Core, "core"},
+};
+
+constexpr TracePointInfo pointInfos[] = {
+    // task
+    {"create", TraceCat::Task, TraceKind::Span,
+     "task-creation segment on the master: descriptor allocation, "
+     "dependence registration, commit"},
+    {"ready", TraceCat::Task, TraceKind::Instant,
+     "task handed to the scheduler (args: task, successors)"},
+    {"exec", TraceCat::Task, TraceKind::Span,
+     "task body: compute cycles + memory stall (args: task, kernel)"},
+    {"finish", TraceCat::Task, TraceKind::Span,
+     "task finalization: tracker wake-ups or finish_task"},
+    {"retire", TraceCat::Task, TraceKind::Instant,
+     "task fully retired (args: task)"},
+    // sched
+    {"sched_pop", TraceCat::Sched, TraceKind::Span,
+     "ready-pool / hardware-queue pop segment (args: task, or "
+     "empty=true on a miss)"},
+    {"steal", TraceCat::Sched, TraceKind::Span,
+     "Carbon steal attempt after an empty local pop"},
+    {"get_ready", TraceCat::Sched, TraceKind::Span,
+     "get_ready_task dispatch or post-finish drain segment"},
+    {"sched.pool_depth", TraceCat::Sched, TraceKind::Counter,
+     "software ready-pool depth after each push"},
+    // core
+    {"idle", TraceCat::Core, TraceKind::Span,
+     "core parked with no runnable work"},
+    {"core.idle_cores", TraceCat::Core, TraceKind::Counter,
+     "number of currently parked cores"},
+    // dmu
+    {"dmu.tasks_in_flight", TraceCat::Dmu, TraceKind::Counter,
+     "tasks resident in the DMU Task Table"},
+    {"dmu.deps_in_flight", TraceCat::Dmu, TraceKind::Counter,
+     "dependences resident in the DMU Dep Table"},
+    {"dmu.ready_queue", TraceCat::Dmu, TraceKind::Counter,
+     "DMU Ready Queue depth"},
+    {"dmu.tat_live", TraceCat::Dmu, TraceKind::Counter,
+     "live Task Alias Table entries"},
+    {"dmu.dat_live", TraceCat::Dmu, TraceKind::Counter,
+     "live Dependence Alias Table entries"},
+    {"dmu.sla_used", TraceCat::Dmu, TraceKind::Counter,
+     "successor list-array entries in use"},
+    {"dmu.dla_used", TraceCat::Dmu, TraceKind::Counter,
+     "dependence list-array entries in use"},
+    {"dmu.rla_used", TraceCat::Dmu, TraceKind::Counter,
+     "reader list-array entries in use"},
+    {"dmu_blocked", TraceCat::Dmu, TraceKind::Instant,
+     "a DMU ISA op blocked on a full structure (args: task, reason)"},
+    // noc
+    {"noc_round_trip", TraceCat::Noc, TraceKind::Instant,
+     "request/response mesh round trip of one DMU op (args: latency, "
+     "hops)"},
+    // mem
+    {"region_miss", TraceCat::Mem, TraceKind::Instant,
+     "task footprint accesses missing in cache (args: l1_misses, "
+     "l2_misses)"},
+};
+
+static_assert(std::size(pointInfos)
+                  == static_cast<std::size_t>(TracePoint::NumPoints),
+              "every TracePoint needs a TracePointInfo row");
+
+} // namespace
+
+const char *
+traceCatName(TraceCat cat)
+{
+    for (const CatName &c : catNames)
+        if (c.cat == cat)
+            return c.name;
+    return "?";
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &list)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string tok = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding whitespace ("task, dmu" from hand-written
+        // campaign files).
+        const std::size_t b = tok.find_first_not_of(" \t");
+        const std::size_t e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos ? ""
+                                     : tok.substr(b, e - b + 1);
+        if (tok.empty() || tok == "none")
+            continue;
+        if (tok == "all") {
+            mask |= traceCatAll;
+            continue;
+        }
+        bool found = false;
+        for (const CatName &c : catNames) {
+            if (tok == c.name) {
+                mask |= static_cast<std::uint32_t>(c.cat);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument(
+                "unknown trace category '" + tok
+                + "' (task, sched, dmu, noc, mem, core, all, none)");
+    }
+    return mask;
+}
+
+std::string
+formatTraceCategories(std::uint32_t mask)
+{
+    if (mask == 0)
+        return "none";
+    if ((mask & traceCatAll) == traceCatAll)
+        return "all";
+    std::string out;
+    for (const CatName &c : catNames) {
+        if (mask & static_cast<std::uint32_t>(c.cat)) {
+            if (!out.empty())
+                out += ',';
+            out += c.name;
+        }
+    }
+    return out;
+}
+
+const TracePointInfo &
+tracePointInfo(TracePoint p)
+{
+    return pointInfos[static_cast<std::size_t>(p)];
+}
+
+void
+TraceBuffer::configure(const TraceConfig &cfg)
+{
+    mask_ = cfg.categories;
+    cap_ = cfg.bufferEvents;
+    clear();
+}
+
+void
+TraceBuffer::clear()
+{
+    chunks_.clear();
+    size_ = 0;
+    dropped_ = 0;
+}
+
+void
+TraceBuffer::append(const TraceRecord &r)
+{
+    if (size_ >= cap_) {
+        ++dropped_;
+        return;
+    }
+    if (chunks_.empty() || chunks_.back().size() == chunkSize) {
+        chunks_.emplace_back();
+        chunks_.back().reserve(chunkSize);
+    }
+    chunks_.back().push_back(r);
+    ++size_;
+}
+
+std::uint64_t
+TraceBuffer::digest() const
+{
+    // FNV-1a over the record fields (not raw struct bytes, so the
+    // digest is layout- and padding-independent).
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    forEach([&](const TraceRecord &r) {
+        mix(r.tick);
+        mix((static_cast<std::uint64_t>(r.a) << 32) | r.b);
+        mix((static_cast<std::uint64_t>(r.dur) << 32)
+            | (static_cast<std::uint64_t>(r.point) << 16) | r.core);
+    });
+    return h;
+}
+
+} // namespace tdm::sim

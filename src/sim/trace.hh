@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Category-gated time-resolved tracing.
+ *
+ * Instrumentation points throughout the machine record fixed-size
+ * binary TraceRecords into a per-run TraceBuffer. The design contract
+ * is zero overhead when tracing is off and zero simulation
+ * perturbation when it is on:
+ *
+ *  - Every instrumentation site guards itself with
+ *    `if (tbuf_.on(TraceCat::X))` — a single inline load + mask test
+ *    against the enabled-category bitmask (0 by default).
+ *  - Recording appends a 24-byte record to a chunked slab buffer:
+ *    no per-record allocation (chunks are reserved whole), no I/O,
+ *    and no reads of any state the simulation itself depends on.
+ *  - The buffer is bounded (TraceConfig::bufferEvents); past the cap
+ *    records are counted as dropped, never reallocated or cycled, so
+ *    a runaway trace can't disturb timing either.
+ *
+ * Rendering to Chrome trace-event JSON (Perfetto / chrome://tracing)
+ * lives in driver/report/trace_writer — the sim layer stays free of
+ * any output-format knowledge.
+ */
+
+#ifndef TDM_SIM_TRACE_HH
+#define TDM_SIM_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tdm::sim {
+
+/** Trace categories; one bit each so a mask selects any subset. */
+enum class TraceCat : std::uint32_t
+{
+    Task  = 1u << 0, ///< task lifecycle: create/ready/exec/retire
+    Sched = 1u << 1, ///< scheduling segments + ready-pool depth
+    Dmu   = 1u << 2, ///< DMU structure occupancy and blocked ops
+    Noc   = 1u << 3, ///< NoC round trips
+    Mem   = 1u << 4, ///< region-cache misses
+    Core  = 1u << 5, ///< per-core idle spans + idle-core count
+};
+
+/** Mask with every category enabled. */
+constexpr std::uint32_t traceCatAll = 0x3f;
+
+/** Short lowercase name of one category ("task", "dmu", ...). */
+const char *traceCatName(TraceCat cat);
+
+/**
+ * Parse a category list: a comma-separated subset of
+ * task,sched,dmu,noc,mem,core, or "all", or "none"/"" (empty mask).
+ * Throws std::invalid_argument naming the bad token.
+ */
+std::uint32_t parseTraceCategories(const std::string &list);
+
+/** Canonical rendering: "none", "all", or "task,dmu" in bit order.
+ *  Round-trips through parseTraceCategories. */
+std::string formatTraceCategories(std::uint32_t mask);
+
+/** Tracing knobs (part of the machine configuration / spec). */
+struct TraceConfig
+{
+    /** Enabled-category bitmask; 0 disables tracing entirely. */
+    std::uint32_t categories = 0;
+
+    /** Hard cap on buffered records; further records are counted as
+     *  dropped (≈24 bytes each: the default bounds a trace at 96 MB,
+     *  far beyond any fig13-size run). */
+    std::uint64_t bufferEvents = std::uint64_t{1} << 22;
+};
+
+/** Event shape of a trace point (drives JSON rendering). */
+enum class TraceKind : std::uint8_t
+{
+    Span,    ///< an interval on a core track (start + duration)
+    Instant, ///< a point event on a core track
+    Counter, ///< a sampled process-wide counter value
+};
+
+/**
+ * Every instrumentation point in the machine. The stable identity of
+ * a record; tracePointInfo() carries the name/category/kind/doc used
+ * by the writer and the generated trace-event reference.
+ */
+enum class TracePoint : std::uint16_t
+{
+    // task
+    TaskCreate,  ///< creation segment (alloc + dependences + commit)
+    TaskReady,   ///< task delivered to the scheduler
+    TaskExec,    ///< task body (compute + memory stall)
+    TaskFinish,  ///< finalization segment (tracker / finish_task)
+    TaskRetire,  ///< task fully retired
+    // sched
+    SchedPop,      ///< pool pop / hardware-queue pop segment
+    SchedSteal,    ///< Carbon steal attempt
+    SchedGetReady, ///< get_ready_task dispatch / drain segment
+    PoolDepth,     ///< software ready-pool depth
+    // core
+    CoreIdle,  ///< core parked with no work
+    IdleCores, ///< number of currently parked cores
+    // dmu
+    DmuTasksInFlight, ///< tasks resident in the Task Table
+    DmuDepsInFlight,  ///< dependences resident in the Dep Table
+    DmuReadyQueue,    ///< Ready Queue depth
+    DmuTatLive,       ///< live Task Alias Table entries
+    DmuDatLive,       ///< live Dependence Alias Table entries
+    DmuSlaUsed,       ///< successor list-array entries in use
+    DmuDlaUsed,       ///< dependence list-array entries in use
+    DmuRlaUsed,       ///< reader list-array entries in use
+    DmuBlocked,       ///< an ISA op blocked on a full structure
+    // noc
+    NocRoundTrip, ///< one DMU-op request/response mesh round trip
+    // mem
+    MemRegionMiss, ///< task footprint access missed in L1/L2
+
+    NumPoints,
+};
+
+/** Writer-facing metadata of one trace point. */
+struct TracePointInfo
+{
+    const char *name; ///< event name in the rendered trace
+    TraceCat cat;
+    TraceKind kind;
+    const char *doc;
+};
+
+const TracePointInfo &tracePointInfo(TracePoint p);
+
+/** Core field of records not tied to any core (counters). */
+constexpr std::uint16_t traceNoCore = 0xffff;
+
+/**
+ * One fixed-size (24-byte) trace record. Spans store their start tick
+ * in `tick` and their length in `dur`; instants use `tick` alone;
+ * counters store the sampled value split across a (low) / b (high).
+ */
+struct TraceRecord
+{
+    Tick tick = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t dur = 0;
+    std::uint16_t point = 0; ///< TracePoint
+    std::uint16_t core = 0;  ///< track; traceNoCore for counters
+};
+
+static_assert(sizeof(TraceRecord) == 24, "records must stay fixed-size");
+
+/**
+ * The per-run record buffer: a slab of fixed-size chunks, each
+ * reserved whole on first touch so steady-state appends never
+ * allocate, bounded by TraceConfig::bufferEvents.
+ */
+class TraceBuffer
+{
+  public:
+    /** Records per chunk (32 Ki records = 768 KB). */
+    static constexpr std::size_t chunkSize = std::size_t{1} << 15;
+
+    /** Arm the buffer: set the category mask and cap, drop any
+     *  previously recorded data. */
+    void configure(const TraceConfig &cfg);
+
+    /** Any category enabled? */
+    bool enabled() const { return mask_ != 0; }
+
+    /**
+     * The instrumentation gate: one inline load + mask test. Every
+     * call site guards with this, so a disabled trace costs exactly
+     * this check and nothing else.
+     */
+    bool
+    on(TraceCat cat) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    /** Record a [start, end) interval on @p core's track. */
+    void
+    span(TracePoint p, std::uint16_t core, Tick start, Tick end,
+         std::uint32_t a = 0, std::uint32_t b = 0)
+    {
+        const Tick len = end - start;
+        append(TraceRecord{
+            start, a, b,
+            len > UINT32_MAX ? UINT32_MAX
+                             : static_cast<std::uint32_t>(len),
+            static_cast<std::uint16_t>(p), core});
+    }
+
+    /** Record a point event on @p core's track. */
+    void
+    instant(TracePoint p, std::uint16_t core, Tick t,
+            std::uint32_t a = 0, std::uint32_t b = 0)
+    {
+        append(TraceRecord{t, a, b, 0, static_cast<std::uint16_t>(p),
+                           core});
+    }
+
+    /** Sample a process-wide counter value at tick @p t. */
+    void
+    counter(TracePoint p, Tick t, std::uint64_t value)
+    {
+        append(TraceRecord{
+            t, static_cast<std::uint32_t>(value),
+            static_cast<std::uint32_t>(value >> 32), 0,
+            static_cast<std::uint16_t>(p), traceNoCore});
+    }
+
+    /** Records currently held (dropped ones excluded). */
+    std::size_t size() const { return size_; }
+
+    /** Records refused once the cap was hit. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Visit every record in recording order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const std::vector<TraceRecord> &chunk : chunks_)
+            for (const TraceRecord &r : chunk)
+                fn(r);
+    }
+
+    /**
+     * FNV-1a digest over every record's fields: a stable fingerprint
+     * of the trace stream, independent of chunking and rendering
+     * (the trace-determinism golden tests pin this).
+     */
+    std::uint64_t digest() const;
+
+    /** Drop all records; the mask and cap stay armed. */
+    void clear();
+
+  private:
+    void append(const TraceRecord &r);
+
+    std::uint32_t mask_ = 0;
+    std::uint64_t cap_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<std::vector<TraceRecord>> chunks_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_TRACE_HH

@@ -45,6 +45,8 @@ sampleValue(const spc::Binding &b)
         return b.defaultValue == "tdm" ? "carbon" : "tdm";
     case spc::ValueKind::Scheduler:
         return b.defaultValue == "age" ? "locality" : "age";
+    case spc::ValueKind::Categories:
+        return b.defaultValue == "task,dmu" ? "all" : "task,dmu";
     }
     return "";
 }

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Golden-determinism guard for tracing: the instrumented run IS the
+ * plain run.
+ *
+ * Every pinned makespan from test_golden_determinism.cc must reproduce
+ * bit-for-bit with every trace category enabled — tracing is pure
+ * observation (inline mask checks and buffer appends; no events, no
+ * allocation in the hot path, no reordering). One reference point
+ * additionally pins its event count and record digest, so silent
+ * changes to what gets recorded (dropped instrumentation, double
+ * recording, reordered sampling) show up as a diff here rather than as
+ * a mystery in somebody's Perfetto timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hh"
+#include "sim/trace.hh"
+
+using namespace tdm;
+
+namespace {
+
+struct Golden
+{
+    core::RuntimeType runtime;
+    const char *workload;
+    const char *scheduler;
+    sim::Tick makespan;
+};
+
+// Same table as test_golden_determinism.cc: the seed kernel's pinned
+// makespans.
+const Golden goldens[] = {
+    {core::RuntimeType::Tdm, "cholesky", "fifo", 142451635ull},
+    {core::RuntimeType::Tdm, "cholesky", "locality", 144116539ull},
+    {core::RuntimeType::Tdm, "lu", "fifo", 46711567ull},
+    {core::RuntimeType::Tdm, "lu", "locality", 45515187ull},
+    {core::RuntimeType::Tdm, "dedup", "fifo", 809107314ull},
+    {core::RuntimeType::Tdm, "dedup", "locality", 801222268ull},
+    {core::RuntimeType::Software, "cholesky", "fifo", 157277791ull},
+    {core::RuntimeType::Software, "cholesky", "locality", 160051164ull},
+    {core::RuntimeType::Software, "lu", "fifo", 47266035ull},
+    {core::RuntimeType::Software, "lu", "locality", 45521241ull},
+    {core::RuntimeType::Software, "dedup", "fifo", 809344123ull},
+    {core::RuntimeType::Software, "dedup", "locality", 801426713ull},
+};
+
+class TracedGolden : public ::testing::TestWithParam<Golden>
+{};
+
+} // namespace
+
+TEST_P(TracedGolden, FullTracingLeavesTheMakespanByteIdentical)
+{
+    const Golden &g = GetParam();
+    driver::Experiment e;
+    e.workload = g.workload;
+    e.runtime = g.runtime;
+    e.config.scheduler = g.scheduler;
+    e.config.trace.categories = sim::traceCatAll;
+
+    sim::TraceBuffer tb;
+    driver::RunSummary s = driver::run(e, nullptr, &tb);
+    ASSERT_TRUE(s.completed);
+    EXPECT_EQ(s.makespan, g.makespan)
+        << "tracing perturbed the simulation for " << g.workload << "/"
+        << g.scheduler;
+    EXPECT_GT(tb.size(), 0u);
+    EXPECT_EQ(tb.dropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldens, TracedGolden, ::testing::ValuesIn(goldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(core::traitsOf(info.param.runtime).name) + "_"
+             + info.param.workload + "_" + info.param.scheduler;
+    });
+
+TEST(TracedGolden, ReferencePointPinsEventCountAndDigest)
+{
+    // Tdm/cholesky/fifo with every category on. If instrumentation is
+    // added, removed or resampled, re-pin these two values in the same
+    // commit and say so — an unexplained diff means the simulation (or
+    // what the trace claims about it) changed.
+    driver::Experiment e;
+    e.workload = "cholesky";
+    e.runtime = core::RuntimeType::Tdm;
+    e.config.scheduler = "fifo";
+    e.config.trace.categories = sim::traceCatAll;
+
+    sim::TraceBuffer tb;
+    driver::RunSummary s = driver::run(e, nullptr, &tb);
+    ASSERT_TRUE(s.completed);
+    EXPECT_EQ(s.makespan, 142451635ull);
+    EXPECT_EQ(tb.dropped(), 0u);
+    EXPECT_EQ(tb.size(), 510791ull);
+    EXPECT_EQ(tb.digest(), 15356664645439498864ull);
+}

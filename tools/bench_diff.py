@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_to_json.py snapshot against a committed
+baseline and fail on micro-bench regressions.
+
+For every micro-bench present in the baseline, the current geomean
+speedup must be at least (1 - tolerance) of the baseline's; the default
+tolerance of 0.10 absorbs shared-runner noise while still catching real
+regressions. Campaign wall-clock numbers are reported but never gate
+(they measure the machine as much as the code). Stdlib only.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
+Exits 1 when any gated micro-bench regressed beyond tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot load {path}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional geomean drop (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_label = base.get("label", args.baseline)
+    cur_label = cur.get("label", args.current)
+
+    failures = []
+    rows = []
+    for name, b in sorted(base.get("micro", {}).items()):
+        b_geo = b.get("geomean_speedup")
+        c = cur.get("micro", {}).get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current snapshot")
+            continue
+        c_geo = c.get("geomean_speedup")
+        floor = b_geo * (1.0 - args.tolerance)
+        ok = c_geo >= floor
+        rows.append((name, b_geo, c_geo, floor, ok))
+        if not ok:
+            failures.append(
+                f"{name}: geomean {c_geo:.3f}x < floor {floor:.3f}x "
+                f"(baseline {b_geo:.3f}x - {args.tolerance:.0%})")
+
+    print(f"bench_diff: {base_label} -> {cur_label} "
+          f"(tolerance {args.tolerance:.0%})")
+    print(f"{'micro':<14} {'baseline':>9} {'current':>9} "
+          f"{'floor':>9}  status")
+    for name, b_geo, c_geo, floor, ok in rows:
+        print(f"{name:<14} {b_geo:>8.3f}x {c_geo:>8.3f}x "
+              f"{floor:>8.3f}x  {'ok' if ok else 'REGRESSED'}")
+
+    for name, b in sorted(base.get("campaigns", {}).items()):
+        c = cur.get("campaigns", {}).get(name)
+        if c is None:
+            continue
+        print(f"campaign {name}: wall {b.get('wall_s')}s -> "
+              f"{c.get('wall_s')}s (informational)")
+
+    if failures:
+        for f in failures:
+            print(f"bench_diff: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_diff: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@
  *   --list            list registered campaigns and exit
  *   --keys            print the spec key reference (markdown) and exit
  *   --metric-keys     print the metric key reference (markdown) and exit
+ *   --trace-keys      print the trace event/counter reference
+ *                     (markdown) and exit
  *   --spec FILE       run the campaign defined in FILE (repeatable)
  *   --set KEY=VALUE   override a spec key on every point (repeatable)
  *   --metrics GLOBS   select the metric subtree each point exports
@@ -25,6 +27,12 @@
  *   --json FILE       write all results as JSON (with each point's
  *                     full canonical spec)
  *   --csv FILE        write all results as CSV
+ *   --trace-dir DIR   write a Chrome trace JSON per simulated point
+ *                     whose spec enables trace.categories (e.g.
+ *                     --set trace.categories=task,dmu); files are
+ *                     named <digest>.json, DIR must exist
+ *   --log-level LEVEL quiet|warn|info|debug (default info, so
+ *                     progress lines show; --quiet drops to warn)
  *   --quiet           suppress per-job progress lines
  *
  * Several campaigns share one engine, so points common to two
@@ -51,9 +59,11 @@
 #include "driver/report/csv_writer.hh"
 #include "driver/report/json_writer.hh"
 #include "driver/report/metric_reference.hh"
+#include "driver/report/trace_writer.hh"
 #include "driver/spec/campaign_file.hh"
 #include "driver/spec/grid.hh"
 #include "driver/spec/spec.hh"
+#include "sim/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/table.hh"
 
@@ -67,10 +77,12 @@ namespace {
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--list] [--keys] [--metric-keys] [--spec FILE]"
+              << " [--list] [--keys] [--metric-keys] [--trace-keys]"
+                 " [--spec FILE]"
                  " [--set KEY=VALUE] [--metrics GLOBS] [--threads N]"
                  " [--no-cache] [--no-graph-share] [--seed-base S]"
-                 " [--json FILE] [--csv FILE] [--quiet] [CAMPAIGN...]\n";
+                 " [--json FILE] [--csv FILE] [--trace-dir DIR]"
+                 " [--log-level LEVEL] [--quiet] [CAMPAIGN...]\n";
     std::exit(2);
 }
 
@@ -97,6 +109,9 @@ main(int argc, char **argv)
     cmp::EngineOptions opts;
     opts.threads = 0; // hardware concurrency
     opts.progress = true;
+    // Progress goes through sim::inform, so the tool defaults the
+    // global level to Info; --quiet and --log-level override it.
+    sim::setLogLevel(sim::LogLevel::Info);
     std::string json_file, csv_file;
     std::string metrics_pattern;
     bool metrics_set = false;
@@ -120,6 +135,9 @@ main(int argc, char **argv)
             return 0;
         } else if (!std::strcmp(a, "--metric-keys")) {
             driver::report::writeMetricReference(std::cout);
+            return 0;
+        } else if (!std::strcmp(a, "--trace-keys")) {
+            driver::report::writeTraceEventReference(std::cout);
             return 0;
         } else if (!std::strcmp(a, "--spec")) {
             spec_files.emplace_back(need(i));
@@ -155,8 +173,21 @@ main(int argc, char **argv)
             json_file = need(i);
         } else if (!std::strcmp(a, "--csv")) {
             csv_file = need(i);
+        } else if (!std::strcmp(a, "--trace-dir")) {
+            opts.traceDir = need(i);
+        } else if (!std::strcmp(a, "--log-level")) {
+            const std::string lv = need(i);
+            sim::LogLevel level;
+            if (!sim::parseLogLevel(lv, level)) {
+                std::cerr << "--log-level expects quiet|warn|info"
+                             "|debug, got '" << lv << "'\n";
+                return 2;
+            }
+            sim::setLogLevel(level);
         } else if (!std::strcmp(a, "--quiet")) {
             opts.progress = false;
+            if (sim::logLevel() > sim::LogLevel::Warn)
+                sim::setLogLevel(sim::LogLevel::Warn);
         } else if (a[0] == '-') {
             usage(argv[0]);
         } else {
@@ -199,8 +230,8 @@ main(int argc, char **argv)
 
     for (const cmp::Campaign &c : campaigns) {
         if (opts.progress)
-            std::cerr << "== " << c.name << ": " << c.points.size()
-                      << " points ==\n";
+            sim::inform("== ", c.name, ": ", c.points.size(),
+                        " points ==");
         cmp::CampaignResult rep = engine.run(c);
 
         sim::Table t(c.name + " (" + c.description + ")");

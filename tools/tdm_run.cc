@@ -20,7 +20,15 @@
  *   --set KEY=VALUE      set any spec key (campaign_run --keys lists
  *                        them); repeatable, applied in order
  *   --describe           print the canonical experiment spec and exit
- *   --trace FILE         write a Chrome-tracing JSON timeline
+ *   --trace FILE         write the run's time-resolved trace as Chrome
+ *                        trace-event JSON (open in Perfetto or
+ *                        chrome://tracing); enables all categories
+ *                        unless --trace-categories narrows them
+ *   --trace-categories L comma list of task,sched,dmu,noc,mem,core
+ *                        (or all/none); shorthand for
+ *                        --set trace.categories=L
+ *   --trace-events N     buffered-record cap (--set trace.buffer_events)
+ *   --log-level LEVEL    quiet|warn|info|debug (default warn)
  *   --stats              dump the metric tree (gem5 stats.txt format;
  *                        campaign_run --metric-keys lists every key)
  *   --list               list workloads and exit
@@ -39,7 +47,9 @@
 
 #include "core/machine.hh"
 #include "dmu/geometry.hh"
+#include "driver/report/trace_writer.hh"
 #include "driver/spec/spec.hh"
+#include "sim/logging.hh"
 #include "sim/table.hh"
 
 using namespace tdm;
@@ -56,7 +66,8 @@ usage(const char *argv0)
                  " [--seed S] [--tat N] [--dat N] [--lists N]"
                  " [--access-cycles N] [--throttle N] [--no-mem]"
                  " [--set KEY=VALUE] [--describe] [--trace FILE]"
-                 " [--stats] [--list]\n";
+                 " [--trace-categories LIST] [--trace-events N]"
+                 " [--log-level LEVEL] [--stats] [--list]\n";
     std::exit(2);
 }
 
@@ -132,6 +143,19 @@ main(int argc, char **argv)
                 describe_only = true;
             } else if (!std::strcmp(a, "--trace")) {
                 trace_file = need(i);
+            } else if (!std::strcmp(a, "--trace-categories")) {
+                set("trace.categories", need(i));
+            } else if (!std::strcmp(a, "--trace-events")) {
+                set("trace.buffer_events", need(i));
+            } else if (!std::strcmp(a, "--log-level")) {
+                const std::string lv = need(i);
+                sim::LogLevel level;
+                if (!sim::parseLogLevel(lv, level)) {
+                    std::cerr << "--log-level expects quiet|warn|info"
+                                 "|debug, got '" << lv << "'\n";
+                    return 2;
+                }
+                sim::setLogLevel(level);
             } else if (!std::strcmp(a, "--stats")) {
                 dump_stats = true;
             } else if (!std::strcmp(a, "--list")) {
@@ -158,14 +182,16 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // --trace with no explicit category selection records everything.
+    if (!trace_file.empty() && exp.config.trace.categories == 0)
+        exp.config.trace.categories = sim::traceCatAll;
+
     wl::WorkloadParams params = exp.params;
     if (params.granularity == 0.0)
         params.tdmOptimal = core::traitsOf(exp.runtime).usesDmu();
     rt::TaskGraph graph = wl::buildWorkload(exp.workload, params);
 
     core::Machine m(exp.config, graph, exp.runtime);
-    if (!trace_file.empty())
-        m.enableTrace();
     core::MachineResult res = m.run();
 
     const std::string runtime = core::traitsOf(exp.runtime).name;
@@ -194,9 +220,22 @@ main(int argc, char **argv)
 
     if (!trace_file.empty()) {
         std::ofstream f(trace_file);
-        m.trace().writeChromeTrace(f, exp.workload.c_str());
-        std::cout << "trace: " << trace_file << " ("
-                  << m.trace().size() << " intervals)\n";
+        if (!f) {
+            std::cerr << "cannot write " << trace_file << "\n";
+            return 1;
+        }
+        const sim::TraceBuffer tb = m.takeTraceBuffer();
+        driver::report::TraceMeta meta;
+        meta.processName = exp.workload + " on " + runtime + "+"
+                         + exp.config.scheduler;
+        meta.numCores = exp.config.numCores;
+        meta.graph = &graph;
+        driver::report::writeChromeTrace(f, tb, meta);
+        std::cout << "trace: " << trace_file << " (" << tb.size()
+                  << " events, "
+                  << sim::formatTraceCategories(
+                         exp.config.trace.categories)
+                  << ", " << tb.dropped() << " dropped)\n";
     }
     if (dump_stats)
         m.dumpStats(std::cout);

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by tdm_run --trace
+or campaign_run --trace-dir.
+
+Checks the structural rules Perfetto / chrome://tracing rely on, plus
+the simulator's own conventions (task spans, per-core thread tracks,
+DMU counter tracks). Stdlib only.
+
+Usage: validate_trace.py TRACE.json [--require-categories task,dmu,...]
+Exits 0 when valid, 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument(
+        "--require-categories",
+        default="",
+        help="comma list of categories that must appear in the trace",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    thread_names = {}
+    categories = set()
+    n_spans = n_instants = n_counters = 0
+    counter_names = set()
+    span_names = set()
+
+    for k, ev in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: event is not an object")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail(f"{where}: bad or missing ph {ph!r}")
+        if "name" not in ev:
+            fail(f"{where}: missing name")
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                thread_names[ev.get("tid")] = ev["args"]["name"]
+            continue
+        if "cat" in ev:
+            categories.add(ev["cat"])
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad or missing ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: complete span with bad dur {dur!r}")
+            n_spans += 1
+            span_names.add(ev["name"])
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(f"{where}: instant with bad scope {ev.get('s')!r}")
+            n_instants += 1
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"{where}: counter without numeric args.value")
+            n_counters += 1
+            counter_names.add(ev["name"])
+
+    required = {
+        c for c in args.require_categories.split(",") if c.strip()
+    }
+    missing = required - categories
+    if missing:
+        fail(f"required categories absent: {', '.join(sorted(missing))}")
+
+    # Simulator conventions, gated on the categories actually present.
+    if "core" in categories or "task" in categories:
+        if not thread_names:
+            fail("no per-core thread_name metadata")
+    if "task" in categories and "exec" not in span_names:
+        fail("task category present but no exec spans")
+    if "dmu" in categories:
+        dmu_counters = {n for n in counter_names if n.startswith("dmu.")}
+        if not dmu_counters:
+            fail("dmu category present but no dmu.* counter tracks")
+
+    print(
+        f"validate_trace: OK: {len(events)} events "
+        f"({n_spans} spans, {n_instants} instants, "
+        f"{n_counters} counter samples) on {len(thread_names)} core "
+        f"tracks; categories: {', '.join(sorted(categories)) or 'none'}"
+    )
+
+
+if __name__ == "__main__":
+    main()
