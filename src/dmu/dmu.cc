@@ -1,8 +1,45 @@
 #include "dmu/dmu.hh"
 
+#include "sim/assert.hh"
 #include "sim/logging.hh"
 
 namespace tdm::dmu {
+
+namespace {
+
+#if SIM_INVARIANTS_ENABLED
+/**
+ * DMU occupancy accounting, re-verified after every mutating ISA op in
+ * debug/sanitizer builds. Every live task owns exactly one TAT
+ * translation and every live dependence one DAT translation, so the
+ * alias-table and table live counts must track each other exactly —
+ * these are the same numbers the occupancy trace counters and the
+ * capacity pre-checks read, so a drift here silently corrupts both
+ * blocking behavior and exported occupancy.
+ */
+void
+checkOccupancy(const Dmu &dmu)
+{
+    SIM_ASSERT(dmu.tat().liveEntries() == dmu.taskTable().live(),
+               "TAT live ", dmu.tat().liveEntries(),
+               " != Task Table live ", dmu.taskTable().live());
+    SIM_ASSERT(dmu.dat().liveEntries() == dmu.depsInFlight(),
+               "DAT live ", dmu.dat().liveEntries(),
+               " != Dep Table live ", dmu.depsInFlight());
+    SIM_ASSERT(dmu.sla().entriesInUse() <= dmu.sla().capacity(),
+               "SLA occupancy over capacity");
+    SIM_ASSERT(dmu.dla().entriesInUse() <= dmu.dla().capacity(),
+               "DLA occupancy over capacity");
+    SIM_ASSERT(dmu.rla().entriesInUse() <= dmu.rla().capacity(),
+               "RLA occupancy over capacity");
+    SIM_ASSERT(dmu.readyCount() <= dmu.taskTable().capacity(),
+               "more ready tasks than Task Table entries");
+}
+#else
+void checkOccupancy(const Dmu &) {}
+#endif
+
+} // namespace
 
 const char *
 toString(BlockReason r)
@@ -105,6 +142,7 @@ Dmu::createTask(std::uint64_t desc_addr, std::uint32_t pid)
     ++res.accesses;
     ++counts_.taskTable;
     statAccesses_ += res.accesses;
+    checkOccupancy(*this);
     return res;
 }
 
@@ -285,6 +323,7 @@ Dmu::addDependence(std::uint64_t desc_addr, std::uint64_t dep_addr,
         ++counts_.depTable;
     }
     statAccesses_ += res.accesses;
+    checkOccupancy(*this);
     return res;
 }
 
@@ -401,6 +440,7 @@ Dmu::finishTask(std::uint64_t desc_addr, std::uint32_t pid)
 
     ++capacityEpoch_;
     statAccesses_ += res.accesses;
+    checkOccupancy(*this);
     return res;
 }
 

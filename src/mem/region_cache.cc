@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/assert.hh"
 #include "sim/logging.hh"
 
 namespace tdm::mem {
@@ -129,6 +130,16 @@ void
 RegionCache::unlink(std::uint32_t s)
 {
     Slot &n = slots_[s];
+    // Recency-list integrity: a slot is the head iff it has no prev,
+    // the tail iff it has no next, and its neighbors point back at it.
+    SIM_ASSERT((n.prev == npos) == (head_ == s),
+               "slot ", s, " prev/head mismatch");
+    SIM_ASSERT((n.next == npos) == (tail_ == s),
+               "slot ", s, " next/tail mismatch");
+    SIM_ASSERT(n.prev == npos || slots_[n.prev].next == s,
+               "slot ", s, " not linked from its prev");
+    SIM_ASSERT(n.next == npos || slots_[n.next].prev == s,
+               "slot ", s, " not linked from its next");
     if (n.prev != npos)
         slots_[n.prev].next = n.next;
     else
@@ -173,6 +184,11 @@ RegionCache::touch(RegionId id, std::uint64_t bytes)
         // and relink as MRU — same effective semantics as the old
         // list-erase / re-push-front implementation.
         std::uint32_t s = cells_[cell].slot;
+        // Slab/index consistency: the index cell must name a slab slot
+        // that actually holds this region.
+        SIM_ASSERT(slots_[s].id == id, "index cell for region ", id,
+                   " points at slot ", s, " holding region ",
+                   slots_[s].id);
         used_ -= slots_[s].bytes;
         unlink(s);
         evictFor(eff);
@@ -180,6 +196,8 @@ RegionCache::touch(RegionId id, std::uint64_t bytes)
         linkFront(s);
         used_ += eff;
         ++hits_;
+        SIM_ASSERT(used_ <= capacity_, "used ", used_, " over capacity ",
+                   capacity_, " after hit on region ", id);
         return true;
     }
     evictFor(eff);
@@ -191,6 +209,16 @@ RegionCache::touch(RegionId id, std::uint64_t bytes)
     ++live_;
     used_ += eff;
     ++misses_;
+    // Occupancy accounting: every slab slot is either live or on the
+    // free list, and the index load factor stays below 1/2 (probe
+    // chains in findCell terminate only because of this).
+    SIM_ASSERT(live_ + free_.size() == slots_.size(),
+               "live ", live_, " + free ", free_.size(),
+               " != slab size ", slots_.size());
+    SIM_ASSERT(live_ * 2 <= cells_.size(), "index over half full: ",
+               live_, " live in ", cells_.size(), " cells");
+    SIM_ASSERT(used_ <= capacity_, "used ", used_, " over capacity ",
+               capacity_, " after miss on region ", id);
     return false;
 }
 

@@ -100,6 +100,15 @@ EventQueue::enqueue(Event *ev)
 void
 EventQueue::insertRing(Event *ev)
 {
+    // Every ring event must lie inside the near window: the bucket
+    // index is time-unique only over [windowBase_, windowBase_ +
+    // windowSpan), and nextPendingTick() relies on "first occupied
+    // bucket == global minimum". A violation here means a tier
+    // migration routed an event into the wrong generation.
+    SIM_ASSERT(ev->when_ >= windowBase_
+                   && ev->when_ - windowBase_ < windowSpan,
+               "tick ", ev->when_, " outside near window [", windowBase_,
+               ", ", windowBase_ + windowSpan, ")");
     peekValid_ = false;
     std::size_t idx = bucketOf(ev->when_);
     Bucket &b = ring_[idx];
@@ -277,6 +286,22 @@ EventQueue::nextSetBit(const std::uint64_t (&bits)[Words],
 void
 EventQueue::fireExtracted(Event *ev)
 {
+    // The determinism contract: extraction surfaces events in strictly
+    // increasing (tick, seq) order regardless of the tier (near ring,
+    // coarse band, far heap) each one migrated through.
+    SIM_ASSERT(ev->when_ >= curTick_, "event at tick ", ev->when_,
+               " fired with clock already at ", curTick_);
+#if SIM_INVARIANTS_ENABLED
+    SIM_ASSERT(!anyFired_ || ev->when_ > lastFiredWhen_
+                   || (ev->when_ == lastFiredWhen_
+                       && ev->seq_ > lastFiredSeq_),
+               "(tick ", ev->when_, ", seq ", ev->seq_,
+               ") fired after (tick ", lastFiredWhen_, ", seq ",
+               lastFiredSeq_, ")");
+    lastFiredWhen_ = ev->when_;
+    lastFiredSeq_ = ev->seq_;
+    anyFired_ = true;
+#endif
     curTick_ = ev->when_;
     advanceWindowTo(curTick_);
     ++executed_;

@@ -49,6 +49,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/assert.hh"
 #include "sim/event.hh"
 #include "sim/types.hh"
 
@@ -284,9 +285,9 @@ class EventQueue
      */
     struct OverflowEntry
     {
-        Tick when;
-        std::uint64_t seq;
-        Event *ev;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Event *ev = nullptr;
     };
 
     static constexpr std::size_t numWords = numBuckets / 64;
@@ -321,6 +322,18 @@ class EventQueue
     void *freeLists_[numClasses] = {};
     std::uint64_t poolRecycled_ = 0;
     std::uint64_t poolFresh_ = 0;
+
+#if SIM_INVARIANTS_ENABLED
+    /**
+     * Last fired (tick, seq) key: the determinism contract is that the
+     * fire order is strictly increasing lexicographically no matter
+     * which tier (ring / coarse band / far heap) an event migrated
+     * through. Debug/sanitizer builds re-verify this at every fire.
+     */
+    Tick lastFiredWhen_ = 0;
+    std::uint64_t lastFiredSeq_ = 0;
+    bool anyFired_ = false;
+#endif
 };
 
 /** Pooled wrapper firing a type-erased std::function (compat shim). */

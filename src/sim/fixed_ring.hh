@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sim/assert.hh"
 #include "sim/logging.hh"
 
 namespace tdm::sim {
@@ -52,6 +53,12 @@ class FixedRing
     {
         if (full())
             panic("FixedRing overflow (capacity ", buf_.size(), ")");
+        // head_ stays reduced modulo the capacity; a wild head turns
+        // wrap() into an out-of-bounds index.
+        SIM_ASSERT(head_ < buf_.size(), "head ", head_,
+                   " outside capacity ", buf_.size());
+        SIM_ASSERT(count_ < buf_.size(), "count ", count_,
+                   " at or over capacity ", buf_.size());
         buf_[wrap(head_ + count_)] = v;
         ++count_;
     }
@@ -70,6 +77,9 @@ class FixedRing
     {
         if (empty())
             panic("FixedRing underflow");
+        SIM_ASSERT(head_ < buf_.size() && count_ <= buf_.size(),
+                   "head ", head_, " / count ", count_,
+                   " inconsistent with capacity ", buf_.size());
         T v = buf_[head_];
         head_ = wrap(head_ + 1);
         --count_;

@@ -1,24 +1,46 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace tdm::sim {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+
+/**
+ * The verbosity is set once by a CLI and then read from every campaign
+ * worker thread; a plain global here is a data race (TSan-verified).
+ * Relaxed ordering suffices: level changes need no synchronization
+ * with the messages themselves.
+ */
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/**
+ * One emission lock so concurrent workers' messages interleave at
+ * line granularity, not character granularity — and so TSan builds of
+ * the campaign engine see a clean stream, not racing stream state.
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 bool
@@ -42,36 +64,47 @@ namespace detail {
 void
 panicImpl(const std::string &msg, const char *file, int line)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(emitMutex());
+        std::cerr << "panic: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const std::string &msg, const char *file, int line)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(emitMutex());
+        std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(emitMutex());
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info) {
+        std::lock_guard<std::mutex> lock(emitMutex());
         std::cerr << "info: " << msg << std::endl;
+    }
 }
 
 void
 debugImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::cerr << "debug: " << msg << std::endl;
 }
 

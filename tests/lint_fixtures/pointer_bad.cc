@@ -1,0 +1,12 @@
+// det_lint fixture: seeded pointer-ordering violation.
+// Expected finding: line 11 (ordering comparison on pointers).
+struct Node
+{
+    int value = 0;
+};
+
+bool
+firstAllocated(Node *a, Node *b)
+{
+    return a < b;
+}

@@ -1,0 +1,22 @@
+// det_lint fixture: deterministic comparisons — no findings.
+struct Node
+{
+    int value = 0;
+    int seq = 0;
+};
+
+// Equality on pointers is reproducible (identity, not order).
+bool
+sameNode(Node *a, Node *b)
+{
+    return a == b;
+}
+
+// Ordering on stable payload fields is the deterministic idiom.
+bool
+before(const Node &a, const Node &b)
+{
+    if (a.value != b.value)
+        return a.value < b.value;
+    return a.seq < b.seq;
+}

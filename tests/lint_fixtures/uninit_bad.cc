@@ -1,0 +1,14 @@
+// det_lint fixture: seeded uninit-pod violations.
+// Expected findings: line 7 (scalar member), line 13 (pointer member).
+#include <cstdint>
+
+struct WakeEvent
+{
+    std::uint64_t tick;
+};
+
+struct SampleRecord
+{
+    double value = 0.0;
+    const char *label;
+};

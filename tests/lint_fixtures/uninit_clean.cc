@@ -1,0 +1,28 @@
+// det_lint fixture: initialized event/record types — no findings.
+#include <cstdint>
+#include <string>
+
+struct WakeEvent
+{
+    std::uint64_t tick = 0;
+    bool armed = false;
+};
+
+struct CtorEvent
+{
+    std::uint32_t id;
+    explicit CtorEvent(std::uint32_t i) : id(i) {}
+};
+
+// Non-scalar members default-construct deterministically.
+struct LabelRecord
+{
+    std::string label;
+    std::uint32_t hits = 0;
+};
+
+// Types whose names do not look event/record-like are out of scope.
+struct ScratchBuffer
+{
+    int raw;
+};

@@ -1,0 +1,20 @@
+// det_lint fixture: seeded unordered-iteration violations.
+// Expected findings: line 12 (range-for), line 16 (iterator walk).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+total(const std::unordered_map<std::string, int> &scores)
+{
+    std::unordered_set<int> seen;
+    int sum = 0;
+    for (const auto &kv : scores)
+        sum += kv.second;
+    // Explicit iterator walk over an unordered container.
+    std::unordered_map<std::string, int> local = scores;
+    for (auto it = local.begin(); it != local.end(); ++it)
+        sum += it->second;
+    (void)seen;
+    return sum;
+}

@@ -1,0 +1,22 @@
+// det_lint fixture: ordered / deterministic iteration — no findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int
+total(const std::map<std::string, int> &scores,
+      const std::vector<int> &values)
+{
+    int sum = 0;
+    // std::map iterates in key order: deterministic.
+    for (const auto &kv : scores)
+        sum += kv.second;
+    for (int v : values)
+        sum += v;
+    // An unordered map used for lookup only (no iteration) is fine.
+    std::unordered_map<std::string, int> index;
+    index.emplace("a", 1);
+    sum += index.count("a") ? index.at("a") : 0;
+    return sum;
+}

@@ -1,0 +1,12 @@
+// det_lint fixture: seeded wall-clock violations.
+// Expected findings: line 9 (steady_clock), line 10 (rand()).
+#include <chrono>
+#include <cstdlib>
+
+double
+jitteredNow()
+{
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    double jitter = static_cast<double>(rand()) / RAND_MAX;
+    return std::chrono::duration<double>(t).count() + jitter;
+}

@@ -1,0 +1,13 @@
+// det_lint fixture: seeded, platform-stable randomness — no findings.
+#include <cstdint>
+
+// Stand-in for sim::Rng: the deterministic SplitMix64 idiom.
+std::uint64_t
+nextValue(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Concurrent campaign-engine stress tests — the TSan targets.
+ *
+ * The campaign engine's concurrency contract: one engine may serve
+ * many client threads at once, each run() spawning its own worker
+ * pool, all of them hammering the shared ResultCache and GraphCache;
+ * results must be byte-identical to a quiet sequential run, with one
+ * simulation ever per distinct fingerprint once the cache has seen it.
+ * CI builds this test with TDM_SANITIZE=thread, so every lock
+ * elision, unsynchronized counter, or racing log write in the engine
+ * / cache / logging stack is a loud failure here, not a rare
+ * corruption in a long campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+#include "driver/graph_cache.hh"
+#include "sim/logging.hh"
+
+using namespace tdm;
+using namespace tdm::driver;
+
+namespace {
+
+Experiment
+point(core::RuntimeType rt_, const std::string &sched, unsigned cores)
+{
+    Experiment e;
+    e.workload = "cholesky";
+    e.params.granularity = 262144; // 8x8 tiles, 120 tasks: fast
+    e.runtime = rt_;
+    e.config.scheduler = sched;
+    e.config.numCores = cores;
+    return e;
+}
+
+/** Six distinct specs plus two in-list duplicates. */
+std::vector<SweepPoint>
+stressPoints()
+{
+    return {
+        {"tdm/fifo", point(core::RuntimeType::Tdm, "fifo", 8)},
+        {"tdm/age", point(core::RuntimeType::Tdm, "age", 8)},
+        {"tdm/locality", point(core::RuntimeType::Tdm, "locality", 8)},
+        {"sw/fifo", point(core::RuntimeType::Software, "fifo", 8)},
+        {"sw/lifo", point(core::RuntimeType::Software, "lifo", 8)},
+        {"tdm/fifo16", point(core::RuntimeType::Tdm, "fifo", 16)},
+        {"dup/tdm-fifo", point(core::RuntimeType::Tdm, "fifo", 8)},
+        {"dup/sw-fifo", point(core::RuntimeType::Software, "fifo", 8)},
+    };
+}
+
+} // namespace
+
+TEST(CampaignStress, ConcurrentClientsHammerOneEngine)
+{
+    // 6 client threads x 4 engine workers each, all against one
+    // engine: 24 simulating threads sharing the result cache and the
+    // build-once graph store, with progress logging on so the logging
+    // stack is exercised concurrently too.
+    constexpr unsigned kClients = 6;
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    opts.progress = true; // worker threads write through sim::inform
+    campaign::CampaignEngine engine(opts);
+
+    const auto points = stressPoints();
+
+    std::vector<campaign::CampaignResult> results(kClients);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (unsigned c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                results[c] = engine.run("stress-" + std::to_string(c),
+                                        points);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+
+    // Every client sees every point complete...
+    for (const auto &rep : results) {
+        ASSERT_EQ(rep.jobs.size(), points.size());
+        EXPECT_TRUE(rep.allOk()) << rep.name;
+    }
+    // ...and identical specs produce identical summaries no matter
+    // which client or worker simulated them (the determinism
+    // contract under maximal contention).
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &first = results[0].jobs[i];
+        for (unsigned c = 1; c < kClients; ++c) {
+            const auto &other = results[c].jobs[i];
+            EXPECT_EQ(first.digest, other.digest) << first.label;
+            EXPECT_EQ(first.summary.makespan, other.summary.makespan)
+                << first.label;
+        }
+    }
+
+    // One simulation ever per distinct fingerprint: with 6 distinct
+    // specs, at most one concurrent first-wave simulation per client
+    // (clients racing before the cache is warm may each simulate), so
+    // the total simulated across clients is bounded by clients x
+    // distinct, and the cache ends up with exactly the distinct set.
+    EXPECT_EQ(engine.cache().size(), 6u);
+    std::uint64_t simulated = 0;
+    for (const auto &rep : results)
+        simulated += rep.simulated;
+    EXPECT_GE(simulated, 6u);
+    EXPECT_LE(simulated, kClients * 6u);
+
+    // The graph store built each distinct (workload, params) graph a
+    // bounded number of times (racing duplicate builds are wasted
+    // work, never extra instances): 8-core and 16-core points share
+    // one 120-task graph.
+    EXPECT_EQ(engine.graphCache().size(), 1u);
+
+    // A second concurrent wave must be pure cache hits.
+    std::vector<campaign::CampaignResult> rerun(kClients);
+    {
+        std::vector<std::thread> clients;
+        for (unsigned c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                rerun[c] = engine.run("rerun-" + std::to_string(c),
+                                      points);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    for (const auto &rep : rerun) {
+        EXPECT_EQ(rep.simulated, 0u) << rep.name;
+        EXPECT_EQ(rep.cacheHits, points.size()) << rep.name;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(rep.jobs[i].summary.makespan,
+                      results[0].jobs[i].summary.makespan)
+                << rep.jobs[i].label;
+        }
+    }
+}
+
+TEST(CampaignStress, ResultCacheConcurrentLookupStore)
+{
+    // Raw cache hammer: 8 threads x 4000 ops over 32 keys, mixing
+    // lookups and stores of the same keys. TSan checks the locking;
+    // the arithmetic checks no operation was lost or double-counted.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kOps = 4000;
+    constexpr unsigned kKeys = 32;
+
+    campaign::ResultCache cache;
+    std::atomic<std::uint64_t> lookups{0};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned i = 0; i < kOps; ++i) {
+                const std::string key =
+                    "key-" + std::to_string((t * 7 + i) % kKeys);
+                if (i % 3 == 0) {
+                    RunSummary s;
+                    s.completed = true;
+                    s.makespan = (t * 7 + i) % kKeys;
+                    cache.store(key, s);
+                } else {
+                    auto hit = cache.lookup(key);
+                    if (hit) {
+                        EXPECT_TRUE(hit->completed);
+                        EXPECT_LT(hit->makespan, kKeys);
+                    }
+                    lookups.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_LE(cache.size(), kKeys);
+    EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+}
+
+TEST(CampaignStress, GraphCacheConcurrentObtainSharesOneInstance)
+{
+    // 8 threads obtain the same 3 distinct graphs over and over; all
+    // consumers of a key must receive pointer-identical instances
+    // (first publisher wins), and builds() must count distinct keys,
+    // not racing duplicate builds.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRounds = 25;
+
+    GraphCache cache;
+    std::vector<Experiment> exps = {
+        point(core::RuntimeType::Tdm, "fifo", 8),
+        point(core::RuntimeType::Software, "fifo", 8),
+        point(core::RuntimeType::Tdm, "fifo", 8),
+    };
+    exps[1].params.granularity = 1048576; // distinct graph
+    exps[2].params.seed = 7;              // distinct graph
+
+    std::vector<std::vector<const rt::TaskGraph *>> seen(
+        kThreads, std::vector<const rt::TaskGraph *>(exps.size(),
+                                                     nullptr));
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned r = 0; r < kRounds; ++r) {
+                for (std::size_t e = 0; e < exps.size(); ++e) {
+                    auto g = cache.obtain(exps[e]);
+                    ASSERT_NE(g, nullptr);
+                    if (!seen[t][e])
+                        seen[t][e] = g.get();
+                    else
+                        EXPECT_EQ(seen[t][e], g.get());
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    for (std::size_t e = 0; e < exps.size(); ++e)
+        for (unsigned t = 1; t < kThreads; ++t)
+            EXPECT_EQ(seen[0][e], seen[t][e]);
+    EXPECT_EQ(cache.size(), exps.size());
+    EXPECT_EQ(cache.builds(), exps.size());
+}
+
+TEST(CampaignStress, LogLevelTogglesWhileWorkersLog)
+{
+    // The global log level is set by CLIs while campaign workers are
+    // reporting progress; it must be safely readable mid-write (it
+    // used to be a plain global — a TSan-visible race).
+    const sim::LogLevel before = sim::logLevel();
+    std::atomic<bool> stop{false};
+
+    std::thread toggler([&] {
+        for (int i = 0; i < 2000; ++i)
+            sim::setLogLevel(i % 2 ? sim::LogLevel::Info
+                                   : sim::LogLevel::Warn);
+        stop.store(true);
+    });
+    std::vector<std::thread> loggers;
+    for (int t = 0; t < 4; ++t) {
+        loggers.emplace_back([&] {
+            while (!stop.load())
+                sim::inform("stress log line");
+        });
+    }
+    toggler.join();
+    for (std::thread &t : loggers)
+        t.join();
+    sim::setLogLevel(before);
+    SUCCEED();
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the spec/campaign text parsers.
+ *
+ * The *.campaign parser and the spec key/value layer take arbitrary
+ * user text; their error contract is "throw SpecError with context or
+ * succeed" — never crash, never leak, never throw anything else. This
+ * test feeds them a corpus of handcrafted malformed inputs plus a few
+ * thousand deterministic mutations (byte flips, truncations, splices)
+ * of a valid campaign file. CI runs it under ASan/UBSan, which turns
+ * any parser over-read, bad index, or leak-on-throw into a failure;
+ * in plain builds it still pins the exception contract.
+ *
+ * The mutation stream uses a fixed-seed xorshift generator, NOT
+ * rand(): the corpus must be identical on every run and platform so a
+ * failure here reproduces everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/spec/campaign_file.hh"
+#include "driver/spec/spec.hh"
+
+using namespace tdm::driver;
+
+namespace {
+
+/** Deterministic xorshift64* stream; fixed seed, same corpus forever. */
+class FuzzRng
+{
+  public:
+    explicit FuzzRng(std::uint64_t seed) : state_(seed | 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    std::size_t pick(std::size_t n) { return next() % n; }
+
+  private:
+    std::uint64_t state_;
+};
+
+const char kValidCampaign[] =
+    "# fuzz seed corpus\n"
+    "[meta]\n"
+    "name = fuzz_seed\n"
+    "description = seed file the mutator corrupts\n"
+    "label = {workload}/c{machine.cores}\n"
+    "\n"
+    "set runtime = tdm\n"
+    "set scheduler = age\n"
+    "axis machine.cores = 8, 16\n"
+    "zip workload, workload.granularity = cholesky, 262144 | qr, 128\n"
+    "metrics = dmu.*, makespan\n";
+
+/**
+ * The contract under test: parse either succeeds or throws SpecError.
+ * Successful parses additionally expand small grids so value
+ * validation runs too. Returns true when the input parsed.
+ */
+bool
+parseMustNotCrash(const std::string &text)
+{
+    std::istringstream in(text);
+    try {
+        spec::FileCampaign fc = spec::parseCampaignFile(in, "fuzz");
+        if (fc.grid.size() <= 64)
+            (void)fc.toCampaign();
+        return true;
+    } catch (const spec::SpecError &) {
+        return false; // rejected cleanly: fine
+    }
+    // Anything else escapes and fails the test.
+}
+
+} // namespace
+
+TEST(SpecFuzz, HandcraftedMalformedCampaignFiles)
+{
+    const std::vector<std::string> nasty = {
+        "",
+        "\n\n\n",
+        "[meta\nname = x\n",
+        "[meta]\n[meta]\nname = x\n",
+        "[unknown-section]\nset runtime = tdm\n",
+        "name = before-any-section\n",
+        "set\n",
+        "set =\n",
+        "set = tdm\n",
+        "set runtime\n",
+        "set runtime = \n",
+        "set runtime tdm\n",
+        "set no.such.key = 5\n",
+        "set runtime = no-such-runtime\n",
+        "set machine.cores = -4\n",
+        "set machine.cores = 1e999\n",
+        "set machine.cores = 0x10\n",
+        "axis = 1, 2\n",
+        "axis machine.cores =\n",
+        "axis machine.cores = ,\n",
+        "axis machine.cores = 8,, 16\n",
+        "zip workload = cholesky, qr\n", // arity 1 row of 2
+        "zip a, b = 1 | 2, 3, 4\n",
+        "zip workload, workload.granularity = cholesky\n",
+        "metrics =\n",
+        "metrics = [[[\n",
+        "label = {unclosed\n",
+        "set runtime = tdm \\", // continuation into EOF
+        "set runtime = \\\n\\\n\\\n",
+        std::string("set runtime = tdm\n") + std::string(1 << 16, 'x'),
+        std::string(1 << 16, '\\'),
+        std::string("axis machine.cores = ") +
+            std::string(4096, ',') + "\n",
+        std::string("set runtime = t\0dm\n", 19),
+        "\xff\xfe set runtime = tdm\n",
+        "set runtime = tdm\r\nset scheduler = age\r\n",
+        "# comment only\n# and more\n",
+    };
+    for (std::size_t i = 0; i < nasty.size(); ++i) {
+        SCOPED_TRACE("nasty[" + std::to_string(i) + "]");
+        EXPECT_NO_FATAL_FAILURE(parseMustNotCrash(nasty[i]));
+    }
+    // And the seed corpus itself must be valid, or the mutation runs
+    // below are fuzzing garbage against garbage.
+    ASSERT_TRUE(parseMustNotCrash(kValidCampaign));
+}
+
+TEST(SpecFuzz, MutatedCampaignFiles)
+{
+    const std::string seedText(kValidCampaign);
+    FuzzRng rng(0x7dab5eed);
+    const char garbage[] = "=,|\\{}[]#\n\t\0\x80\xff ";
+
+    int parsedOk = 0;
+    for (int round = 0; round < 3000; ++round) {
+        std::string text = seedText;
+        const int edits = 1 + static_cast<int>(rng.pick(4));
+        for (int e = 0; e < edits; ++e) {
+            switch (rng.pick(4)) {
+            case 0: // flip one byte to a syntax-relevant character
+                text[rng.pick(text.size())] =
+                    garbage[rng.pick(sizeof(garbage) - 1)];
+                break;
+            case 1: // truncate
+                text.resize(rng.pick(text.size()) + 1);
+                break;
+            case 2: // splice a random slice of the file into itself
+            {
+                const std::size_t from = rng.pick(text.size());
+                const std::size_t len =
+                    rng.pick(text.size() - from) + 1;
+                const std::string slice = text.substr(from, len);
+                text.insert(rng.pick(text.size()), slice);
+                break;
+            }
+            default: // delete a slice
+            {
+                const std::size_t from = rng.pick(text.size());
+                text.erase(from, rng.pick(text.size() - from) + 1);
+                if (text.empty())
+                    text.push_back('\n');
+                break;
+            }
+            }
+        }
+        if (parseMustNotCrash(text))
+            ++parsedOk;
+    }
+    // Sanity on the corpus shape: mutations must produce both
+    // accepted and rejected inputs, or the fuzz is one-sided.
+    EXPECT_GT(parsedOk, 0);
+    EXPECT_LT(parsedOk, 3000);
+}
+
+TEST(SpecFuzz, MalformedSpecKeyValues)
+{
+    // applyKey is the other text doorway: every key/value from CLI
+    // --set flags and campaign lines lands here. Same contract:
+    // SpecError or success.
+    FuzzRng rng(0xc0ffee);
+    std::vector<std::string> keys = {"runtime", "scheduler",
+                                     "machine.cores", "workload",
+                                     "workload.granularity",
+                                     "dmu.tat_entries"};
+    const std::vector<std::string> values = {
+        "", " ", "0", "-1", "999999999999999999999", "1.5", "nan",
+        "inf", "-inf", "1e309", "true", "false", "yes", "tdm", "fifo",
+        "cholesky", "no-such-thing", "0x41", "8 ", " 8", "8\t",
+        std::string(65536, '9'), std::string("a\0b", 3), "\xff\xfe",
+        "{label}", "*", "..", "=",
+    };
+    // Mutated keys too: near-misses drive the suggestion machinery.
+    for (int i = 0; i < 200; ++i) {
+        std::string k = keys[rng.pick(keys.size())];
+        k[rng.pick(k.size())] =
+            static_cast<char>('a' + rng.pick(26));
+        keys.push_back(k);
+    }
+
+    int applied = 0;
+    for (const auto &key : keys) {
+        for (const auto &value : values) {
+            Experiment exp;
+            try {
+                spec::applyKey(exp, key, value);
+                ++applied;
+            } catch (const spec::SpecError &) {
+                // rejected cleanly: fine
+            }
+        }
+    }
+    EXPECT_GT(applied, 0); // some (key, value) pairs are valid
+}

@@ -1,0 +1,507 @@
+#!/usr/bin/env python3
+"""Determinism linter for the tdm simulator sources.
+
+The repo's load-bearing contract is bit-for-bit golden determinism:
+12 pinned makespans plus pinned trace digests must reproduce on every
+platform and every run. This linter flags the source patterns that have
+historically broken (or can silently break) that contract:
+
+  unordered-iteration  Iteration over std::unordered_map/unordered_set.
+                       Hash-table iteration order is implementation-
+                       defined; when such a loop feeds event scheduling,
+                       metric export, or fingerprinting, makespans and
+                       exports diverge across platforms/libstdc++
+                       versions.
+  pointer-ordering     Ordering comparisons (<, >, <=, >=) between
+                       pointer values. Allocation addresses vary run to
+                       run, so any schedule or sort keyed on them is
+                       non-reproducible.
+  uninit-pod           Scalar/pointer members without an initializer in
+                       event- and record-like types (struct/class names
+                       ending in Event, Record, or Entry). Uninitialized
+                       padding or fields in these types leak
+                       indeterminate values into event ordering, trace
+                       digests, and hashed keys.
+  wall-clock           Wall-clock or libc randomness (steady_clock,
+                       system_clock, rand(), random_device, ...) outside
+                       src/sim/rng: simulated behavior must derive only
+                       from the seeded SplitMix64 RNG.
+
+The matcher is lexical (comment/string-stripped token scanning seeded
+by per-file declaration harvesting), driven by the file set in
+compile_commands.json when available, so it needs no libclang at the
+price of being conservative: anything flagged that is genuinely benign
+is suppressed in tools/det_lint_suppressions.txt with a one-line
+justification (the CI gate requires zero unsuppressed findings AND a
+justification on every suppression).
+
+Usage:
+  tools/det_lint.py [--src DIR] [--compile-commands BUILD/compile_commands.json]
+                    [--suppressions FILE] [--list-rules]
+Exit status: 0 clean, 1 unsuppressed findings or bad suppressions.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "unordered-iteration":
+        "iteration over an unordered container (order is "
+        "implementation-defined and can leak into scheduling, metric "
+        "export, or fingerprints)",
+    "pointer-ordering":
+        "ordering comparison on pointer values (allocation addresses "
+        "are not reproducible across runs)",
+    "uninit-pod":
+        "scalar member without initializer in an event/record type "
+        "(indeterminate values leak into ordering, digests, or keys)",
+    "wall-clock":
+        "wall-clock or libc randomness outside src/sim/rng (simulated "
+        "behavior must derive from the seeded RNG only)",
+}
+
+# Files whose whole purpose is host-time / host-randomness handling.
+WALL_CLOCK_EXEMPT = ("src/sim/rng.hh", "src/sim/rng.cc")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message, source):
+        self.path = path          # repo-relative, forward slashes
+        self.line = line          # 1-based
+        self.rule = rule
+        self.message = message
+        self.source = source.strip()
+
+    def render(self):
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+                f"    {self.source}")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving layout
+    (every line keeps its length, so line/column numbers survive)."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif c in ('"', "'"):
+                mode = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == mode:
+                mode = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def source_line(raw_lines, lineno):
+    if 1 <= lineno <= len(raw_lines):
+        return raw_lines[lineno - 1]
+    return ""
+
+
+def match_angle_brackets(text, start):
+    """Given pos of '<', return pos just past the matching '>'."""
+    depth = 0
+    i = start
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1  # malformed / not a template argument list
+        i += 1
+    return -1
+
+
+IDENT = r"[A-Za-z_]\w*"
+
+
+def harvest_unordered_names(text):
+    """Names declared with an unordered_{map,set} type in this file."""
+    names = set()
+    for m in re.finditer(r"\bunordered_(?:map|set)\s*<", text):
+        end = match_angle_brackets(text, m.end() - 1)
+        if end < 0:
+            continue
+        rest = text[end:end + 200]
+        dm = re.match(r"\s*&?\s*(" + IDENT + r")\s*[;={,)]", rest)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def harvest_pointer_names(text):
+    """Names declared as raw pointers in this file (heuristic)."""
+    names = set()
+    # 'Type *name' / 'Type* name' followed by a declarator terminator.
+    # The type token must look like a type (starts upper-case, or is a
+    # builtin/std-qualified name) to keep multiplications out.
+    decl = re.compile(
+        r"\b((?:const\s+)?(?:[A-Z]\w*|std::\w+|void|char|int|unsigned|"
+        r"bool|float|double|auto)(?:::\w+|<[^<>;]*>)?)\s*\*\s*"
+        r"(?:const\s+)?(" + IDENT + r")\s*(?:[;,)=]|\{)")
+    for m in decl.finditer(text):
+        names.add(m.group(2))
+    return names
+
+
+def check_unordered_iteration(path, text, raw_lines, findings):
+    names = harvest_unordered_names(text)
+    # Range-for directly over an unordered temporary/member/local:
+    # for (... : expr) where expr's last identifier is a known
+    # unordered name, or expr itself calls .begin() on one.
+    for m in re.finditer(r"\bfor\s*\(([^;()]*?):([^()]*?)\)", text):
+        expr = m.group(2).strip()
+        tail = re.search(r"(" + IDENT + r")\s*$", expr)
+        if tail and tail.group(1) in names:
+            ln = line_of(text, m.start())
+            findings.append(Finding(
+                path, ln, "unordered-iteration",
+                f"range-for over unordered container '{tail.group(1)}'",
+                source_line(raw_lines, ln)))
+    # Explicit iterator walks: x.begin() on a known unordered name.
+    for name in names:
+        for m in re.finditer(re.escape(name) + r"\s*\.\s*(?:c?begin)\s*\(",
+                             text):
+            ln = line_of(text, m.start())
+            findings.append(Finding(
+                path, ln, "unordered-iteration",
+                f"iterator walk over unordered container '{name}'",
+                source_line(raw_lines, ln)))
+
+
+def check_pointer_ordering(path, text, raw_lines, findings):
+    ptrs = harvest_pointer_names(text)
+    if not ptrs:
+        return
+    cmp_re = re.compile(
+        r"\b(" + IDENT + r")\s*(<=|>=|<|>)\s*(" + IDENT + r")\b")
+    for m in cmp_re.finditer(text):
+        a, op, b = m.group(1), m.group(2), m.group(3)
+        if a in ptrs and b in ptrs:
+            # 'a < b' where both are known pointer declarations. Rule
+            # out template-argument-lists: 'Foo<Bar>' never has both
+            # sides harvested as pointers in practice.
+            ln = line_of(text, m.start())
+            findings.append(Finding(
+                path, ln, "pointer-ordering",
+                f"ordering comparison '{a} {op} {b}' on pointer values",
+                source_line(raw_lines, ln)))
+
+
+SCALAR_TYPE = re.compile(
+    r"^(?:mutable\s+)?(?:const\s+)?(?:std::)?(?:"
+    r"u?int(?:8|16|32|64)_t|size_t|ptrdiff_t|uintptr_t|"
+    r"int|unsigned(?:\s+(?:int|long|char|short))?|long(?:\s+long)?|"
+    r"short|char|bool|float|double|Tick"
+    r")\s+(" + IDENT + r")\s*;\s*$")
+
+POINTER_MEMBER = re.compile(
+    r"^(?:mutable\s+)?(?:const\s+)?" + r"[\w:<>,\s]+?\*\s*(" + IDENT
+    + r")\s*;\s*$")
+
+
+def find_struct_bodies(text, name_pattern):
+    """Yield (name, body_start, body_end) for struct/class definitions
+    whose name matches name_pattern."""
+    for m in re.finditer(
+            r"\b(?:struct|class)\s+(" + IDENT + r")\s*(?:final\s*)?"
+            r"(?::[^({]*?)?\{", text):
+        name = m.group(1)
+        if not name_pattern.search(name):
+            continue
+        # Find the matching closing brace.
+        depth = 0
+        i = m.end() - 1
+        while i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        yield name, m.end(), i
+
+
+def ctor_initialized_members(body):
+    """Member names appearing in any constructor member-init list."""
+    inited = set()
+    for m in re.finditer(
+            r"\)\s*(?:noexcept\s*)?:\s*((?:" + IDENT
+            + r"\s*[({][^)}]*[)}]\s*,?\s*)+)", body):
+        for im in re.finditer(r"(" + IDENT + r")\s*[({]", m.group(1)):
+            inited.add(im.group(1))
+    return inited
+
+
+def check_uninit_pod(path, text, raw_lines, findings):
+    pat = re.compile(r"(?:Event|Record|Entry)$")
+    for name, b0, b1 in find_struct_bodies(text, pat):
+        body = text[b0:b1]
+        inited = ctor_initialized_members(body)
+        depth = 0
+        for lm in re.finditer(r"[^\n]*\n?", body):
+            stmt = lm.group(0)
+            opens = stmt.count("{") - stmt.count("}")
+            if depth == 0:
+                s = stmt.strip()
+                member = None
+                sm = SCALAR_TYPE.match(s)
+                if sm:
+                    member = sm.group(1)
+                else:
+                    pm = POINTER_MEMBER.match(s)
+                    if pm and "(" not in s:
+                        member = pm.group(1)
+                if (member and member not in inited
+                        and "static" not in s and "constexpr" not in s
+                        and "using" not in s):
+                    ln = line_of(text, b0 + lm.start())
+                    findings.append(Finding(
+                        path, ln, "uninit-pod",
+                        f"member '{member}' of {name} has no "
+                        "initializer",
+                        source_line(raw_lines, ln)))
+            depth += opens
+            if depth < 0:
+                depth = 0
+
+
+WALL_CLOCK_TOKENS = [
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+]
+
+
+def check_wall_clock(path, text, raw_lines, findings):
+    if path in WALL_CLOCK_EXEMPT:
+        return
+    for regex, label in WALL_CLOCK_TOKENS:
+        for m in regex.finditer(text):
+            ln = line_of(text, m.start())
+            findings.append(Finding(
+                path, ln, "wall-clock",
+                f"{label} outside src/sim/rng",
+                source_line(raw_lines, ln)))
+
+
+CHECKS = [
+    check_unordered_iteration,
+    check_pointer_ordering,
+    check_uninit_pod,
+    check_wall_clock,
+]
+
+
+def gather_files(src_dir, compile_commands):
+    """The .cc set from compile_commands (restricted to src_dir) plus
+    every header under src_dir; falls back to a plain tree walk."""
+    src_dir = os.path.abspath(src_dir)
+    files = set()
+    if compile_commands and os.path.exists(compile_commands):
+        try:
+            with open(compile_commands) as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(
+                        os.path.join(entry["directory"], entry["file"]))
+                    if p.startswith(src_dir + os.sep):
+                        files.add(p)
+        except (json.JSONDecodeError, OSError):
+            pass  # unreadable database: fall back to the tree walk
+    if not files:
+        for root, _dirs, names in os.walk(src_dir):
+            for n in names:
+                if n.endswith(".cc"):
+                    files.add(os.path.join(root, n))
+    for root, _dirs, names in os.walk(src_dir):
+        for n in names:
+            if n.endswith(".hh"):
+                files.add(os.path.join(root, n))
+    return sorted(files)
+
+
+class Suppression:
+    def __init__(self, path_glob, rule, needle, justification, lineno):
+        self.path_glob = path_glob
+        self.rule = rule
+        self.needle = needle
+        self.justification = justification
+        self.lineno = lineno
+        self.used = False
+
+    def matches(self, finding):
+        if self.rule != "*" and self.rule != finding.rule:
+            return False
+        if not fnmatch.fnmatch(finding.path, self.path_glob):
+            return False
+        return self.needle in finding.source
+
+
+def load_suppressions(path, errors):
+    sups = []
+    if not path or not os.path.exists(path):
+        return sups
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "#" not in line:
+                errors.append(
+                    f"{path}:{lineno}: suppression without a "
+                    f"justification ('# why' is required): {line}")
+                continue
+            spec, justification = line.split("#", 1)
+            justification = justification.strip()
+            if not justification:
+                errors.append(
+                    f"{path}:{lineno}: empty justification: {line}")
+                continue
+            parts = spec.strip().split(":", 2)
+            if len(parts) != 3:
+                errors.append(
+                    f"{path}:{lineno}: expected "
+                    f"'path:rule:needle # why': {line}")
+                continue
+            path_glob, rule, needle = (p.strip() for p in parts)
+            if rule != "*" and rule not in RULES:
+                errors.append(
+                    f"{path}:{lineno}: unknown rule '{rule}' "
+                    f"(known: {', '.join(sorted(RULES))})")
+                continue
+            sups.append(Suppression(path_glob, rule, needle,
+                                    justification, lineno))
+    return sups
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="determinism linter (see module docstring)")
+    ap.add_argument("--src", default="src",
+                    help="source tree to lint (default: src)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json giving the exact TU set "
+                         "(default: probe build*/compile_commands.json)")
+    ap.add_argument("--suppressions",
+                    default="tools/det_lint_suppressions.txt",
+                    help="annotated suppression file")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}: {RULES[rule]}")
+        return 0
+
+    cc = args.compile_commands
+    if cc is None:
+        for cand in ("build/compile_commands.json",
+                     "build-asan/compile_commands.json",
+                     "build-release/compile_commands.json"):
+            if os.path.exists(cand):
+                cc = cand
+                break
+
+    errors = []
+    sups = load_suppressions(args.suppressions, errors)
+
+    findings = []
+    cwd = os.getcwd()
+    for path in gather_files(args.src, cc):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        rel = os.path.relpath(path, cwd).replace(os.sep, "/")
+        text = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for check in CHECKS:
+            check(rel, text, raw_lines, findings)
+
+    unsuppressed = []
+    for finding in findings:
+        hit = next((s for s in sups if s.matches(finding)), None)
+        if hit:
+            hit.used = True
+        else:
+            unsuppressed.append(finding)
+
+    for f in unsuppressed:
+        print(f.render())
+    for s in sups:
+        if not s.used:
+            print(f"warning: unused suppression "
+                  f"{args.suppressions}:{s.lineno}: "
+                  f"{s.path_glob}:{s.rule}:{s.needle}", file=sys.stderr)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+
+    total = len(findings)
+    if unsuppressed or errors:
+        print(f"\ndet_lint: {len(unsuppressed)} unsuppressed finding(s) "
+              f"({total} total), {len(errors)} suppression error(s)")
+        return 1
+    print(f"det_lint: clean ({total} finding(s), all suppressed with "
+          f"justification)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Tests for tools/det_lint.py.
+
+Runs the linter over the fixture tree in tests/lint_fixtures — one
+seeded violation per rule plus clean counterparts — and asserts the
+exact (file, line, rule) findings, the suppression machinery, and the
+exit statuses. Wired into ctest as test_det_lint.
+"""
+
+import contextlib
+import io
+import os
+import re
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import det_lint  # noqa: E402
+
+FIXTURES = os.path.join("tests", "lint_fixtures")
+
+
+def run_lint(*argv):
+    """Run det_lint.main from the repo root; return (rc, stdout, stderr)."""
+    out, err = io.StringIO(), io.StringIO()
+    cwd = os.getcwd()
+    os.chdir(REPO)
+    try:
+        with contextlib.redirect_stdout(out), \
+             contextlib.redirect_stderr(err):
+            rc = det_lint.main(list(argv))
+    finally:
+        os.chdir(cwd)
+    return rc, out.getvalue(), err.getvalue()
+
+
+def findings_of(stdout):
+    """Parse 'path:line: [rule]' headers into (path, line, rule)."""
+    hits = []
+    for m in re.finditer(r"^(\S+?):(\d+): \[([\w-]+)\]", stdout,
+                         re.MULTILINE):
+        hits.append((m.group(1), int(m.group(2)), m.group(3)))
+    return sorted(hits)
+
+
+class FixtureFindings(unittest.TestCase):
+    """Each rule fires exactly at its seeded site and nowhere else."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.rc, cls.out, cls.err = run_lint(
+            "--src", FIXTURES, "--suppressions", os.devnull,
+            "--compile-commands", os.devnull)
+        cls.hits = findings_of(cls.out)
+
+    def expect(self, filename, line, rule):
+        path = f"{FIXTURES}/{filename}"
+        self.assertIn((path, line, rule), self.hits,
+                      f"missing finding; got: {self.hits}")
+
+    def test_exit_status_dirty(self):
+        self.assertEqual(self.rc, 1)
+
+    def test_unordered_iteration(self):
+        self.expect("unordered_bad.cc", 12, "unordered-iteration")
+        self.expect("unordered_bad.cc", 16, "unordered-iteration")
+
+    def test_pointer_ordering(self):
+        self.expect("pointer_bad.cc", 11, "pointer-ordering")
+
+    def test_uninit_pod(self):
+        self.expect("uninit_bad.cc", 7, "uninit-pod")
+        self.expect("uninit_bad.cc", 13, "uninit-pod")
+
+    def test_wall_clock(self):
+        self.expect("wallclock_bad.cc", 9, "wall-clock")
+        self.expect("wallclock_bad.cc", 10, "wall-clock")
+
+    def test_exact_finding_set(self):
+        """No findings beyond the seeded ones — in particular the
+        clean counterpart files produce nothing."""
+        expected = sorted([
+            (f"{FIXTURES}/unordered_bad.cc", 12, "unordered-iteration"),
+            (f"{FIXTURES}/unordered_bad.cc", 16, "unordered-iteration"),
+            (f"{FIXTURES}/pointer_bad.cc", 11, "pointer-ordering"),
+            (f"{FIXTURES}/uninit_bad.cc", 7, "uninit-pod"),
+            (f"{FIXTURES}/uninit_bad.cc", 13, "uninit-pod"),
+            (f"{FIXTURES}/wallclock_bad.cc", 9, "wall-clock"),
+            (f"{FIXTURES}/wallclock_bad.cc", 10, "wall-clock"),
+        ])
+        self.assertEqual(self.hits, expected)
+
+
+class SuppressionMachinery(unittest.TestCase):
+    def lint_with_suppressions(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".txt", delete=False) as f:
+            f.write(text)
+            path = f.name
+        try:
+            return run_lint("--src", FIXTURES, "--suppressions", path,
+                            "--compile-commands", os.devnull)
+        finally:
+            os.unlink(path)
+
+    def test_full_suppression_is_clean(self):
+        rc, out, _err = self.lint_with_suppressions(
+            "tests/lint_fixtures/*:*:  # fixtures seed violations on"
+            " purpose\n")
+        self.assertEqual(rc, 0)
+        self.assertIn("all suppressed", out)
+
+    def test_suppression_without_justification_fails(self):
+        rc, _out, err = self.lint_with_suppressions(
+            "tests/lint_fixtures/*:*:\n")
+        self.assertEqual(rc, 1)
+        self.assertIn("justification", err)
+
+    def test_unknown_rule_fails(self):
+        rc, _out, err = self.lint_with_suppressions(
+            "tests/lint_fixtures/*:no-such-rule:x # because\n")
+        self.assertEqual(rc, 1)
+        self.assertIn("unknown rule", err)
+
+    def test_partial_suppression_leaves_the_rest(self):
+        rc, out, _err = self.lint_with_suppressions(
+            "tests/lint_fixtures/*:wall-clock: # seeded on purpose\n")
+        self.assertEqual(rc, 1)
+        hits = findings_of(out)
+        self.assertTrue(all(rule != "wall-clock"
+                            for _p, _l, rule in hits), hits)
+        self.assertTrue(any(rule == "pointer-ordering"
+                            for _p, _l, rule in hits), hits)
+
+    def test_unused_suppression_warns(self):
+        rc, _out, err = self.lint_with_suppressions(
+            "tests/lint_fixtures/*:*: # catch-all\n"
+            "no/such/file.cc:wall-clock:zzz # never matches\n")
+        self.assertEqual(rc, 0)
+        self.assertIn("unused suppression", err)
+
+
+class RepoGate(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        """The real gate: src/ linted with the checked-in suppression
+        file must be clean — exactly what CI enforces."""
+        rc, out, err = run_lint()
+        self.assertEqual(rc, 0, f"stdout:\n{out}\nstderr:\n{err}")
+        # Unused suppressions mean the suppression file has drifted
+        # from the code; keep it tight.
+        self.assertNotIn("unused suppression", err)
+
+    def test_list_rules(self):
+        rc, out, _err = run_lint("--list-rules")
+        self.assertEqual(rc, 0)
+        for rule in ("unordered-iteration", "pointer-ordering",
+                     "uninit-pod", "wall-clock"):
+            self.assertIn(rule, out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
