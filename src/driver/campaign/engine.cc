@@ -39,6 +39,18 @@ markIncomplete(JobResult &job)
 
 } // namespace
 
+const char *
+jobSourceName(JobSource source)
+{
+    switch (source) {
+    case JobSource::Simulated: return "simulated";
+    case JobSource::Memory: return "memory";
+    case JobSource::Disk: return "disk";
+    case JobSource::Inflight: return "inflight";
+    }
+    return "unknown";
+}
+
 std::size_t
 CampaignResult::failures() const
 {
@@ -101,17 +113,59 @@ benchEngineOptions(int argc, char **argv)
 
 CampaignEngine::CampaignEngine(EngineOptions opts) : opts_(opts) {}
 
-CampaignResult
-CampaignEngine::run(const Campaign &c)
+std::size_t
+CampaignEngine::inflightCount() const
 {
-    CampaignResult rep = run(c.name, c.points);
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    return inflight_.size();
+}
+
+std::pair<std::shared_ptr<CampaignEngine::Inflight>, bool>
+CampaignEngine::claimInflight(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    auto [it, fresh] = inflight_.emplace(key, nullptr);
+    if (fresh)
+        it->second = std::make_shared<Inflight>();
+    return {it->second, fresh};
+}
+
+void
+CampaignEngine::resolveInflight(const std::string &key,
+                                const JobResult &job)
+{
+    std::shared_ptr<Inflight> inf;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end())
+            return; // claim was never taken (useCache off)
+        inf = it->second;
+        inflight_.erase(it);
+    }
+    {
+        std::lock_guard<std::mutex> lock(inf->m);
+        inf->summary = job.summary;
+        inf->error = job.error;
+        inf->threw = job.threw;
+        inf->tracePath = job.tracePath;
+        inf->done = true;
+    }
+    inf->cv.notify_all();
+}
+
+CampaignResult
+CampaignEngine::run(const Campaign &c, const JobCallback &onJob)
+{
+    CampaignResult rep = run(c.name, c.points, onJob);
     rep.metricsPattern = c.metrics;
     return rep;
 }
 
 CampaignResult
 CampaignEngine::run(const std::string &name,
-                    const std::vector<SweepPoint> &points)
+                    const std::vector<SweepPoint> &points,
+                    const JobCallback &onJob)
 {
     const Clock::time_point t0 = Clock::now();
     const std::size_t n = points.size();
@@ -124,14 +178,28 @@ CampaignEngine::run(const std::string &name,
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
 
-    // Phase 1 (serial): canonicalize, consult the cache, and claim one
-    // owner per distinct fingerprint so duplicates simulate once.
+    // Serialized per-point completion hook (per-run mutex, so
+    // concurrent run() calls on one engine never serialize each
+    // other's streams).
+    std::mutex emitMutex;
+    auto emit = [&](const JobResult &job, std::size_t index) {
+        if (!onJob)
+            return;
+        std::lock_guard<std::mutex> lock(emitMutex);
+        onJob(job, index, n);
+    };
+
+    // Phase 1 (serial intake): canonicalize, consult the in-memory
+    // cache then the external backend, and claim one in-flight owner
+    // per distinct fingerprint — duplicates within this run AND
+    // identical points already simulating in concurrent run() calls
+    // attach to the one running job instead of re-simulating.
     std::vector<Experiment> exps;
     exps.reserve(n);
     std::vector<std::string> keys(n);
-    std::vector<std::size_t> work;          // indices to simulate
-    std::vector<std::size_t> dupOf(n, n);   // duplicate -> owner index
-    std::unordered_map<std::string, std::size_t> owner;
+    std::vector<std::size_t> work; // indices this run simulates
+    std::vector<std::pair<std::size_t, std::shared_ptr<Inflight>>>
+        attached; // indices waiting on another claimant's simulation
     for (std::size_t i = 0; i < n; ++i) {
         exps.push_back(points[i].exp);
         if (opts_.seedBase != 0)
@@ -151,14 +219,41 @@ CampaignEngine::run(const std::string &name,
         if (auto hit = cache_.lookup(key)) {
             job.summary = *hit;
             job.cacheHit = true;
+            job.source = JobSource::Memory;
             markIncomplete(job);
+            emit(job, i);
             continue;
         }
-        auto [it, fresh] = owner.emplace(key, i);
-        if (fresh)
+        if (opts_.backend) {
+            if (auto hit = opts_.backend->fetch(key)) {
+                cache_.store(key, *hit); // promote for the next lookup
+                job.summary = *hit;
+                job.cacheHit = true;
+                job.source = JobSource::Disk;
+                markIncomplete(job);
+                emit(job, i);
+                continue;
+            }
+        }
+        auto [claim, owner] = claimInflight(key);
+        if (owner) {
+            // Close the miss-then-claim window: a concurrent owner may
+            // have published to the cache and released the key between
+            // our lookup and our claim. Owners always store before
+            // releasing, so a second lookup settles it.
+            if (auto hit = cache_.lookup(key)) {
+                job.summary = *hit;
+                job.cacheHit = true;
+                job.source = JobSource::Memory;
+                markIncomplete(job);
+                resolveInflight(key, job); // hand to any attachers
+                emit(job, i);
+                continue;
+            }
             work.push_back(i);
-        else
-            dupOf[i] = it->second;
+        } else {
+            attached.emplace_back(i, std::move(claim));
+        }
     }
 
     // Simulated points resolve their task graph through the engine's
@@ -222,9 +317,19 @@ CampaignEngine::run(const std::string &name,
             // Cache any summary the simulator produced — incomplete
             // runs are as deterministic as complete ones. Exceptions
             // left no summary, so those are not cached.
-            if (opts_.useCache && job.error.empty())
+            if (opts_.useCache && job.error.empty()) {
                 cache_.store(keys[i], job.summary);
+                if (opts_.backend)
+                    opts_.backend->publish(keys[i], job.summary);
+            }
             markIncomplete(job);
+            // Hand the outcome to every attached claimant (this run's
+            // in-list duplicates and concurrent runs of the same
+            // fingerprint) and release the claim. Runs even after an
+            // exception so claimants never wait forever.
+            if (opts_.useCache)
+                resolveInflight(keys[i], job);
+            emit(job, i);
             const std::size_t k = doneJobs.fetch_add(1) + 1;
             if (opts_.progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
@@ -248,17 +353,24 @@ CampaignEngine::run(const std::string &name,
             t.join();
     }
 
-    // Phase 3: fill within-run duplicates from their owners.
-    for (std::size_t i = 0; i < n; ++i) {
-        if (dupOf[i] == n)
-            continue;
-        const JobResult &src = report.jobs[dupOf[i]];
+    // Phase 3: collect the attached points. Their owners are this
+    // run's own workers (in-list duplicates, already joined above) or
+    // a concurrent run() on the same engine; owners always resolve
+    // their claim — even on exception — so these waits terminate.
+    for (auto &[i, inf] : attached) {
         JobResult &job = report.jobs[i];
-        job.summary = src.summary;
-        job.error = src.error;
-        job.threw = src.threw;
-        job.tracePath = src.tracePath;
+        {
+            std::unique_lock<std::mutex> lock(inf->m);
+            inf->cv.wait(lock, [&] { return inf->done; });
+            job.summary = inf->summary;
+            job.error = inf->error;
+            job.threw = inf->threw;
+            job.tracePath = inf->tracePath;
+        }
         job.cacheHit = true;
+        job.source = JobSource::Inflight;
+        markIncomplete(job);
+        emit(job, i);
     }
 
     report.threads = threads;
@@ -273,6 +385,12 @@ CampaignEngine::run(const std::string &name,
     for (const JobResult &j : report.jobs) {
         if (j.cacheHit)
             ++report.cacheHits;
+        switch (j.source) {
+        case JobSource::Memory: ++report.fromMemory; break;
+        case JobSource::Disk: ++report.fromDisk; break;
+        case JobSource::Inflight: ++report.fromInflight; break;
+        case JobSource::Simulated: break;
+        }
         report.simMsTotal += j.wallMs;
     }
     report.simulated = work.size();

@@ -14,8 +14,13 @@
 #ifndef TDM_DRIVER_CAMPAIGN_ENGINE_HH
 #define TDM_DRIVER_CAMPAIGN_ENGINE_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "driver/campaign/campaign.hh"
@@ -63,7 +68,27 @@ struct EngineOptions
      * for that comparison.
      */
     bool shareGraphs = true;
+
+    /**
+     * External result backend (typically the persistent on-disk
+     * store): consulted after an in-memory cache miss, published to
+     * after every successful simulation. Non-owning; must outlive the
+     * engine. Only consulted when useCache is on.
+     */
+    CacheBackend *backend = nullptr;
 };
+
+/**
+ * How a point's summary was obtained — the service-layer dedup
+ * counters. "Disk" means the external CacheBackend (the on-disk
+ * store); "Inflight" means the point attached to an identical point
+ * already simulating (in this run or a concurrent one) instead of
+ * re-simulating.
+ */
+enum class JobSource { Simulated, Memory, Disk, Inflight };
+
+/** "simulated" / "memory" / "disk" / "inflight". */
+const char *jobSourceName(JobSource source);
 
 /** Outcome of one campaign point. */
 struct JobResult
@@ -73,7 +98,10 @@ struct JobResult
     sim::Config spec;      ///< full canonical spec of the point (its
                            ///< serialization is the cache key)
     RunSummary summary{};
-    bool cacheHit = false; ///< served from the cache, not simulated
+    bool cacheHit = false; ///< served without simulating this point
+                           ///< (== source != Simulated)
+    JobSource source = JobSource::Simulated; ///< where the summary
+                                             ///< came from
     double wallMs = 0.0;   ///< simulation wall-clock (0 for cache hits)
     std::string error;     ///< empty when the run completed
     bool threw = false;    ///< error came from an exception, not the
@@ -84,6 +112,20 @@ struct JobResult
     /** The experiment ran (or was cached) and completed. */
     bool ok() const { return error.empty() && summary.completed; }
 };
+
+/**
+ * Per-point completion hook: invoked exactly once per point, as each
+ * point resolves (cache/backend hits during the serial intake phase,
+ * simulated points as their worker finishes, attached points when
+ * their owner publishes). Invocations are serialized by the engine —
+ * handlers never race each other — but run on engine threads, so a
+ * handler must not call back into the same engine. The JobResult
+ * reference is only valid for the duration of the call. This is how
+ * the campaign service streams results as they finish.
+ */
+using JobCallback = std::function<void(const JobResult &job,
+                                       std::size_t index,
+                                       std::size_t total)>;
 
 /** Outcome of one campaign. */
 struct CampaignResult
@@ -98,8 +140,12 @@ struct CampaignResult
     double wallMs = 0.0;         ///< end-to-end campaign wall-clock
     double simMsTotal = 0.0;     ///< summed wall-clock of simulated
                                  ///< points (cache hits cost ~0)
-    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheHits = 0; ///< fromMemory + fromDisk + fromInflight
     std::uint64_t simulated = 0;
+    std::uint64_t fromMemory = 0;   ///< served from the in-memory cache
+    std::uint64_t fromDisk = 0;     ///< served from the external backend
+    std::uint64_t fromInflight = 0; ///< attached to an identical
+                                    ///< in-flight simulation
     std::uint64_t graphBuilds = 0; ///< distinct task graphs built
     std::uint64_t graphShares = 0; ///< simulated points served a
                                    ///< cached shared graph
@@ -143,12 +189,15 @@ class CampaignEngine
   public:
     explicit CampaignEngine(EngineOptions opts = {});
 
-    /** Run a campaign. */
-    CampaignResult run(const Campaign &c);
+    /** Run a campaign; @p onJob (optional) streams points as they
+     *  resolve. */
+    CampaignResult run(const Campaign &c,
+                       const JobCallback &onJob = nullptr);
 
     /** Run an ad-hoc list of points under @p name. */
     CampaignResult run(const std::string &name,
-                       const std::vector<SweepPoint> &points);
+                       const std::vector<SweepPoint> &points,
+                       const JobCallback &onJob = nullptr);
 
     ResultCache &cache() { return cache_; }
 
@@ -158,10 +207,46 @@ class CampaignEngine
 
     const EngineOptions &options() const { return opts_; }
 
+    /** Points currently simulating (or claimed) across all concurrent
+     *  run() calls on this engine. */
+    std::size_t inflightCount() const;
+
   private:
+    /**
+     * One claimed fingerprint: the first run() to miss both caches on
+     * a key becomes its owner and simulates it; every concurrent
+     * claimant of the same key attaches here and is handed the
+     * owner's outcome instead of re-simulating. This is the service
+     * dedup invariant: N clients sweeping overlapping grids cost one
+     * simulation per distinct fingerprint, even before the caches are
+     * warm.
+     */
+    struct Inflight
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        RunSummary summary{};
+        std::string error;
+        bool threw = false;
+        std::string tracePath;
+    };
+
+    /** Claim @p key: (entry, true) when this caller became the owner,
+     *  (entry, false) when it attached to an existing claim. */
+    std::pair<std::shared_ptr<Inflight>, bool>
+    claimInflight(const std::string &key);
+
+    /** Publish @p job's outcome to @p key's claim and release it. */
+    void resolveInflight(const std::string &key, const JobResult &job);
+
     EngineOptions opts_;
     ResultCache cache_;
     GraphCache graphs_;
+
+    mutable std::mutex inflightMutex_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>>
+        inflight_;
 };
 
 } // namespace tdm::driver::campaign

@@ -19,6 +19,36 @@
 
 namespace tdm::driver::campaign {
 
+/**
+ * External result backend behind the in-memory cache: the campaign
+ * engine consults one (when configured) on a memory miss and publishes
+ * every freshly simulated summary into it. The canonical
+ * implementation is the persistent on-disk store
+ * (driver::service::ResultStore); the interface exists so the engine
+ * never depends on filesystems or sockets.
+ *
+ * Contract: fetch/publish are called concurrently from engine worker
+ * threads and must be thread-safe. fetch returns nullopt on any miss
+ * or unreadable entry (a backend must degrade to a miss, never throw
+ * for corruption); publish must not throw on I/O failure (warn and
+ * drop instead — losing a cache entry is always safe).
+ */
+class CacheBackend
+{
+  public:
+    virtual ~CacheBackend() = default;
+
+    /** Summary stored under @p key, or nullopt. */
+    virtual std::optional<RunSummary> fetch(const std::string &key) = 0;
+
+    /** Persist @p summary under @p key. */
+    virtual void publish(const std::string &key,
+                         const RunSummary &summary) = 0;
+
+    /** Short name for logs/stats ("disk-store"). */
+    virtual const char *backendName() const = 0;
+};
+
 /** Fingerprint-keyed store of run summaries. */
 class ResultCache
 {

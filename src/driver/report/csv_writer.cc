@@ -62,6 +62,7 @@ writeRows(std::ostream &os, const campaign::CampaignResult &c,
         row << std::setprecision(17);
         row << csvField(c.name) << ',' << csvField(j.label) << ','
             << j.digest << ',' << (j.cacheHit ? 1 : 0) << ','
+            << campaign::jobSourceName(j.source) << ','
             << (j.ok() ? 1 : 0) << ',' << csvField(j.error) << ','
             << j.wallMs << ',' << csvField(j.tracePath) << ','
             << (s.completed ? 1 : 0) << ','
@@ -88,7 +89,8 @@ writeCsv(std::ostream &os,
 {
     const std::vector<std::string> metric_cols =
         metricColumns(campaigns);
-    os << "campaign,label,digest,cache_hit,ok,error,wall_ms,trace_path,"
+    os << "campaign,label,digest,cache_hit,source,ok,error,wall_ms,"
+          "trace_path,"
           "completed,"
           "makespan,time_ms,energy_j,edp,avg_watts,num_tasks,"
           "avg_task_us,tasks_executed,dmu_accesses,dmu_blocked_ops,"

@@ -6,11 +6,8 @@
 
 namespace tdm::driver::report {
 
-namespace {
-
-/** Finite doubles round-trip at max_digits10; non-finite become null. */
 void
-num(std::ostream &os, double v)
+jsonNumber(std::ostream &os, double v)
 {
     if (!std::isfinite(v)) {
         os << "null";
@@ -19,6 +16,15 @@ num(std::ostream &os, double v)
     std::ostringstream oss;
     oss << std::setprecision(17) << v;
     os << oss.str();
+}
+
+namespace {
+
+/** Finite doubles round-trip at max_digits10; non-finite become null. */
+void
+num(std::ostream &os, double v)
+{
+    jsonNumber(os, v);
 }
 
 void
@@ -43,6 +49,8 @@ writeJob(std::ostream &os, const campaign::JobResult &j,
     os << "},\n";
     os << indent << "  \"cache_hit\": " << (j.cacheHit ? "true" : "false")
        << ",\n";
+    os << indent << "  \"source\": \"" << campaign::jobSourceName(j.source)
+       << "\",\n";
     os << indent << "  \"ok\": " << (j.ok() ? "true" : "false") << ",\n";
     os << indent << "  \"error\": \"" << jsonEscape(j.error) << "\",\n";
     os << indent << "  \"wall_ms\": ";
@@ -114,6 +122,9 @@ writeCampaign(std::ostream &os, const campaign::CampaignResult &c,
     os << ",\n";
     os << indent << "  \"cache_hits\": " << c.cacheHits << ",\n";
     os << indent << "  \"simulated\": " << c.simulated << ",\n";
+    os << indent << "  \"from_memory\": " << c.fromMemory << ",\n";
+    os << indent << "  \"from_disk\": " << c.fromDisk << ",\n";
+    os << indent << "  \"from_inflight\": " << c.fromInflight << ",\n";
     os << indent << "  \"graph_builds\": " << c.graphBuilds << ",\n";
     os << indent << "  \"graph_shares\": " << c.graphShares << ",\n";
     os << indent << "  \"failures\": " << c.failures() << ",\n";

@@ -25,6 +25,14 @@ void writeJson(std::ostream &os, const campaign::CampaignResult &c);
 /** JSON-escape @p s (without surrounding quotes). */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * Write @p v as a JSON number: finite doubles round-trip bit-exactly
+ * (17 significant digits); non-finite values render as null. The one
+ * formatter shared by the file export and the service protocol, so a
+ * metric serializes to identical bytes on every path.
+ */
+void jsonNumber(std::ostream &os, double v);
+
 } // namespace tdm::driver::report
 
 #endif // TDM_DRIVER_REPORT_JSON_WRITER_HH

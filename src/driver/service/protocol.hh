@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The campaign service wire protocol: line-delimited JSON.
+ *
+ * Every request and every response is one JSON object on one line
+ * (terminated by '\n'); a connection carries any number of requests in
+ * sequence. Requests:
+ *
+ *     {"op":"ping"}
+ *     {"op":"status"}
+ *     {"op":"shutdown"}
+ *     {"op":"submit", "name":"sweep", "metrics":"dmu.*",
+ *      "set":{"runtime":"tdm"},
+ *      "campaign":"axis machine.cores = 16, 32\n"}
+ *     {"op":"submit", "name":"sweep",
+ *      "points":[{"label":"a","spec":{"machine.cores":"16"}}, ...]}
+ *
+ * A submit carries either a *.campaign file body ("campaign", parsed
+ * by the same parser the CLI uses) or an explicit point list; "set"
+ * entries are fixed spec overrides applied to every point, "metrics"
+ * selects the exported metric subtree (same globs as --metrics).
+ *
+ * Submit responses stream as the engine resolves points:
+ *
+ *     {"event":"accepted","id":1,"name":"sweep","points":4}
+ *     {"event":"point","id":1,"index":0,"total":4,"label":...,
+ *      "digest":...,"source":"simulated|memory|disk|inflight",
+ *      "cache_hit":...,"ok":...,"error":...,"wall_ms":...,
+ *      <summary fields>, "metrics":{...}}        (one per point)
+ *     {"event":"done","id":1,"points":4,"simulated":...,
+ *      "cache_hits":...,"from_memory":...,"from_disk":...,
+ *      "from_inflight":...,"failures":...,...}
+ *
+ * plus {"event":"pong"}, {"event":"status",...}, {"event":"bye"} and
+ * {"event":"error","message":...} for the other ops. Numbers use the
+ * report writer's 17-significant-digit formatting, so a metric value
+ * serializes to identical bytes over the wire and in the file export —
+ * this is what makes the restart replay byte-identical.
+ *
+ * This header also hosts the minimal JSON reader the server and the
+ * C++ client share (the repo otherwise only writes JSON).
+ */
+
+#ifndef TDM_DRIVER_SERVICE_PROTOCOL_HH
+#define TDM_DRIVER_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+
+namespace tdm::driver::service {
+
+// ---- JSON reader ---------------------------------------------------------
+
+/** One parsed JSON value (a small tree, not a streaming reader). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String payload (decoded); for numbers, the raw literal text. */
+    std::string text;
+    std::vector<JsonValue> items; ///< array elements
+    /** Object members in input order (duplicates kept; find() returns
+     *  the first). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** String payload, or @p dflt when not a string. */
+    std::string asString(const std::string &dflt = "") const;
+    /** Numeric payload, or @p dflt when not a number. */
+    double asNumber(double dflt = 0.0) const;
+    /** Boolean payload, or @p dflt when not a bool. */
+    bool asBool(bool dflt = false) const;
+};
+
+/**
+ * Parse exactly one JSON document from @p text (surrounding whitespace
+ * allowed, trailing garbage rejected). On failure returns false and
+ * describes the problem in @p error. Handles the full scalar grammar
+ * including \uXXXX escapes (with surrogate pairs); depth is capped so
+ * hostile input cannot blow the stack.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+// ---- requests ------------------------------------------------------------
+
+enum class RequestOp { Ping, Status, Shutdown, Submit };
+
+/** A parsed submit request (see the file header for the shape). */
+struct SubmitRequest
+{
+    std::string name;         ///< campaign name ("submitted" default)
+    std::string campaignText; ///< *.campaign body; or:
+    struct Point
+    {
+        std::string label; ///< optional; "p<index>" when empty
+        std::vector<std::pair<std::string, std::string>> spec;
+    };
+    std::vector<Point> points;
+    /** Fixed overrides applied to every point (after its own spec). */
+    std::vector<std::pair<std::string, std::string>> set;
+    std::string metrics; ///< metric-selection globs ("" = everything)
+};
+
+struct Request
+{
+    RequestOp op = RequestOp::Ping;
+    SubmitRequest submit; ///< meaningful when op == Submit
+};
+
+/**
+ * Parse one request line. Returns false (with a message suitable for
+ * an error event) on malformed JSON, an unknown op, or a structurally
+ * invalid submit. Spec *values* are not validated here — that happens
+ * in buildCampaign, where spec::SpecError carries the context.
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &error);
+
+/**
+ * Expand @p req into a runnable campaign: parse the campaign body (or
+ * assemble the point list), apply the "set" overrides, and bind the
+ * metric selection. Throws spec::SpecError on unknown keys, bad
+ * values, or a malformed campaign body.
+ */
+campaign::Campaign buildCampaign(const SubmitRequest &req);
+
+// ---- responses -----------------------------------------------------------
+
+void writePong(std::ostream &os);
+void writeBye(std::ostream &os);
+void writeError(std::ostream &os, const std::string &message);
+void writeAccepted(std::ostream &os, std::uint64_t id,
+                   const std::string &name, std::size_t points);
+
+/** One streamed per-point result; @p metrics_pattern selects the
+ *  exported metric subtree exactly like the file writers. */
+void writePoint(std::ostream &os, std::uint64_t id,
+                const campaign::JobResult &job, std::size_t index,
+                std::size_t total, const std::string &metrics_pattern);
+
+void writeDone(std::ostream &os, std::uint64_t id,
+               const campaign::CampaignResult &result);
+
+/** Server counters for the status op. */
+struct StatusInfo
+{
+    std::uint64_t campaigns = 0; ///< submits served
+    std::uint64_t points = 0;    ///< points streamed
+    std::uint64_t simulated = 0;
+    std::uint64_t fromMemory = 0;
+    std::uint64_t fromDisk = 0;
+    std::uint64_t fromInflight = 0;
+    std::size_t cachePoints = 0; ///< in-memory cache entries
+    std::size_t inflight = 0;    ///< points simulating right now
+    unsigned threads = 0;
+    bool hasStore = false;
+    std::string storeDir;
+    std::size_t storeBlobs = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t storeStores = 0;
+    std::uint64_t storeCorrupt = 0;
+};
+
+void writeStatus(std::ostream &os, const StatusInfo &info);
+
+// ---- client-side event decoding ------------------------------------------
+
+/**
+ * Decode a "point" event back into a JobResult (the inverse of
+ * writePoint, minus the fields a point event does not carry: the spec
+ * map and the machine phase breakdowns). Metrics land in
+ * job.summary.machine.metrics. Returns false on a malformed event.
+ */
+bool decodePointEvent(const JsonValue &event, campaign::JobResult &job,
+                      std::size_t &index, std::size_t &total);
+
+} // namespace tdm::driver::service
+
+#endif // TDM_DRIVER_SERVICE_PROTOCOL_HH

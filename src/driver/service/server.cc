@@ -1,0 +1,226 @@
+#include "driver/service/server.hh"
+
+#include <sstream>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "driver/spec/spec.hh"
+#include "sim/logging.hh"
+
+namespace tdm::driver::service {
+
+CampaignServer::CampaignServer(const Address &addr, ServerOptions opts)
+    : opts_(std::move(opts)),
+      store_(opts_.storeDir.empty()
+                 ? nullptr
+                 : std::make_unique<ResultStore>(opts_.storeDir)),
+      engine_([&] {
+          campaign::EngineOptions eo = opts_.engine;
+          eo.backend = store_.get();
+          return std::make_unique<campaign::CampaignEngine>(eo);
+      }()),
+      listener_(addr)
+{
+    if (opts_.verbose) {
+        sim::inform("campaign_serve: listening on ",
+                    listener_.address().display(),
+                    store_ ? " (store: " + store_->versionDir() + ")"
+                           : " (no persistent store)");
+    }
+}
+
+CampaignServer::~CampaignServer()
+{
+    stop();
+    // serve() joins its threads before returning; if serve() was never
+    // entered there are none. A destructor racing an active serve() is
+    // a caller bug, but join anything left to fail loudly, not UB.
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+CampaignServer::serve()
+{
+    while (!stopping_.load()) {
+        Socket sock = listener_.accept();
+        if (!sock.valid()) {
+            if (stopping_.load())
+                break;
+            // Listener failure (not a stop): nothing to accept on.
+            sim::warn("campaign_serve: accept failed, stopping");
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(clientsMutex_);
+            if (stopping_.load())
+                break;
+            clientFds_.push_back(sock.fd());
+            threads_.emplace_back(
+                [this, s = std::move(sock)]() mutable {
+                    handleClient(std::move(s));
+                });
+        }
+    }
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        workers.swap(threads_);
+    }
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+CampaignServer::stop()
+{
+    stopping_.store(true);
+    listener_.shutdownNow();
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    for (int fd : clientFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+CampaignServer::handleClient(Socket sock)
+{
+    const int fd = sock.fd();
+    if (opts_.verbose)
+        sim::inform("campaign_serve: client connected");
+    std::string line;
+    while (!stopping_.load() && sock.readLine(line)) {
+        if (line.empty())
+            continue;
+        Request req;
+        std::string error;
+        if (!parseRequest(line, req, error)) {
+            std::ostringstream out;
+            writeError(out, error);
+            if (!sock.sendAll(out.str()))
+                break;
+            continue;
+        }
+        if (req.op == RequestOp::Ping) {
+            std::ostringstream out;
+            writePong(out);
+            if (!sock.sendAll(out.str()))
+                break;
+        } else if (req.op == RequestOp::Status) {
+            std::ostringstream out;
+            writeStatus(out, status());
+            if (!sock.sendAll(out.str()))
+                break;
+        } else if (req.op == RequestOp::Shutdown) {
+            std::ostringstream out;
+            writeBye(out);
+            sock.sendAll(out.str());
+            if (opts_.verbose)
+                sim::inform(
+                    "campaign_serve: shutdown requested by client");
+            stop();
+            break;
+        } else {
+            handleSubmit(sock, req.submit);
+        }
+    }
+    sock.close();
+    std::lock_guard<std::mutex> lock(clientsMutex_);
+    for (std::size_t i = 0; i < clientFds_.size(); ++i) {
+        if (clientFds_[i] == fd) {
+            clientFds_[i] = clientFds_.back();
+            clientFds_.pop_back();
+            break;
+        }
+    }
+}
+
+void
+CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
+{
+    campaign::Campaign c;
+    try {
+        c = buildCampaign(req);
+    } catch (const std::exception &e) {
+        std::ostringstream out;
+        writeError(out, e.what());
+        sock.sendAll(out.str());
+        return;
+    }
+    const std::uint64_t id = nextId_.fetch_add(1);
+    if (opts_.verbose)
+        sim::inform("campaign_serve: submit #", id, " '", c.name, "' (",
+                    c.points.size(), " points)");
+    {
+        std::ostringstream out;
+        writeAccepted(out, id, c.name, c.points.size());
+        if (!sock.sendAll(out.str()))
+            return;
+    }
+
+    // Stream each point as the engine resolves it. A send failure
+    // cannot abort the run (the engine owns the jobs; other clients
+    // may be attached to them) — we just stop streaming.
+    bool sendOk = true;
+    const std::string metricsPattern = c.metrics;
+    const campaign::CampaignResult result = engine_->run(
+        c, [&](const campaign::JobResult &job, std::size_t index,
+               std::size_t total) {
+            if (!sendOk)
+                return;
+            std::ostringstream out;
+            writePoint(out, id, job, index, total, metricsPattern);
+            sendOk = sock.sendAll(out.str());
+        });
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++campaigns_;
+        points_ += result.jobs.size();
+        simulated_ += result.simulated;
+        fromMemory_ += result.fromMemory;
+        fromDisk_ += result.fromDisk;
+        fromInflight_ += result.fromInflight;
+    }
+    if (opts_.verbose)
+        sim::inform("campaign_serve: submit #", id, " done: ",
+                    result.simulated, " simulated, ",
+                    result.fromMemory, " memory, ", result.fromDisk,
+                    " disk, ", result.fromInflight, " inflight");
+    if (sendOk) {
+        std::ostringstream out;
+        writeDone(out, id, result);
+        sock.sendAll(out.str());
+    }
+}
+
+StatusInfo
+CampaignServer::status() const
+{
+    StatusInfo info;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        info.campaigns = campaigns_;
+        info.points = points_;
+        info.simulated = simulated_;
+        info.fromMemory = fromMemory_;
+        info.fromDisk = fromDisk_;
+        info.fromInflight = fromInflight_;
+    }
+    info.cachePoints = engine_->cache().size();
+    info.inflight = engine_->inflightCount();
+    info.threads = engine_->options().threads;
+    if (store_) {
+        info.hasStore = true;
+        info.storeDir = store_->dir();
+        info.storeBlobs = store_->size();
+        info.storeHits = store_->hits();
+        info.storeMisses = store_->misses();
+        info.storeStores = store_->stores();
+        info.storeCorrupt = store_->corrupt();
+    }
+    return info;
+}
+
+} // namespace tdm::driver::service

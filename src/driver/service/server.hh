@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The campaign server: many clients, one engine, one store.
+ *
+ * Every client connection gets its own handler thread, but all
+ * submissions run on one shared CampaignEngine, so deduplication is
+ * global across clients: points hit the shared in-memory cache, then
+ * the shared on-disk store, and identical points simulating *right
+ * now* for another client are joined in flight instead of re-run (the
+ * engine's claim table). N clients sweeping overlapping grids
+ * therefore cost exactly one simulation per distinct canonical-spec
+ * fingerprint — the service invariant the stress tests pin.
+ *
+ * Per-point results stream to the submitting client as the engine
+ * resolves them, tagged with where each summary came from
+ * (simulated / memory / disk / inflight).
+ */
+
+#ifndef TDM_DRIVER_SERVICE_SERVER_HH
+#define TDM_DRIVER_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+#include "driver/service/protocol.hh"
+#include "driver/service/socket.hh"
+#include "driver/service/store.hh"
+
+namespace tdm::driver::service {
+
+struct ServerOptions
+{
+    campaign::EngineOptions engine;
+    /** Persistent store directory; empty runs memory-only. */
+    std::string storeDir;
+    /** Log one line per connection / submission to stderr. */
+    bool verbose = false;
+};
+
+/**
+ * The server. Construction binds the listener (and opens the store);
+ * serve() accepts and handles clients until a shutdown request or
+ * stop(). Thread-safe counters feed the status op.
+ */
+class CampaignServer
+{
+  public:
+    /** Throws std::runtime_error when the address cannot be bound or
+     *  the store cannot be opened. */
+    CampaignServer(const Address &addr, ServerOptions opts);
+    ~CampaignServer();
+
+    CampaignServer(const CampaignServer &) = delete;
+    CampaignServer &operator=(const CampaignServer &) = delete;
+
+    /** The bound address (ephemeral tcp ports resolved). */
+    const Address &address() const { return listener_.address(); }
+
+    /** Accept loop; returns once stopped. Joins all client threads. */
+    void serve();
+
+    /** Stop serving: unblocks accept(), closes live connections.
+     *  Callable from any thread (including a handler). */
+    void stop();
+
+    /** Aggregate counters (for status and the daemon's exit report). */
+    StatusInfo status() const;
+
+    campaign::CampaignEngine &engine() { return *engine_; }
+    ResultStore *store() { return store_.get(); }
+
+  private:
+    void handleClient(Socket sock);
+    void handleSubmit(Socket &sock, const SubmitRequest &req);
+
+    ServerOptions opts_;
+    std::unique_ptr<ResultStore> store_; ///< before engine_ (outlives)
+    std::unique_ptr<campaign::CampaignEngine> engine_;
+    Listener listener_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> nextId_{1};
+
+    mutable std::mutex statsMutex_;
+    std::uint64_t campaigns_ = 0;
+    std::uint64_t points_ = 0;
+    std::uint64_t simulated_ = 0;
+    std::uint64_t fromMemory_ = 0;
+    std::uint64_t fromDisk_ = 0;
+    std::uint64_t fromInflight_ = 0;
+
+    std::mutex clientsMutex_;
+    std::vector<int> clientFds_; ///< live connections, for stop()
+    std::vector<std::thread> threads_;
+};
+
+} // namespace tdm::driver::service
+
+#endif // TDM_DRIVER_SERVICE_SERVER_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Persistent content-addressed result store: the disk half of the
+ * campaign service.
+ *
+ * Each stored entry maps a canonical-spec fingerprint (the campaign
+ * cache key — see driver/campaign/fingerprint.hh) to a RunSummary
+ * blob, named by the key's 64-bit FNV-1a digest:
+ *
+ *     <dir>/v<schema>/<16-hex-digest>.result
+ *
+ * Layout and invariants:
+ *  - The schema version (ResultCache::kSchemaVersion) is baked into
+ *    the directory name AND every blob header, so summaries written
+ *    under an older schema can never be served — bumping the version
+ *    silently invalidates the whole store.
+ *  - Writes are atomic: a unique temp file in the same directory is
+ *    renamed into place, so readers (including concurrent processes)
+ *    only ever observe absent or complete blobs, and a crash mid-write
+ *    leaves at worst an ignored temp file.
+ *  - Loads are corruption-tolerant: a truncated, garbled, or
+ *    checksum-mismatched blob — or a digest collision with a different
+ *    key — degrades to a cache miss, never an error. The engine then
+ *    re-simulates and re-publishes.
+ *  - The in-memory index is rebuilt by a directory scan on startup, so
+ *    a store survives restarts and can be shared across processes
+ *    (last writer wins; entries are pure functions of their key, so
+ *    concurrent writers write identical bytes).
+ *
+ * Doubles are serialized with 17 significant digits and parse back
+ * bit-exactly, so a summary served from disk re-exports byte-identical
+ * metric JSON — the service's restart invariant.
+ */
+
+#ifndef TDM_DRIVER_SERVICE_STORE_HH
+#define TDM_DRIVER_SERVICE_STORE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "driver/campaign/result_cache.hh"
+
+namespace tdm::driver::service {
+
+/**
+ * Serialize @p summary under @p key as one store blob (header, fields,
+ * metric lines, checksum, end marker). Exposed for tests.
+ */
+void writeSummaryBlob(std::ostream &os, const std::string &key,
+                      const RunSummary &summary,
+                      unsigned schema_version);
+
+/**
+ * Parse one store blob. Returns false (leaving outputs unspecified) on
+ * any structural damage: bad header, wrong schema, unknown or missing
+ * field, checksum mismatch, or missing end marker. Exposed for tests.
+ */
+bool readSummaryBlob(std::istream &is, std::string &key_out,
+                     RunSummary &summary_out, unsigned schema_version);
+
+/**
+ * The persistent store. Thread-safe; implements the engine's
+ * CacheBackend so it can sit directly behind the in-memory ResultCache
+ * (campaign_run --store, campaign_serve).
+ */
+class ResultStore : public campaign::CacheBackend
+{
+  public:
+    /**
+     * Open (creating if needed) the store under @p dir and rebuild the
+     * index by scanning it. @p schema_version defaults to the live
+     * summary schema; tests override it to prove invalidation.
+     * Throws std::runtime_error when the directory cannot be created.
+     */
+    explicit ResultStore(
+        const std::string &dir,
+        unsigned schema_version = campaign::ResultCache::kSchemaVersion);
+
+    std::optional<RunSummary> fetch(const std::string &key) override;
+    void publish(const std::string &key,
+                 const RunSummary &summary) override;
+    const char *backendName() const override { return "disk-store"; }
+
+    /** Root directory (as given). */
+    const std::string &dir() const { return dir_; }
+
+    /** Versioned directory blobs live in: <dir>/v<schema>. */
+    const std::string &versionDir() const { return versionDir_; }
+
+    /** Blob path for @p key (whether or not it exists). */
+    std::string pathForKey(const std::string &key) const;
+
+    /** Indexed blobs. */
+    std::size_t size() const;
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t stores() const;
+    /** Blobs that failed to parse and were served as misses. */
+    std::uint64_t corrupt() const;
+
+  private:
+    void scanIndex();
+
+    std::string dir_;
+    std::string versionDir_;
+    unsigned schemaVersion_;
+
+    mutable std::mutex mutex_;
+    std::unordered_set<std::string> index_; ///< digests present on disk
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t corrupt_ = 0;
+    std::uint64_t tmpSeq_ = 0; ///< unique temp-file suffix
+};
+
+} // namespace tdm::driver::service
+
+#endif // TDM_DRIVER_SERVICE_STORE_HH

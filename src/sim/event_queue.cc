@@ -175,13 +175,20 @@ EventQueue::slideHorizon(Tick new_h)
         nearHorizon_ = band_start + coarseWidth;
     }
     nearHorizon_ = new_h;
-    // Far-heap events that entered the coarse span follow.
-    Tick coarse_limit = nearHorizon_ + coarseSpan;
-    while (!overflow_.empty() && overflow_.front().when < coarse_limit) {
+    // Far-heap events the horizon passed over go straight into the
+    // near ring; everything else stays heaped, even once it falls
+    // inside the coarse span. The wheel is never an intermediate hop
+    // for heap events (lazy migration): each pays one heap pop and one
+    // ring insert total, and a horizon slide touches only the events
+    // it actually uncovers instead of a coarse-span lookahead.
+    // extractNext() and nextPendingTick() merge the heap with the
+    // first coarse band on demand, so the relaxed invariant is just
+    // "heap top >= nearHorizon_".
+    while (!overflow_.empty() && overflow_.front().when < nearHorizon_) {
         std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
         Event *ev = overflow_.back().ev;
         overflow_.pop_back();
-        enqueue(ev);
+        insertRing(ev);
     }
 }
 
@@ -223,6 +230,9 @@ EventQueue::nextPendingTick() const
             if (ev->when_ < min)
                 min = ev->when_;
         }
+        // Lazily migrated far-heap events may precede the first band.
+        if (!overflow_.empty() && overflow_.front().when < min)
+            min = overflow_.front().when;
         return min;
     }
     if (!overflow_.empty())
@@ -234,17 +244,32 @@ Event *
 EventQueue::extractNext()
 {
     if (ringCount_ == 0) {
-        if (coarseCount_ > 0) {
-            pullCoarse();
-        } else {
-            // Only far-heap events remain: the top is the global
-            // minimum. The window catches up when the event fires.
+        bool pop_heap = coarseCount_ == 0;
+        if (!pop_heap && !overflow_.empty()) {
+            // The heap may now hold events earlier than the first
+            // coarse band (lazy migration). Strictly earlier means no
+            // (tick, seq) tie with any band event is possible — band
+            // events are all >= band_start — so the top pops directly.
+            // An equal tick must instead merge through the ring, where
+            // the sorted insert settles seq order.
+            std::size_t start = bandOf(nearHorizon_);
+            std::size_t idx = nextSetBit(coarseOccupied_, start);
+            Tick band_start =
+                nearHorizon_ + (static_cast<Tick>((idx - start)
+                                                  & coarseMask)
+                                << coarseShift);
+            pop_heap = overflow_.front().when < band_start;
+        }
+        if (pop_heap) {
+            // The heap top is the global minimum. The window catches
+            // up when the event fires.
             std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
             Event *ev = overflow_.back().ev;
             overflow_.pop_back();
             ev->next_ = nullptr;
             return ev;
         }
+        pullCoarse();
     }
     std::size_t idx;
     if (peekValid_) {

@@ -20,9 +20,14 @@
  *    over a band, its events are sort-inserted into the near ring.
  *    The near horizon is kept band-aligned so bands always migrate
  *    whole.
- *  - Far heap: a binary min-heap of (tick, seq, event) triples for the
- *    rare events beyond the coarse span; entries replicate the key so
- *    heap sifts never dereference events.
+ *  - Far heap: a binary min-heap of (tick, seq, event) triples for
+ *    events scheduled beyond the coarse span; entries replicate the
+ *    key so heap sifts never dereference events. Heap events migrate
+ *    lazily: they stay heaped until the near horizon passes them and
+ *    then drop straight into the ring, never transiting the coarse
+ *    wheel. The heap may therefore overlap the coarse span in time
+ *    (only "heap top >= nearHorizon" is invariant); extraction and
+ *    peeking merge the heap with the first coarse band on demand.
  *
  * Pool-allocated events (EventQueue::make() / post()) are recycled
  * through per-size-class freelists after they fire, so a steady-state

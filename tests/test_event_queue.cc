@@ -349,6 +349,47 @@ TEST(EventQueue, MigratedOverflowEventKeepsScheduleOrder)
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, LazyHeapEventTiesSettleAgainstCoarseEvents)
+{
+    // A far-heap event stays heaped even once the coarse span covers
+    // its tick (lazy migration). When the ring drains it must merge
+    // with the first coarse band, so a same-tick coarse event
+    // scheduled later (higher seq) still fires after it.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    constexpr sim::Tick far = 2200000; // beyond the initial coarse span
+    eq.scheduleAt(far, [&] { order.push_back(1); }); // heap tier
+    eq.scheduleAt(100000, [&] {
+        order.push_back(0);
+        // The horizon has advanced: `far` is now inside the coarse
+        // span, so these land in the wheel while their sibling above
+        // is still heaped.
+        eq.scheduleAt(far, [&] { order.push_back(2); });
+        eq.scheduleAt(far + 50, [&] { order.push_back(3); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), far + 50);
+}
+
+TEST(EventQueue, LazyHeapEventBeforeFirstCoarseBandPopsDirectly)
+{
+    // Ring empty, coarse wheel occupied, and the heap top strictly
+    // earlier than every coarse event: extraction must surface the
+    // heap event directly instead of migrating the later band first.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(2200000, [&] { order.push_back(1); }); // heap tier
+    eq.scheduleAt(100000, [&] {
+        order.push_back(0);
+        // A coarse event in a band *after* the heaped event's tick.
+        eq.scheduleAt(2210000, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), sim::Tick{2210000});
+}
+
 TEST(EventQueue, RandomScheduleFiresInTickSeqOrder)
 {
     sim::EventQueue eq;

@@ -43,11 +43,16 @@ from pathlib import Path
 SCENARIO_RE = re.compile(
     r"^(\S+)\s+(\d+)\s+(\d+)\s+([\d.]+)x(\s+\(informational\))?\s*$")
 GEOMEAN_RE = re.compile(r"^geomean speedup[^:]*:\s*([\d.]+)x\s*$")
-# Trailing campaign_run summary: "fig13: ... 12.345 s"
+# Trailing campaign_run summary: "fig13: ... 12.345 s". The cache-hit
+# source breakdown "(N memory, N disk, N inflight)" is optional so the
+# tool still reads logs from builds that predate the result store.
 CAMPAIGN_RE = re.compile(
-    r"^(\S+): (\d+) points, (\d+) simulated, (\d+) cache hits,"
-    r"(?: (\d+) graphs built \((\d+) shared\),)? \d+ failures,"
-    r" (\d+) threads, ([\d.e+-]+) s$")
+    r"^(?P<name>\S+): (?P<points>\d+) points, (?P<simulated>\d+)"
+    r" simulated, (?P<hits>\d+) cache hits"
+    r"(?: \((?P<memory>\d+) memory, (?P<disk>\d+) disk,"
+    r" (?P<inflight>\d+) inflight\))?,"
+    r"(?: (?P<graphs>\d+) graphs built \((?P<shared>\d+) shared\),)?"
+    r" \d+ failures, (?P<threads>\d+) threads, (?P<wall>[\d.e+-]+) s$")
 
 # Default iteration counts: enough for stable numbers locally, scaled
 # down by --quick for CI smoke runs on noisy shared machines.
@@ -112,14 +117,14 @@ def run_campaign(build_dir, name, threads, extra=()):
     process_s = time.monotonic() - t0
     for line in out.splitlines():
         m = CAMPAIGN_RE.match(line.strip())
-        if m and m.group(1) == name:
+        if m and m.group("name") == name:
             return {
-                "points": int(m.group(2)),
-                "simulated": int(m.group(3)),
-                "graphs_built": int(m.group(5) or 0),
-                "graphs_shared": int(m.group(6) or 0),
-                "threads": int(m.group(7)),
-                "wall_s": float(m.group(8)),
+                "points": int(m.group("points")),
+                "simulated": int(m.group("simulated")),
+                "graphs_built": int(m.group("graphs") or 0),
+                "graphs_shared": int(m.group("shared") or 0),
+                "threads": int(m.group("threads")),
+                "wall_s": float(m.group("wall")),
                 "process_s": round(process_s, 3),
             }
     sys.stderr.write(out)

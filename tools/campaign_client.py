@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Reference client for the campaign_serve daemon. Stdlib only.
+
+Speaks the line-delimited JSON protocol documented in the README
+"Campaign service" section: one request object per line, a stream of
+event objects back. Submit a campaign file, poll daemon status, or ask
+it to shut down:
+
+    tools/campaign_client.py --server tcp:127.0.0.1:7077 sweep.campaign
+    tools/campaign_client.py --server tcp:127.0.0.1:7077 --status
+    tools/campaign_client.py --server tcp:127.0.0.1:7077 --shutdown
+
+Submissions stream one "point" event per grid point as the shared
+engine resolves it (from the in-memory cache, the persistent store, an
+in-flight duplicate, or a fresh simulation), then a "done" summary.
+--json passes the raw event lines through for scripting; the default
+output is a human-readable progress log.
+
+Exit status: 0 on success, 1 when the server reports an error or any
+point fails, 2 on usage errors.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+def parse_address(text):
+    """tcp:HOST:PORT or unix:PATH (loopback only, like the daemon)."""
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise SystemExit("campaign_client: empty unix socket path")
+        return ("unix", path)
+    if text.startswith("tcp:"):
+        rest = text[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise SystemExit(
+                f"campaign_client: malformed tcp address '{text}' "
+                "(want tcp:HOST:PORT)")
+        return ("tcp", (host, int(port)))
+    raise SystemExit(
+        f"campaign_client: unknown address '{text}' "
+        "(want tcp:HOST:PORT or unix:PATH)")
+
+
+def connect(addr):
+    kind, target = addr
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.connect(target)
+    except OSError as e:
+        raise SystemExit(f"campaign_client: cannot connect: {e}")
+    return sock
+
+
+def events(sock):
+    """Yield decoded JSON objects, one per server line."""
+    with sock.makefile("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line), line
+            except json.JSONDecodeError as e:
+                raise SystemExit(
+                    f"campaign_client: bad server line: {e}: {line!r}")
+
+
+def send(sock, request):
+    sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+
+
+def one_shot(addr, op, raw):
+    """Ops with a single response object: ping, status, shutdown."""
+    sock = connect(addr)
+    send(sock, {"op": op})
+    for event, line in events(sock):
+        if event.get("event") == "error":
+            raise SystemExit(
+                f"campaign_client: server error: {event.get('message')}")
+        if raw:
+            print(line)
+        elif op == "status":
+            served = event.get("served", {})
+            store = event.get("store")
+            print(f"campaigns={event.get('campaigns')} "
+                  f"points={event.get('points')} "
+                  f"simulated={served.get('simulated')} "
+                  f"memory={served.get('memory')} "
+                  f"disk={served.get('disk')} "
+                  f"inflight={served.get('inflight')} "
+                  f"cache_points={event.get('cache_points')} "
+                  f"threads={event.get('threads')}")
+            if store:
+                print(f"store dir={store.get('dir')} "
+                      f"blobs={store.get('blobs')} "
+                      f"hits={store.get('hits')} "
+                      f"stores={store.get('stores')} "
+                      f"corrupt={store.get('corrupt')}")
+            else:
+                print("store (none: memory-only daemon)")
+        else:
+            print(f"campaign_client: {event.get('event')}")
+        return 0
+    raise SystemExit("campaign_client: connection closed without reply")
+
+
+def format_point(event):
+    status = "ok" if event.get("ok") else f"FAILED ({event.get('error')})"
+    line = (f"[{event.get('index', 0) + 1}/{event.get('total', '?')}] "
+            f"{event.get('label')}: {status} "
+            f"source={event.get('source')} "
+            f"makespan={event.get('makespan')} "
+            f"time_ms={event.get('time_ms')}")
+    metrics = event.get("metrics") or {}
+    if metrics:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(metrics.items()))
+        line += " | " + pairs
+    return line
+
+
+def submit(addr, args):
+    try:
+        with open(args.campaign, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise SystemExit(f"campaign_client: {e}")
+
+    request = {"op": "submit", "campaign": text}
+    if args.name:
+        request["name"] = args.name
+    if args.metrics:
+        request["metrics"] = args.metrics
+    overrides = {}
+    for item in args.set or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"campaign_client: --set expects KEY=VALUE, got '{item}'")
+        overrides[key.strip()] = value.strip()
+    if overrides:
+        request["set"] = overrides
+
+    sock = connect(addr)
+    send(sock, request)
+    failures = 0
+    for event, line in events(sock):
+        kind = event.get("event")
+        if args.json:
+            print(line)
+        if kind == "error":
+            raise SystemExit(
+                f"campaign_client: server error: {event.get('message')}")
+        if kind == "accepted" and not args.json:
+            print(f"accepted: {event.get('name')} "
+                  f"({event.get('points')} points)")
+        elif kind == "point":
+            if not event.get("ok"):
+                failures += 1
+            if not args.json:
+                print(format_point(event))
+        elif kind == "done":
+            if not args.json:
+                print(f"done: {event.get('points')} points, "
+                      f"{event.get('simulated')} simulated, "
+                      f"{event.get('cache_hits')} cache hits "
+                      f"({event.get('from_memory')} memory, "
+                      f"{event.get('from_disk')} disk, "
+                      f"{event.get('from_inflight')} inflight), "
+                      f"{event.get('failures')} failures, "
+                      f"{event.get('wall_ms')} ms")
+            return 1 if failures else 0
+    raise SystemExit("campaign_client: connection closed mid-campaign")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="exactly one of CAMPAIGN, --status, --shutdown, or "
+               "--ping is required")
+    ap.add_argument("campaign", nargs="?",
+                    help="campaign file to submit (*.campaign)")
+    ap.add_argument("--server", required=True, metavar="ADDR",
+                    help="daemon address: tcp:HOST:PORT or unix:PATH")
+    ap.add_argument("--name", help="override the campaign name")
+    ap.add_argument("--metrics", metavar="GLOBS",
+                    help="comma-separated metric glob selection "
+                         "(overrides the file's `metrics =` line)")
+    ap.add_argument("--set", action="append", metavar="KEY=VALUE",
+                    help="spec override applied to every point "
+                         "(repeatable)")
+    ap.add_argument("--json", action="store_true",
+                    help="print raw server event lines (for scripts)")
+    ap.add_argument("--status", action="store_true",
+                    help="print daemon counters and exit")
+    ap.add_argument("--shutdown", action="store_true",
+                    help="ask the daemon to exit")
+    ap.add_argument("--ping", action="store_true",
+                    help="check liveness and exit")
+    args = ap.parse_args()
+
+    modes = [bool(args.campaign), args.status, args.shutdown, args.ping]
+    if sum(modes) != 1:
+        ap.error("need exactly one of CAMPAIGN, --status, --shutdown, "
+                 "--ping")
+
+    addr = parse_address(args.server)
+    if args.status:
+        return one_shot(addr, "status", args.json)
+    if args.shutdown:
+        return one_shot(addr, "shutdown", args.json)
+    if args.ping:
+        return one_shot(addr, "ping", args.json)
+    return submit(addr, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

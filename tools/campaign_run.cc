@@ -31,6 +31,14 @@
  *                     whose spec enables trace.categories (e.g.
  *                     --set trace.categories=task,dmu); files are
  *                     named <digest>.json, DIR must exist
+ *   --store DIR       persist results in (and serve cache hits from)
+ *                     the content-addressed store at DIR — sweeps
+ *                     re-run across process restarts cost zero
+ *                     simulations
+ *   --server ADDR     submit the campaigns to a campaign_serve
+ *                     daemon at ADDR (unix:PATH / tcp:HOST:PORT)
+ *                     instead of simulating locally; results stream
+ *                     back per point and feed the same reports
  *   --log-level LEVEL quiet|warn|info|debug (default info, so
  *                     progress lines show; --quiet drops to warn)
  *   --quiet           suppress per-job progress lines
@@ -49,13 +57,17 @@
 
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "driver/campaign/campaign.hh"
 #include "driver/campaign/engine.hh"
+#include "driver/service/client.hh"
+#include "driver/service/store.hh"
 #include "driver/report/csv_writer.hh"
 #include "driver/report/json_writer.hh"
 #include "driver/report/metric_reference.hh"
@@ -70,6 +82,7 @@
 using namespace tdm;
 namespace cmp = tdm::driver::campaign;
 namespace spc = tdm::driver::spec;
+namespace svc = tdm::driver::service;
 
 namespace {
 
@@ -82,6 +95,7 @@ usage(const char *argv0)
                  " [--set KEY=VALUE] [--metrics GLOBS] [--threads N]"
                  " [--no-cache] [--no-graph-share] [--seed-base S]"
                  " [--json FILE] [--csv FILE] [--trace-dir DIR]"
+                 " [--store DIR] [--server ADDR]"
                  " [--log-level LEVEL] [--quiet] [CAMPAIGN...]\n";
     std::exit(2);
 }
@@ -113,6 +127,7 @@ main(int argc, char **argv)
     // global level to Info; --quiet and --log-level override it.
     sim::setLogLevel(sim::LogLevel::Info);
     std::string json_file, csv_file;
+    std::string store_dir, server_addr;
     std::string metrics_pattern;
     bool metrics_set = false;
     std::vector<std::string> names;
@@ -175,6 +190,10 @@ main(int argc, char **argv)
             csv_file = need(i);
         } else if (!std::strcmp(a, "--trace-dir")) {
             opts.traceDir = need(i);
+        } else if (!std::strcmp(a, "--store")) {
+            store_dir = need(i);
+        } else if (!std::strcmp(a, "--server")) {
+            server_addr = need(i);
         } else if (!std::strcmp(a, "--log-level")) {
             const std::string lv = need(i);
             sim::LogLevel level;
@@ -224,7 +243,50 @@ main(int argc, char **argv)
         return 2;
     }
 
-    cmp::CampaignEngine engine(opts);
+    // Three ways to resolve a campaign, one downstream path: local
+    // engine, local engine backed by a persistent store, or a remote
+    // campaign_serve daemon. All three produce CampaignResults that
+    // feed the same tables, summary lines, and JSON/CSV reports.
+    if (!server_addr.empty() && !store_dir.empty()) {
+        std::cerr << "--server and --store are mutually exclusive "
+                     "(the store lives server-side)\n";
+        return 2;
+    }
+    std::unique_ptr<svc::ResultStore> store;
+    std::unique_ptr<cmp::CampaignEngine> engine;
+    std::unique_ptr<svc::ServiceClient> client;
+    std::function<cmp::CampaignResult(const cmp::Campaign &)> runOne;
+    try {
+        if (!server_addr.empty()) {
+            client = std::make_unique<svc::ServiceClient>(server_addr);
+            const bool progress = opts.progress;
+            runOne = [&, progress](const cmp::Campaign &c) {
+                return client->submit(
+                    c, [&, progress](const cmp::JobResult &j,
+                                     std::size_t index,
+                                     std::size_t total) {
+                        if (progress)
+                            sim::inform("[", index + 1, "/", total,
+                                        "] ", j.label, " (",
+                                        cmp::jobSourceName(j.source),
+                                        ")");
+                    });
+            };
+        } else {
+            if (!store_dir.empty()) {
+                store = std::make_unique<svc::ResultStore>(store_dir);
+                opts.backend = store.get();
+            }
+            engine = std::make_unique<cmp::CampaignEngine>(opts);
+            runOne = [&](const cmp::Campaign &c) {
+                return engine->run(c);
+            };
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
     std::vector<cmp::CampaignResult> results;
     std::size_t failures = 0;
 
@@ -232,7 +294,13 @@ main(int argc, char **argv)
         if (opts.progress)
             sim::inform("== ", c.name, ": ", c.points.size(),
                         " points ==");
-        cmp::CampaignResult rep = engine.run(c);
+        cmp::CampaignResult rep;
+        try {
+            rep = runOne(c);
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
 
         sim::Table t(c.name + " (" + c.description + ")");
         t.header({"label", "status", "time ms", "energy J", "tasks",
@@ -249,7 +317,9 @@ main(int argc, char **argv)
         t.print(std::cout);
         std::cout << c.name << ": " << rep.jobs.size() << " points, "
                   << rep.simulated << " simulated, " << rep.cacheHits
-                  << " cache hits, " << rep.graphBuilds
+                  << " cache hits (" << rep.fromMemory << " memory, "
+                  << rep.fromDisk << " disk, " << rep.fromInflight
+                  << " inflight), " << rep.graphBuilds
                   << " graphs built (" << rep.graphShares
                   << " shared), " << rep.failures() << " failures, "
                   << rep.threads << " threads, " << rep.wallMs / 1000.0

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * campaign_serve — the campaign-as-a-service daemon: one shared
+ * engine, a persistent content-addressed result store, and a
+ * line-delimited JSON protocol on a local socket.
+ *
+ * Usage:
+ *   campaign_serve [options]
+ *
+ * Options:
+ *   --listen ADDR   unix:PATH or tcp:HOST:PORT (loopback only);
+ *                   default tcp:127.0.0.1:7077. Port 0 binds an
+ *                   ephemeral port — the "listening on" line reports
+ *                   the actual address, which is how scripts and CI
+ *                   discover it.
+ *   --store DIR     persistent result store (created if absent);
+ *                   without it the daemon serves from memory only
+ *   --threads N     engine worker threads (default: hardware
+ *                   concurrency)
+ *   --trace-dir DIR write Chrome trace JSON per simulated point whose
+ *                   spec enables trace.categories (DIR must exist)
+ *   --log-level L   quiet|warn|info|debug (default info)
+ *   --quiet         log level warn
+ *
+ * The daemon runs until a client sends {"op":"shutdown"}. Concurrent
+ * clients share the engine's caches and in-flight claim table, so
+ * overlapping sweeps cost one simulation per distinct fingerprint —
+ * see src/driver/service/ and the README "Campaign service" section
+ * for the protocol.
+ *
+ *   campaign_serve --listen tcp:127.0.0.1:0 --store /var/tmp/tdm-store
+ *   campaign_run --server tcp:127.0.0.1:PORT fig12
+ *   tools/campaign_client.py --server tcp:127.0.0.1:PORT sweep.campaign
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "driver/campaign/engine.hh"
+#include "driver/service/server.hh"
+#include "sim/logging.hh"
+
+using namespace tdm;
+namespace svc = tdm::driver::service;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--listen ADDR] [--store DIR] [--threads N]"
+                 " [--trace-dir DIR] [--log-level LEVEL] [--quiet]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string listen = "tcp:127.0.0.1:7077";
+    svc::ServerOptions opts;
+    opts.engine.threads = 0; // hardware concurrency
+    opts.verbose = true;
+    sim::setLogLevel(sim::LogLevel::Info);
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--listen")) {
+            listen = need(i);
+        } else if (!std::strcmp(a, "--store")) {
+            opts.storeDir = need(i);
+        } else if (!std::strcmp(a, "--threads")) {
+            opts.engine.threads =
+                static_cast<unsigned>(driver::campaign::parseUintArg(
+                    need(i), "--threads", UINT32_MAX));
+        } else if (!std::strcmp(a, "--trace-dir")) {
+            opts.engine.traceDir = need(i);
+        } else if (!std::strcmp(a, "--log-level")) {
+            const std::string lv = need(i);
+            sim::LogLevel level;
+            if (!sim::parseLogLevel(lv, level)) {
+                std::cerr << "--log-level expects quiet|warn|info"
+                             "|debug, got '"
+                          << lv << "'\n";
+                return 2;
+            }
+            sim::setLogLevel(level);
+            opts.verbose = level >= sim::LogLevel::Info;
+        } else if (!std::strcmp(a, "--quiet")) {
+            sim::setLogLevel(sim::LogLevel::Warn);
+            opts.verbose = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    try {
+        svc::Address addr = svc::parseAddress(listen);
+        svc::CampaignServer server(addr, opts);
+        // The discovery line scripts scrape (ephemeral ports resolve
+        // here); flushed before serving so a parent process polling
+        // stdout sees it immediately.
+        std::cout << "campaign_serve: listening on "
+                  << server.address().display() << std::endl;
+        server.serve();
+        const svc::StatusInfo info = server.status();
+        std::cout << "campaign_serve: served " << info.campaigns
+                  << " campaigns, " << info.points << " points ("
+                  << info.simulated << " simulated, "
+                  << info.fromMemory << " memory, " << info.fromDisk
+                  << " disk, " << info.fromInflight << " inflight)\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "campaign_serve: " << e.what() << "\n";
+        return 1;
+    }
+}
