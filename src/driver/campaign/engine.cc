@@ -180,9 +180,11 @@ CampaignEngine::run(const std::string &name,
 
     // Serialized per-point completion hook (per-run mutex, so
     // concurrent run() calls on one engine never serialize each
-    // other's streams).
+    // other's streams). Stamps the point's position on this run's
+    // timeline on the way out — the live-progress feed's x-axis.
     std::mutex emitMutex;
-    auto emit = [&](const JobResult &job, std::size_t index) {
+    auto emit = [&](JobResult &job, std::size_t index) {
+        job.doneAtMs = msSince(t0);
         if (!onJob)
             return;
         std::lock_guard<std::mutex> lock(emitMutex);

@@ -103,6 +103,10 @@ struct JobResult
     JobSource source = JobSource::Simulated; ///< where the summary
                                              ///< came from
     double wallMs = 0.0;   ///< simulation wall-clock (0 for cache hits)
+    double doneAtMs = 0.0; ///< when this point resolved, in ms since
+                           ///< its run() started — the live-progress
+                           ///< timeline (throughput, ETA). Host
+                           ///< timing: reported, never cached.
     std::string error;     ///< empty when the run completed
     bool threw = false;    ///< error came from an exception, not the
                            ///< simulator's incompletion path

@@ -1,0 +1,420 @@
+#include "driver/service/dashboard_api.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "driver/report/json_writer.hh"
+#include "driver/service/sse.hh"
+#include "www_assets.hh"
+
+namespace tdm::driver::service {
+
+using report::jsonEscape;
+using report::jsonNumber;
+
+// ---- registry ------------------------------------------------------------
+
+CampaignRecord *
+CampaignRegistry::findLocked(std::uint64_t id)
+{
+    // Ids ascend and lookups target recent campaigns; scan backwards.
+    for (auto it = campaigns_.rbegin(); it != campaigns_.rend(); ++it)
+        if (it->id == id)
+            return &*it;
+    return nullptr;
+}
+
+void
+CampaignRegistry::accepted(std::uint64_t id, const std::string &name,
+                           std::size_t total,
+                           const std::string &metrics_pattern)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    CampaignRecord rec;
+    rec.id = id;
+    rec.name = name;
+    rec.total = total;
+    rec.metricsPattern = metrics_pattern;
+    campaigns_.push_back(std::move(rec));
+
+    // Bound the daemon's memory: evict the oldest *finished* campaign
+    // once too many are retained (active ones are never evicted — the
+    // done event still needs to land somewhere).
+    std::size_t finished = 0;
+    for (const CampaignRecord &c : campaigns_)
+        if (!c.active)
+            ++finished;
+    if (finished > kMaxFinished) {
+        for (auto it = campaigns_.begin(); it != campaigns_.end(); ++it)
+            if (!it->active) {
+                campaigns_.erase(it);
+                break;
+            }
+    }
+}
+
+void
+CampaignRegistry::point(std::uint64_t id,
+                        const campaign::JobResult &job,
+                        std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    CampaignRecord *rec = findLocked(id);
+    if (!rec)
+        return;
+    PointRecord p;
+    p.index = index;
+    p.label = job.label;
+    p.digest = job.digest;
+    p.source = campaign::jobSourceName(job.source);
+    p.ok = job.ok();
+    p.error = job.error;
+    p.completed = job.summary.completed;
+    p.makespan = job.summary.makespan;
+    p.timeMs = job.summary.timeMs;
+    p.wallMs = job.wallMs;
+    p.doneAtMs = job.doneAtMs;
+    const sim::MetricSet selected =
+        job.summary.metrics().select(rec->metricsPattern);
+    p.metrics.assign(selected.entries().begin(),
+                     selected.entries().end());
+    if (!p.ok)
+        ++rec->failures;
+    switch (job.source) {
+    case campaign::JobSource::Simulated: ++rec->simulated; break;
+    case campaign::JobSource::Memory: ++rec->fromMemory; break;
+    case campaign::JobSource::Disk: ++rec->fromDisk; break;
+    case campaign::JobSource::Inflight: ++rec->fromInflight; break;
+    }
+    rec->points.push_back(std::move(p));
+}
+
+void
+CampaignRegistry::done(std::uint64_t id,
+                       const campaign::CampaignResult &result)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    CampaignRecord *rec = findLocked(id);
+    if (!rec)
+        return;
+    rec->active = false;
+    rec->wallMs = result.wallMs;
+}
+
+std::vector<CampaignRecord>
+CampaignRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return campaigns_;
+}
+
+bool
+CampaignRegistry::get(std::uint64_t id, CampaignRecord &out) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto it = campaigns_.rbegin(); it != campaigns_.rend(); ++it)
+        if (it->id == id) {
+            out = *it;
+            return true;
+        }
+    return false;
+}
+
+std::size_t
+CampaignRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return campaigns_.size();
+}
+
+// ---- dashboard -----------------------------------------------------------
+
+Dashboard::Dashboard(const CampaignRegistry &registry, ProgressBus &bus,
+                     const ResultStore *store,
+                     std::function<StatusInfo()> status)
+    : registry_(registry), bus_(bus), store_(store),
+      status_(std::move(status))
+{
+}
+
+std::string
+Dashboard::statusJson() const
+{
+    // The status op's renderer, verbatim: one source of truth for the
+    // counters whether they arrive over the protocol or over HTTP.
+    std::ostringstream os;
+    writeStatus(os, status_());
+    std::string body = os.str();
+    if (!body.empty() && body.back() == '\n')
+        body.pop_back();
+    body.push_back('\n');
+    return body;
+}
+
+namespace {
+
+void
+campaignSummaryJson(std::ostream &os, const CampaignRecord &c)
+{
+    os << "{\"id\":" << c.id << ",\"name\":\"" << jsonEscape(c.name)
+       << "\",\"total\":" << c.total << ",\"done\":" << c.points.size()
+       << ",\"active\":" << (c.active ? "true" : "false")
+       << ",\"failures\":" << c.failures << ",\"served\":{\"simulated\":"
+       << c.simulated << ",\"memory\":" << c.fromMemory
+       << ",\"disk\":" << c.fromDisk << ",\"inflight\":"
+       << c.fromInflight << "},\"wall_ms\":";
+    jsonNumber(os, c.wallMs);
+    os << ",\"metrics_pattern\":\"" << jsonEscape(c.metricsPattern)
+       << "\"}";
+}
+
+void
+pointRecordJson(std::ostream &os, const PointRecord &p)
+{
+    os << "{\"index\":" << p.index << ",\"label\":\""
+       << jsonEscape(p.label) << "\",\"digest\":\""
+       << jsonEscape(p.digest) << "\",\"source\":\"" << p.source
+       << "\",\"ok\":" << (p.ok ? "true" : "false") << ",\"error\":\""
+       << jsonEscape(p.error) << "\",\"completed\":"
+       << (p.completed ? "true" : "false")
+       << ",\"makespan\":" << p.makespan << ",\"time_ms\":";
+    jsonNumber(os, p.timeMs);
+    os << ",\"wall_ms\":";
+    jsonNumber(os, p.wallMs);
+    os << ",\"done_at_ms\":";
+    jsonNumber(os, p.doneAtMs);
+    os << ",\"metrics\":{";
+    bool first = true;
+    for (const auto &[k, v] : p.metrics) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(k) << "\":";
+        jsonNumber(os, v);
+        first = false;
+    }
+    os << "}}";
+}
+
+std::string
+errorJson(const std::string &message)
+{
+    return "{\"error\":\"" + jsonEscape(message) + "\"}\n";
+}
+
+const www::Asset *
+findAsset(const std::string &path)
+{
+    const std::string wanted = path == "/" ? "/index.html" : path;
+    for (std::size_t i = 0; i < www::kAssetCount; ++i)
+        if (wanted == www::kAssets[i].path)
+            return &www::kAssets[i];
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+Dashboard::campaignsJson() const
+{
+    const std::vector<CampaignRecord> all = registry_.snapshot();
+    std::ostringstream os;
+    os << "{\"campaigns\":[";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (i)
+            os << ",";
+        campaignSummaryJson(os, all[i]);
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+bool
+Dashboard::campaignPointsJson(std::uint64_t id, std::string &out) const
+{
+    CampaignRecord rec;
+    if (!registry_.get(id, rec))
+        return false;
+    // Completion order is the live view; the export view is point
+    // order — serve the latter so a row-by-row diff against the file
+    // export lines up.
+    std::sort(rec.points.begin(), rec.points.end(),
+              [](const PointRecord &a, const PointRecord &b) {
+                  return a.index < b.index;
+              });
+    std::ostringstream os;
+    os << "{\"id\":" << rec.id << ",\"name\":\"" << jsonEscape(rec.name)
+       << "\",\"total\":" << rec.total
+       << ",\"active\":" << (rec.active ? "true" : "false")
+       << ",\"metrics_pattern\":\"" << jsonEscape(rec.metricsPattern)
+       << "\",\"points\":[";
+    for (std::size_t i = 0; i < rec.points.size(); ++i) {
+        if (i)
+            os << ",";
+        pointRecordJson(os, rec.points[i]);
+    }
+    os << "]}\n";
+    out = os.str();
+    return true;
+}
+
+std::string
+Dashboard::storeJson(std::size_t limit) const
+{
+    std::ostringstream os;
+    if (!store_) {
+        os << "{\"store\":null,\"blobs\":[]}\n";
+        return os.str();
+    }
+    const StoreStats stats = store_->stats();
+    const auto blobs = store_->list();
+    os << "{\"store\":{\"dir\":\"" << jsonEscape(store_->dir())
+       << "\",\"blobs\":" << stats.blobs << ",\"bytes\":" << stats.bytes
+       << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+       << ",\"stores\":" << stats.stores
+       << ",\"corrupt\":" << stats.corrupt << "},\"blobs\":[";
+    const std::size_t n = std::min(limit, blobs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << ",";
+        os << "{\"digest\":\"" << blobs[i].first
+           << "\",\"bytes\":" << blobs[i].second << "}";
+    }
+    os << "],\"truncated\":" << (n < blobs.size() ? "true" : "false")
+       << "}\n";
+    return os.str();
+}
+
+bool
+Dashboard::storeBlobJson(const std::string &digest,
+                         std::string &out) const
+{
+    if (!store_)
+        return false;
+    std::string key;
+    RunSummary summary;
+    if (!store_->loadByDigest(digest, key, summary))
+        return false;
+    std::ostringstream os;
+    os << "{\"digest\":\"" << jsonEscape(digest) << "\",\"key\":\""
+       << jsonEscape(key) << "\",\"completed\":"
+       << (summary.completed ? "true" : "false")
+       << ",\"makespan\":" << summary.makespan << ",\"time_ms\":";
+    jsonNumber(os, summary.timeMs);
+    os << ",\"energy_j\":";
+    jsonNumber(os, summary.energyJ);
+    os << ",\"edp\":";
+    jsonNumber(os, summary.edp);
+    os << ",\"num_tasks\":" << summary.numTasks << ",\"metrics\":{";
+    bool first = true;
+    for (const auto &[k, v] : summary.metrics().entries()) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(k) << "\":";
+        jsonNumber(os, v);
+        first = false;
+    }
+    os << "}}\n";
+    out = os.str();
+    return true;
+}
+
+void
+Dashboard::handle(const HttpRequest &req, Socket &sock,
+                  const std::atomic<bool> &stopping) const
+{
+    const bool head = req.method == "HEAD";
+    const auto send = [&](int status, const std::string &type,
+                          const std::string &body) {
+        sock.sendAll(renderHttpResponse(status, type, body, head));
+    };
+    const char *kJson = "application/json";
+
+    if (req.method != "GET" && !head) {
+        send(405, kJson, errorJson("only GET and HEAD are supported"));
+        return;
+    }
+
+    const std::string &path = req.path;
+
+    if (path == "/api/status") {
+        send(200, kJson, statusJson());
+        return;
+    }
+    if (path == "/api/campaigns") {
+        send(200, kJson, campaignsJson());
+        return;
+    }
+    if (path.rfind("/api/campaign/", 0) == 0) {
+        const std::string rest = path.substr(14);
+        const std::size_t slash = rest.find('/');
+        if (slash != std::string::npos &&
+            rest.substr(slash) == "/points" && slash > 0) {
+            const std::string idText = rest.substr(0, slash);
+            char *end = nullptr;
+            const unsigned long long id =
+                std::strtoull(idText.c_str(), &end, 10);
+            std::string body;
+            if (end && *end == '\0' &&
+                campaignPointsJson(id, body)) {
+                send(200, kJson, body);
+                return;
+            }
+            send(404, kJson, errorJson("unknown campaign id"));
+            return;
+        }
+        send(404, kJson, errorJson("not found"));
+        return;
+    }
+    if (path == "/api/events") {
+        if (head) {
+            sock.sendAll(sseResponseHead());
+            return;
+        }
+        serveSseSession(sock, bus_, stopping);
+        return;
+    }
+    if (path == "/api/store") {
+        if (!store_) {
+            send(404, kJson, errorJson("no result store configured"));
+            return;
+        }
+        std::size_t limit = 1000;
+        const std::string limitText = req.queryParam("limit");
+        if (!limitText.empty()) {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(limitText.c_str(), &end, 10);
+            if (end && *end == '\0')
+                limit = static_cast<std::size_t>(v);
+        }
+        send(200, kJson, storeJson(limit));
+        return;
+    }
+    if (path.rfind("/api/store/", 0) == 0) {
+        const std::string digest = path.substr(11);
+        if (!store_) {
+            send(404, kJson, errorJson("no result store configured"));
+            return;
+        }
+        if (req.queryParam("raw") == "1") {
+            std::string bytes;
+            if (store_->readRawBlob(digest, bytes)) {
+                send(200, "text/plain; charset=utf-8", bytes);
+                return;
+            }
+        } else {
+            std::string body;
+            if (storeBlobJson(digest, body)) {
+                send(200, kJson, body);
+                return;
+            }
+        }
+        send(404, kJson, errorJson("no such blob"));
+        return;
+    }
+    if (const www::Asset *asset = findAsset(path)) {
+        send(200, asset->contentType,
+             std::string(asset->data, asset->size));
+        return;
+    }
+    send(404, kJson, errorJson("not found"));
+}
+
+} // namespace tdm::driver::service

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The dashboard: campaign registry + HTTP route handlers.
+ *
+ * The CampaignRegistry is the server-side memory behind the JSON API:
+ * every submit the protocol server accepts is recorded here (points in
+ * completion order, per-source counters, outcome), so a browser that
+ * arrives mid-sweep — or after it — can render the whole picture, not
+ * just the events it happened to catch on the SSE stream. Metric
+ * values are captured pre-rendered through the shared metric
+ * selection, so /api/campaign/<id>/points serves them byte-identical
+ * to the campaign_run file export.
+ *
+ * The Dashboard maps HTTP requests onto that registry, the progress
+ * bus (SSE), the result store (browser), and the embedded front end:
+ *
+ *     /                       the dashboard page (embedded www/)
+ *     /api/status             server counters (the status op's JSON)
+ *     /api/campaigns          every known campaign, summarized
+ *     /api/campaign/<id>/points   full per-point results + metrics
+ *     /api/events             live SSE stream (accepted/point/
+ *                             progress/done)
+ *     /api/store              store stats + digest listing
+ *     /api/store/<digest>     one decoded blob (?raw=1: exact bytes)
+ *
+ * Everything is read-only: the dashboard cannot submit, mutate, or
+ * shut down anything, which is what makes serving it next to the
+ * control protocol safe.
+ */
+
+#ifndef TDM_DRIVER_SERVICE_DASHBOARD_API_HH
+#define TDM_DRIVER_SERVICE_DASHBOARD_API_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/campaign/engine.hh"
+#include "driver/service/http_server.hh"
+#include "driver/service/progress_bus.hh"
+#include "driver/service/protocol.hh"
+#include "driver/service/socket.hh"
+#include "driver/service/store.hh"
+
+namespace tdm::driver::service {
+
+/** One resolved point, as the dashboard remembers it. */
+struct PointRecord
+{
+    std::size_t index = 0; ///< position in the campaign's point list
+    std::string label;
+    std::string digest;
+    std::string source; ///< "simulated" / "memory" / "disk" / "inflight"
+    bool ok = false;
+    std::string error;
+    bool completed = false;
+    std::uint64_t makespan = 0;
+    double timeMs = 0.0;
+    double wallMs = 0.0;
+    double doneAtMs = 0.0; ///< ms since the campaign started
+    /** Selected metrics in export (name) order, values exactly as the
+     *  file writers would emit them. */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** One campaign, as the dashboard remembers it. */
+struct CampaignRecord
+{
+    std::uint64_t id = 0; ///< the protocol's accepted/point/done id
+    std::string name;
+    std::size_t total = 0; ///< points accepted
+    std::string metricsPattern;
+    bool active = true; ///< still streaming (no done event yet)
+    std::uint64_t simulated = 0;
+    std::uint64_t fromMemory = 0;
+    std::uint64_t fromDisk = 0;
+    std::uint64_t fromInflight = 0;
+    std::size_t failures = 0;
+    double wallMs = 0.0;             ///< set by the done event
+    std::vector<PointRecord> points; ///< in completion order
+};
+
+/**
+ * Thread-safe registry of every campaign the server has streamed.
+ * Appended to by protocol-connection threads, snapshotted by dashboard
+ * threads. Finished campaigns beyond kMaxFinished are evicted oldest
+ * first so a long-lived daemon's memory stays bounded; active
+ * campaigns are never evicted.
+ */
+class CampaignRegistry
+{
+  public:
+    /** Finished campaigns retained for browsing. */
+    static constexpr std::size_t kMaxFinished = 128;
+
+    void accepted(std::uint64_t id, const std::string &name,
+                  std::size_t total,
+                  const std::string &metrics_pattern);
+    void point(std::uint64_t id, const campaign::JobResult &job,
+               std::size_t index);
+    void done(std::uint64_t id,
+              const campaign::CampaignResult &result);
+
+    /** Copy of every record, id-ascending. */
+    std::vector<CampaignRecord> snapshot() const;
+
+    /** Copy of one record; false when the id is unknown. */
+    bool get(std::uint64_t id, CampaignRecord &out) const;
+
+    std::size_t size() const;
+
+  private:
+    CampaignRecord *findLocked(std::uint64_t id);
+
+    mutable std::mutex m_;
+    std::vector<CampaignRecord> campaigns_; ///< id-ascending
+};
+
+/**
+ * The HTTP route table. Stateless apart from its references: the
+ * registry and bus are owned by the CampaignServer, the store is the
+ * server's (may be null), and @p status is a callback into the server
+ * so /api/status and the protocol's status op render the exact same
+ * counters.
+ */
+class Dashboard
+{
+  public:
+    Dashboard(const CampaignRegistry &registry, ProgressBus &bus,
+              const ResultStore *store,
+              std::function<StatusInfo()> status);
+
+    /** HttpServer::Handler entry point. */
+    void handle(const HttpRequest &req, Socket &sock,
+                const std::atomic<bool> &stopping) const;
+
+  private:
+    std::string statusJson() const;
+    std::string campaignsJson() const;
+    /** nullopt-style: false when the id is unknown. */
+    bool campaignPointsJson(std::uint64_t id, std::string &out) const;
+    std::string storeJson(std::size_t limit) const;
+    /** 200 body for /api/store/<digest>; false when absent/corrupt. */
+    bool storeBlobJson(const std::string &digest,
+                       std::string &out) const;
+
+    const CampaignRegistry &registry_;
+    ProgressBus &bus_;
+    const ResultStore *store_; ///< may be null (no --store)
+    std::function<StatusInfo()> status_;
+};
+
+} // namespace tdm::driver::service
+
+#endif // TDM_DRIVER_SERVICE_DASHBOARD_API_HH

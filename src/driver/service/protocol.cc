@@ -539,6 +539,8 @@ writePoint(std::ostream &os, std::uint64_t id,
        << ",\"ok\":" << (job.ok() ? "true" : "false")
        << ",\"error\":\"" << jsonEscape(job.error) << "\",\"wall_ms\":";
     jsonNumber(os, job.wallMs);
+    os << ",\"done_at_ms\":";
+    jsonNumber(os, job.doneAtMs);
     os << ",\"completed\":" << (s.completed ? "true" : "false")
        << ",\"makespan\":" << s.makespan << ",\"time_ms\":";
     jsonNumber(os, s.timeMs);
@@ -598,14 +600,27 @@ writeStatus(std::ostream &os, const StatusInfo &info)
        << ",\"inflight\":" << info.fromInflight
        << "},\"cache_points\":" << info.cachePoints
        << ",\"inflight\":" << info.inflight
-       << ",\"threads\":" << info.threads << ",\"store\":";
+       << ",\"threads\":" << info.threads << ",\"uptime_ms\":";
+    jsonNumber(os, info.uptimeMs);
+    os << ",\"store\":";
     if (info.hasStore) {
         os << "{\"dir\":\"" << jsonEscape(info.storeDir)
            << "\",\"blobs\":" << info.storeBlobs
+           << ",\"bytes\":" << info.storeBytes
            << ",\"hits\":" << info.storeHits
            << ",\"misses\":" << info.storeMisses
            << ",\"stores\":" << info.storeStores
            << ",\"corrupt\":" << info.storeCorrupt << "}";
+    } else {
+        os << "null";
+    }
+    os << ",\"http\":";
+    if (info.hasHttp) {
+        os << "{\"addr\":\"" << jsonEscape(info.httpAddr)
+           << "\",\"requests\":" << info.httpRequests
+           << ",\"sse_subscribers\":" << info.sseSubscribers
+           << ",\"events_published\":" << info.busPublished
+           << ",\"events_dropped\":" << info.busDropped << "}";
     } else {
         os << "null";
     }
@@ -667,6 +682,8 @@ decodePointEvent(const JsonValue &event, campaign::JobResult &job,
         job.error = v->asString();
     if (const JsonValue *v = event.find("wall_ms"))
         job.wallMs = v->asNumber();
+    if (const JsonValue *v = event.find("done_at_ms"))
+        job.doneAtMs = v->asNumber();
 
     RunSummary &s = job.summary;
     if (const JsonValue *v = event.find("completed")) {

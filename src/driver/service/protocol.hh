@@ -170,13 +170,21 @@ struct StatusInfo
     std::size_t cachePoints = 0; ///< in-memory cache entries
     std::size_t inflight = 0;    ///< points simulating right now
     unsigned threads = 0;
+    double uptimeMs = 0.0; ///< since the server was constructed
     bool hasStore = false;
     std::string storeDir;
     std::size_t storeBlobs = 0;
+    std::uint64_t storeBytes = 0; ///< summed blob sizes on disk
     std::uint64_t storeHits = 0;
     std::uint64_t storeMisses = 0;
     std::uint64_t storeStores = 0;
     std::uint64_t storeCorrupt = 0;
+    bool hasHttp = false; ///< dashboard enabled (--http)
+    std::string httpAddr;
+    std::uint64_t httpRequests = 0;
+    std::size_t sseSubscribers = 0;  ///< live /api/events sessions
+    std::uint64_t busPublished = 0;  ///< events fanned to the bus
+    std::uint64_t busDropped = 0;    ///< events shed by slow streams
 };
 
 void writeStatus(std::ostream &os, const StatusInfo &info);

@@ -5,10 +5,24 @@
 
 #include <sys/socket.h>
 
+#include "driver/report/json_writer.hh"
 #include "driver/spec/spec.hh"
 #include "sim/logging.hh"
 
 namespace tdm::driver::service {
+
+namespace {
+
+/** Protocol lines end in '\n'; bus payloads (SSE data) must not. */
+std::string
+chomp(std::string line)
+{
+    if (!line.empty() && line.back() == '\n')
+        line.pop_back();
+    return line;
+}
+
+} // namespace
 
 CampaignServer::CampaignServer(const Address &addr, ServerOptions opts)
     : opts_(std::move(opts)),
@@ -20,13 +34,29 @@ CampaignServer::CampaignServer(const Address &addr, ServerOptions opts)
           eo.backend = store_.get();
           return std::make_unique<campaign::CampaignEngine>(eo);
       }()),
-      listener_(addr)
+      listener_(addr), started_(std::chrono::steady_clock::now())
 {
+    if (!opts_.httpAddr.empty()) {
+        bus_ = std::make_unique<ProgressBus>();
+        registry_ = std::make_unique<CampaignRegistry>();
+        dashboard_ = std::make_unique<Dashboard>(
+            *registry_, *bus_, store_.get(),
+            [this] { return status(); });
+        http_ = std::make_unique<HttpServer>(
+            parseAddress(opts_.httpAddr),
+            [this](const HttpRequest &req, Socket &sock,
+                   const std::atomic<bool> &stopping) {
+                dashboard_->handle(req, sock, stopping);
+            });
+    }
     if (opts_.verbose) {
         sim::inform("campaign_serve: listening on ",
                     listener_.address().display(),
                     store_ ? " (store: " + store_->versionDir() + ")"
                            : " (no persistent store)");
+        if (http_)
+            sim::inform("campaign_serve: dashboard on ",
+                        http_->address().display());
     }
 }
 
@@ -78,6 +108,12 @@ CampaignServer::stop()
 {
     stopping_.store(true);
     listener_.shutdownNow();
+    // Dashboard first: closing the bus unblocks SSE sessions waiting
+    // in Subscription::next(), then the HTTP stop joins their threads.
+    if (bus_)
+        bus_->close();
+    if (http_)
+        http_->stop();
     std::lock_guard<std::mutex> lock(clientsMutex_);
     for (int fd : clientFds_)
         ::shutdown(fd, SHUT_RDWR);
@@ -155,23 +191,63 @@ CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
     {
         std::ostringstream out;
         writeAccepted(out, id, c.name, c.points.size());
-        if (!sock.sendAll(out.str()))
+        const std::string line = out.str();
+        if (!sock.sendAll(line))
             return;
+        if (bus_) {
+            registry_->accepted(id, c.name, c.points.size(),
+                                c.metrics);
+            bus_->publish("accepted", chomp(line));
+        }
     }
 
     // Stream each point as the engine resolves it. A send failure
     // cannot abort the run (the engine owns the jobs; other clients
-    // may be attached to them) — we just stop streaming.
+    // may be attached to them) — we just stop streaming. The point
+    // JSON is rendered once and shared by the socket and the bus, so
+    // a dashboard sees the exact bytes the client got.
     bool sendOk = true;
     const std::string metricsPattern = c.metrics;
+    std::uint64_t bySource[4] = {0, 0, 0, 0};
+    std::size_t doneCount = 0;
     const campaign::CampaignResult result = engine_->run(
         c, [&](const campaign::JobResult &job, std::size_t index,
                std::size_t total) {
-            if (!sendOk)
+            if (!sendOk && !bus_)
                 return;
             std::ostringstream out;
             writePoint(out, id, job, index, total, metricsPattern);
-            sendOk = sock.sendAll(out.str());
+            const std::string line = out.str();
+            if (sendOk)
+                sendOk = sock.sendAll(line);
+            if (!bus_)
+                return;
+            registry_->point(id, job, index);
+            bus_->publish("point", chomp(line));
+            // The progress event is dashboard sugar: completion
+            // fraction, per-source split, and a naive ETA from the
+            // mean per-point pace so far.
+            ++doneCount;
+            ++bySource[static_cast<int>(job.source)];
+            const double elapsed = job.doneAtMs;
+            const double eta =
+                (doneCount > 0 && doneCount < total)
+                    ? elapsed / static_cast<double>(doneCount) *
+                          static_cast<double>(total - doneCount)
+                    : 0.0;
+            std::ostringstream pr;
+            pr << "{\"id\":" << id << ",\"done\":" << doneCount
+               << ",\"total\":" << total
+               << ",\"served\":{\"simulated\":" << bySource[0]
+               << ",\"memory\":" << bySource[1]
+               << ",\"disk\":" << bySource[2]
+               << ",\"inflight\":" << bySource[3]
+               << "},\"elapsed_ms\":";
+            report::jsonNumber(pr, elapsed);
+            pr << ",\"eta_ms\":";
+            report::jsonNumber(pr, eta);
+            pr << "}";
+            bus_->publish("progress", pr.str());
         });
 
     {
@@ -188,11 +264,15 @@ CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
                     result.simulated, " simulated, ",
                     result.fromMemory, " memory, ", result.fromDisk,
                     " disk, ", result.fromInflight, " inflight");
-    if (sendOk) {
-        std::ostringstream out;
-        writeDone(out, id, result);
-        sock.sendAll(out.str());
+    std::ostringstream out;
+    writeDone(out, id, result);
+    const std::string line = out.str();
+    if (bus_) {
+        registry_->done(id, result);
+        bus_->publish("done", chomp(line));
     }
+    if (sendOk)
+        sock.sendAll(line);
 }
 
 StatusInfo
@@ -211,14 +291,27 @@ CampaignServer::status() const
     info.cachePoints = engine_->cache().size();
     info.inflight = engine_->inflightCount();
     info.threads = engine_->options().threads;
+    info.uptimeMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started_)
+                        .count();
     if (store_) {
+        const StoreStats stats = store_->stats();
         info.hasStore = true;
         info.storeDir = store_->dir();
-        info.storeBlobs = store_->size();
-        info.storeHits = store_->hits();
-        info.storeMisses = store_->misses();
-        info.storeStores = store_->stores();
-        info.storeCorrupt = store_->corrupt();
+        info.storeBlobs = stats.blobs;
+        info.storeBytes = stats.bytes;
+        info.storeHits = stats.hits;
+        info.storeMisses = stats.misses;
+        info.storeStores = stats.stores;
+        info.storeCorrupt = stats.corrupt;
+    }
+    if (http_) {
+        info.hasHttp = true;
+        info.httpAddr = http_->address().display();
+        info.httpRequests = http_->requests();
+        info.sseSubscribers = bus_->subscribers();
+        info.busPublished = bus_->published();
+        info.busDropped = bus_->dropped();
     }
     return info;
 }

@@ -20,6 +20,7 @@
 #define TDM_DRIVER_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,9 @@
 #include <vector>
 
 #include "driver/campaign/engine.hh"
+#include "driver/service/dashboard_api.hh"
+#include "driver/service/http_server.hh"
+#include "driver/service/progress_bus.hh"
 #include "driver/service/protocol.hh"
 #include "driver/service/socket.hh"
 #include "driver/service/store.hh"
@@ -41,6 +45,13 @@ struct ServerOptions
     std::string storeDir;
     /** Log one line per connection / submission to stderr. */
     bool verbose = false;
+    /**
+     * HTTP dashboard address ("tcp:127.0.0.1:0", "unix:PATH"); empty
+     * disables the dashboard entirely — no HTTP threads, no progress
+     * bus, no per-event publication work. Loopback/unix only, like
+     * the protocol listener.
+     */
+    std::string httpAddr;
 };
 
 /**
@@ -75,6 +86,15 @@ class CampaignServer
     campaign::CampaignEngine &engine() { return *engine_; }
     ResultStore *store() { return store_.get(); }
 
+    /** The dashboard's bound address; nullptr when --http is off. */
+    const Address *httpAddress() const
+    {
+        return http_ ? &http_->address() : nullptr;
+    }
+
+    /** The progress bus; nullptr when --http is off. */
+    ProgressBus *bus() { return bus_.get(); }
+
   private:
     void handleClient(Socket sock);
     void handleSubmit(Socket &sock, const SubmitRequest &req);
@@ -83,6 +103,15 @@ class CampaignServer
     std::unique_ptr<ResultStore> store_; ///< before engine_ (outlives)
     std::unique_ptr<campaign::CampaignEngine> engine_;
     Listener listener_;
+    std::chrono::steady_clock::time_point started_;
+
+    // Dashboard plumbing, all null without --http. Declaration order
+    // is destruction-safety: http_ (threads calling into the others)
+    // is declared last so it dies first.
+    std::unique_ptr<ProgressBus> bus_;
+    std::unique_ptr<CampaignRegistry> registry_;
+    std::unique_ptr<Dashboard> dashboard_;
+    std::unique_ptr<HttpServer> http_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> nextId_{1};

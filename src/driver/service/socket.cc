@@ -167,6 +167,19 @@ Socket::readLine(std::string &line)
     }
 }
 
+long
+Socket::readSome(char *buf, std::size_t cap)
+{
+    while (true) {
+        const ssize_t n = ::recv(fd_, buf, cap, 0);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
 Listener::Listener(const Address &addr) : addr_(addr)
 {
     if (addr_.isUnix) {

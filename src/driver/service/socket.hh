@@ -17,6 +17,7 @@
 #ifndef TDM_DRIVER_SERVICE_SOCKET_HH
 #define TDM_DRIVER_SERVICE_SOCKET_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -59,6 +60,11 @@ class Socket
     /** Next '\n'-terminated line (terminator stripped); false on EOF
      *  or error. A final unterminated line is returned as-is. */
     bool readLine(std::string &line);
+
+    /** Raw read of up to @p cap bytes (EINTR-safe). Returns the byte
+     *  count, 0 on EOF, -1 on error. Used by the HTTP layer, whose
+     *  framing is not line-delimited; do not mix with readLine. */
+    long readSome(char *buf, std::size_t cap);
 
     void close();
 

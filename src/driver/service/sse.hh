@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Server-Sent-Events framing and the dashboard's /api/events session.
+ *
+ * SSE is the simplest live-push channel a browser speaks natively
+ * (EventSource): a text/event-stream response that never ends, carrying
+ * "event:"/"data:" framed messages separated by blank lines. Each
+ * session holds one ProgressBus subscription; events already rendered
+ * as JSON by the publisher are framed and forwarded verbatim, so a
+ * metric value streams byte-identically to the file export. Idle
+ * sessions get a comment-line keepalive so proxies and the client's
+ * reconnect logic can tell "quiet" from "dead".
+ */
+
+#ifndef TDM_DRIVER_SERVICE_SSE_HH
+#define TDM_DRIVER_SERVICE_SSE_HH
+
+#include <atomic>
+#include <string>
+
+#include "driver/service/progress_bus.hh"
+#include "driver/service/socket.hh"
+
+namespace tdm::driver::service {
+
+/**
+ * Frame one SSE message: "event: <name>\n" then one "data:" line per
+ * line of @p data (multi-line payloads must be split per the SSE
+ * grammar or the browser would mis-frame them), then a blank line.
+ * An empty @p name omits the event line ("message" default type).
+ */
+std::string sseFrame(const std::string &name, const std::string &data);
+
+/** The response head for an SSE stream (no Content-Length — the
+ *  stream ends when the connection does). */
+std::string sseResponseHead();
+
+/**
+ * Run one SSE session over @p sock: write the stream head, then
+ * forward every event from a fresh @p bus subscription until the
+ * client disconnects, the bus closes, or @p stopping is set. Sends a
+ * ": keepalive" comment after ~15s of silence. Returns the number of
+ * events forwarded. Blocking; called from an HttpServer connection
+ * thread.
+ */
+std::uint64_t serveSseSession(Socket &sock, ProgressBus &bus,
+                              const std::atomic<bool> &stopping);
+
+} // namespace tdm::driver::service
+
+#endif // TDM_DRIVER_SERVICE_SSE_HH

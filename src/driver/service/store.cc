@@ -319,16 +319,25 @@ ResultStore::scanIndex()
             continue;
         if (name.find_first_not_of("0123456789abcdef") != 16)
             continue;
-        index_.insert(name.substr(0, 16));
+        std::error_code sizeEc;
+        const std::uintmax_t size = it->file_size(sizeEc);
+        const std::uint64_t bytes =
+            sizeEc ? 0 : static_cast<std::uint64_t>(size);
+        index_.emplace(name.substr(0, 16), bytes);
+        bytes_ += bytes;
     }
 }
 
 std::string
 ResultStore::pathForKey(const std::string &key) const
 {
-    return (fs::path(versionDir_) /
-            (campaign::digestOfKey(key) + ".result"))
-        .string();
+    return pathForDigest(campaign::digestOfKey(key));
+}
+
+std::string
+ResultStore::pathForDigest(const std::string &digest) const
+{
+    return (fs::path(versionDir_) / (digest + ".result")).string();
 }
 
 std::optional<RunSummary>
@@ -349,7 +358,10 @@ ResultStore::fetch(const std::string &key)
         // as a miss — the engine re-simulates and re-publishes.
         ++corrupt_;
         ++misses_;
-        index_.erase(digest);
+        if (auto it = index_.find(digest); it != index_.end()) {
+            bytes_ -= it->second;
+            index_.erase(it);
+        }
         sim::warn("result store: corrupt blob for ", digest,
                   " ignored (will re-simulate)");
         return std::nullopt;
@@ -380,11 +392,18 @@ ResultStore::publish(const std::string &key, const RunSummary &summary)
     const fs::path tmpPath = fs::path(versionDir_) / tmpName;
     const fs::path finalPath =
         fs::path(versionDir_) / (digest + ".result");
+    // Render first so the on-disk byte size is known for the stats
+    // accounting (and a serialization problem never leaves a torn
+    // temp file).
+    std::ostringstream blob;
+    writeSummaryBlob(blob, key, summary, schemaVersion_);
+    const std::string bytes = blob.str();
     {
         std::ofstream out(tmpPath,
                           std::ios::binary | std::ios::trunc);
         if (out)
-            writeSummaryBlob(out, key, summary, schemaVersion_);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
         if (!out) {
             sim::warn("result store: cannot write ",
                       tmpPath.string(), " (entry dropped)");
@@ -401,7 +420,8 @@ ResultStore::publish(const std::string &key, const RunSummary &summary)
         fs::remove(tmpPath, ec);
         return;
     }
-    index_.insert(digest);
+    index_.emplace(digest, bytes.size());
+    bytes_ += bytes.size();
     ++stores_;
 }
 
@@ -440,4 +460,60 @@ ResultStore::corrupt() const
     return corrupt_;
 }
 
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StoreStats s;
+    s.blobs = index_.size();
+    s.bytes = bytes_;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.stores = stores_;
+    s.corrupt = corrupt_;
+    return s;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+ResultStore::list() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {index_.begin(), index_.end()};
+}
+
+bool
+ResultStore::loadByDigest(const std::string &digest,
+                          std::string &key_out,
+                          RunSummary &summary_out) const
+{
+    if (digest.size() != 16 ||
+        digest.find_first_not_of("0123456789abcdef")
+            != std::string::npos)
+        return false;
+    // No lock: blobs are only ever created whole (atomic rename), so
+    // reading outside the index mutex sees absent or complete files.
+    std::ifstream in(pathForDigest(digest), std::ios::binary);
+    if (!in)
+        return false;
+    return readSummaryBlob(in, key_out, summary_out, schemaVersion_);
+}
+
+bool
+ResultStore::readRawBlob(const std::string &digest,
+                         std::string &bytes_out) const
+{
+    if (digest.size() != 16 ||
+        digest.find_first_not_of("0123456789abcdef")
+            != std::string::npos)
+        return false;
+    std::ifstream in(pathForDigest(digest), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    bytes_out = os.str();
+    return true;
+}
+
 } // namespace tdm::driver::service
+

@@ -37,14 +37,29 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "driver/campaign/result_cache.hh"
 
 namespace tdm::driver::service {
+
+/** One consistent snapshot of the store's counters (the status op and
+ *  the dashboard read them together; per-getter locking would let the
+ *  fields shear against each other). */
+struct StoreStats
+{
+    std::size_t blobs = 0;      ///< indexed result blobs
+    std::uint64_t bytes = 0;    ///< their summed on-disk size
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t corrupt = 0;
+};
 
 /**
  * Serialize @p summary under @p key as one store blob (header, fields,
@@ -94,6 +109,9 @@ class ResultStore : public campaign::CacheBackend
     /** Blob path for @p key (whether or not it exists). */
     std::string pathForKey(const std::string &key) const;
 
+    /** Blob path for a 16-hex @p digest (whether or not it exists). */
+    std::string pathForDigest(const std::string &digest) const;
+
     /** Indexed blobs. */
     std::size_t size() const;
 
@@ -103,6 +121,26 @@ class ResultStore : public campaign::CacheBackend
     /** Blobs that failed to parse and were served as misses. */
     std::uint64_t corrupt() const;
 
+    /** All counters in one locked read — O(1), safe to poll. */
+    StoreStats stats() const;
+
+    /** Indexed (digest, byte-size) pairs, digest-sorted. */
+    std::vector<std::pair<std::string, std::uint64_t>> list() const;
+
+    /**
+     * Load the blob named by @p digest (the store browser's lookup:
+     * address by digest, no key in hand). False when absent, corrupt,
+     * or schema-mismatched; unlike fetch(), a failed load here touches
+     * no counters and evicts nothing — browsing is read-only.
+     */
+    bool loadByDigest(const std::string &digest, std::string &key_out,
+                      RunSummary &summary_out) const;
+
+    /** Raw bytes of @p digest's blob (the store browser's ?raw=1
+     *  view). False when absent or unreadable. */
+    bool readRawBlob(const std::string &digest,
+                     std::string &bytes_out) const;
+
   private:
     void scanIndex();
 
@@ -111,7 +149,10 @@ class ResultStore : public campaign::CacheBackend
     unsigned schemaVersion_;
 
     mutable std::mutex mutex_;
-    std::unordered_set<std::string> index_; ///< digests present on disk
+    /** digest -> blob byte size for everything present on disk
+     *  (ordered so listings are deterministic). */
+    std::map<std::string, std::uint64_t> index_;
+    std::uint64_t bytes_ = 0; ///< summed sizes of index_ entries
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t stores_ = 0;

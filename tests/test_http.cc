@@ -1,0 +1,622 @@
+/**
+ * @file
+ * Dashboard tests: the HTTP request parser (partial reads, hostile
+ * input), SSE framing, progress-bus backpressure, and the live
+ * HTTP+SSE stack mounted on a real campaign server — concurrent
+ * dashboard clients during a live sweep, byte-identical metrics
+ * through /api/campaign/<id>/points, and the zero-overhead contract
+ * (a sweep with no HTTP consumers is byte-identical to a no-HTTP
+ * run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "driver/campaign/engine.hh"
+#include "driver/report/json_writer.hh"
+#include "driver/service/client.hh"
+#include "driver/service/http_server.hh"
+#include "driver/service/progress_bus.hh"
+#include "driver/service/server.hh"
+#include "driver/service/sse.hh"
+#include "driver/service/socket.hh"
+
+using namespace tdm;
+using namespace tdm::driver;
+namespace svc = tdm::driver::service;
+namespace fs = std::filesystem;
+
+// ---- HTTP parser ---------------------------------------------------------
+
+namespace {
+
+svc::HttpParser::State
+feedAll(svc::HttpParser &p, const std::string &bytes)
+{
+    return p.feed(bytes.data(), bytes.size());
+}
+
+} // namespace
+
+TEST(HttpParser, ParsesRequestFedByteByByte)
+{
+    const std::string req = "GET /api/status HTTP/1.1\r\n"
+                            "Host: localhost\r\n"
+                            "Accept: */*\r\n"
+                            "\r\n";
+    svc::HttpParser p;
+    for (std::size_t i = 0; i < req.size(); ++i) {
+        const auto st = p.feed(&req[i], 1);
+        if (i + 1 < req.size()) {
+            ASSERT_EQ(st, svc::HttpParser::State::NeedMore)
+                << "at byte " << i;
+        }
+    }
+    ASSERT_EQ(p.state(), svc::HttpParser::State::Done);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().path, "/api/status");
+    ASSERT_EQ(p.request().headers.size(), 2u);
+    EXPECT_EQ(p.request().headers[0].first, "host"); // lowercased
+    EXPECT_EQ(p.request().headers[0].second, "localhost");
+}
+
+TEST(HttpParser, DecodesPathAndQuery)
+{
+    svc::HttpParser p;
+    ASSERT_EQ(feedAll(p, "GET /a%20b?x=1%2B2&y=a+b&flag HTTP/1.1\r\n"
+                         "\r\n"),
+              svc::HttpParser::State::Done);
+    EXPECT_EQ(p.request().path, "/a b");
+    EXPECT_EQ(p.request().target, "/a%20b?x=1%2B2&y=a+b&flag");
+    EXPECT_EQ(p.request().queryParam("x"), "1+2");
+    EXPECT_EQ(p.request().queryParam("y"), "a b"); // '+' is space here
+    EXPECT_EQ(p.request().queryParam("flag"), "");
+    EXPECT_EQ(p.request().queryParam("absent", "dflt"), "dflt");
+}
+
+TEST(HttpParser, AcceptsBareLfLineEndings)
+{
+    svc::HttpParser p;
+    ASSERT_EQ(feedAll(p, "GET / HTTP/1.0\nHost: x\n\n"),
+              svc::HttpParser::State::Done);
+    EXPECT_EQ(p.request().path, "/");
+}
+
+TEST(HttpParser, RejectsMalformedRequests)
+{
+    struct Case
+    {
+        const char *bytes;
+        int status;
+    };
+    const Case cases[] = {
+        {"GET /\r\n\r\n", 400},                  // no version
+        {"GET / HTTP/1.1 extra\r\n\r\n", 400},   // 4 parts
+        {"GE T / HTTP/1.1\r\n\r\n", 400},        // 4 parts again
+        {"G\x01T / HTTP/1.1\r\n\r\n", 400},      // non-token method
+        {"GET / FTP/1.1\r\n\r\n", 400},          // not HTTP at all
+        {"GET / HTTP/2.0\r\n\r\n", 505},         // unsupported version
+        {"GET * HTTP/1.1\r\n\r\n", 400},         // not origin-form
+        {"GET /%zz HTTP/1.1\r\n\r\n", 400},      // bad percent escape
+        {"GET /%2 HTTP/1.1\r\n\r\n", 400},       // truncated escape
+        {"GET /a?x=%q1 HTTP/1.1\r\n\r\n", 400},  // bad escape in query
+        {"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n", 400}, // name space
+        {"GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+        {"GET / HTTP/1.1\r\nA: 1\r\n B: folded\r\n\r\n", 400},
+        {"\r\n\r\n", 400},                       // empty request line
+    };
+    for (const Case &c : cases) {
+        svc::HttpParser p;
+        EXPECT_EQ(feedAll(p, c.bytes), svc::HttpParser::State::Error)
+            << c.bytes;
+        EXPECT_EQ(p.status(), c.status) << c.bytes;
+    }
+}
+
+TEST(HttpParser, RejectsOversizedHead)
+{
+    svc::HttpParser p;
+    std::string huge = "GET / HTTP/1.1\r\n";
+    huge += "X-Pad: " + std::string(svc::HttpParser::kMaxRequestBytes,
+                                    'a');
+    // No terminating blank line needed: the cap trips first.
+    EXPECT_EQ(feedAll(p, huge), svc::HttpParser::State::Error);
+    EXPECT_EQ(p.status(), 431);
+    // Terminal: further bytes don't resurrect it.
+    EXPECT_EQ(feedAll(p, "\r\n\r\n"), svc::HttpParser::State::Error);
+}
+
+TEST(HttpParser, RejectsRequestBodies)
+{
+    svc::HttpParser p1;
+    EXPECT_EQ(feedAll(p1, "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                          "\r\nhello"),
+              svc::HttpParser::State::Error);
+    EXPECT_EQ(p1.status(), 400);
+
+    svc::HttpParser p2;
+    EXPECT_EQ(feedAll(p2, "GET / HTTP/1.1\r\n"
+                          "Transfer-Encoding: chunked\r\n\r\n"),
+              svc::HttpParser::State::Error);
+    EXPECT_EQ(p2.status(), 400);
+
+    // An explicit zero-length body is fine (curl sends this).
+    svc::HttpParser p3;
+    EXPECT_EQ(feedAll(p3, "GET / HTTP/1.1\r\nContent-Length: 0\r\n"
+                          "\r\n"),
+              svc::HttpParser::State::Done);
+}
+
+TEST(HttpParser, PercentDecodeEdges)
+{
+    std::string out;
+    EXPECT_TRUE(svc::percentDecode("a%2Fb%41", out, false));
+    EXPECT_EQ(out, "a/bA");
+    EXPECT_TRUE(svc::percentDecode("a+b", out, false));
+    EXPECT_EQ(out, "a+b"); // '+' literal outside query context
+    EXPECT_FALSE(svc::percentDecode("%", out, false));
+    EXPECT_FALSE(svc::percentDecode("%4", out, false));
+    EXPECT_FALSE(svc::percentDecode("%gg", out, false));
+    EXPECT_FALSE(svc::percentDecode("%00", out, false)); // NUL ban
+}
+
+TEST(HttpResponse, RendersHeadAndBody)
+{
+    const std::string r =
+        svc::renderHttpResponse(200, "application/json", "{\"a\":1}\n");
+    EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(r.find("Content-Length: 8\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(r.find("\r\n\r\n{\"a\":1}\n"), std::string::npos);
+
+    const std::string h = svc::renderHttpResponse(
+        404, "application/json", "{\"a\":1}\n", /*head_only=*/true);
+    EXPECT_NE(h.find("Content-Length: 8\r\n"), std::string::npos);
+    EXPECT_EQ(h.find("{\"a\":1}"), std::string::npos); // body omitted
+}
+
+// ---- SSE framing ---------------------------------------------------------
+
+TEST(Sse, FramesSingleLinePayload)
+{
+    EXPECT_EQ(svc::sseFrame("point", "{\"id\":1}"),
+              "event: point\ndata: {\"id\":1}\n\n");
+    // Default event type: no event line at all.
+    EXPECT_EQ(svc::sseFrame("", "x"), "data: x\n\n");
+}
+
+TEST(Sse, SplitsMultiLinePayloadPerSseGrammar)
+{
+    EXPECT_EQ(svc::sseFrame("log", "line1\nline2"),
+              "event: log\ndata: line1\ndata: line2\n\n");
+}
+
+// ---- progress bus --------------------------------------------------------
+
+TEST(ProgressBus, FastSubscriberSeesEveryEventInOrder)
+{
+    svc::ProgressBus bus;
+    auto sub = bus.subscribe();
+    for (int i = 0; i < 100; ++i)
+        bus.publish("e", "{\"n\":" + std::to_string(i) + "}");
+    for (int i = 0; i < 100; ++i) {
+        svc::BusEvent ev;
+        ASSERT_TRUE(sub->next(ev, std::chrono::milliseconds(1000)));
+        EXPECT_EQ(ev.json, "{\"n\":" + std::to_string(i) + "}");
+    }
+    EXPECT_EQ(sub->dropped(), 0u);
+    EXPECT_EQ(bus.published(), 100u);
+    EXPECT_EQ(bus.dropped(), 0u);
+    bus.unsubscribe(sub);
+    EXPECT_EQ(bus.subscribers(), 0u);
+}
+
+TEST(ProgressBus, SlowSubscriberDropsOldestAndCountsIt)
+{
+    svc::ProgressBus bus;
+    auto slow = bus.subscribe(/*cap=*/4);
+    for (int i = 0; i < 10; ++i)
+        bus.publish("e", std::to_string(i));
+    EXPECT_EQ(slow->dropped(), 6u);
+    EXPECT_EQ(slow->queued(), 4u);
+    // Freshest-wins: the survivors are the four *newest* events.
+    for (int i = 6; i < 10; ++i) {
+        svc::BusEvent ev;
+        ASSERT_TRUE(slow->next(ev, std::chrono::milliseconds(100)));
+        EXPECT_EQ(ev.json, std::to_string(i));
+    }
+    EXPECT_EQ(bus.dropped(), 6u);
+    bus.unsubscribe(slow);
+    // The retired subscriber's losses stay on the aggregate counter.
+    EXPECT_EQ(bus.dropped(), 6u);
+    EXPECT_EQ(bus.published(), 10u);
+}
+
+TEST(ProgressBus, SlowConsumerDoesNotStarveFastOne)
+{
+    svc::ProgressBus bus;
+    auto fast = bus.subscribe();
+    auto slow = bus.subscribe(/*cap=*/2);
+    for (int i = 0; i < 50; ++i)
+        bus.publish("e", std::to_string(i));
+    for (int i = 0; i < 50; ++i) {
+        svc::BusEvent ev;
+        ASSERT_TRUE(fast->next(ev, std::chrono::milliseconds(100)));
+        EXPECT_EQ(ev.json, std::to_string(i));
+    }
+    EXPECT_EQ(fast->dropped(), 0u);
+    EXPECT_EQ(slow->dropped(), 48u);
+    bus.unsubscribe(fast);
+    bus.unsubscribe(slow);
+}
+
+TEST(ProgressBus, CloseUnblocksBlockedConsumer)
+{
+    svc::ProgressBus bus;
+    auto sub = bus.subscribe();
+    std::atomic<bool> returned{false};
+    std::thread consumer([&] {
+        svc::BusEvent ev;
+        const bool got = sub->next(ev, std::chrono::seconds(30));
+        EXPECT_FALSE(got);
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    bus.close();
+    consumer.join();
+    EXPECT_TRUE(returned.load());
+    EXPECT_TRUE(sub->closed());
+    // A closed bus rejects new subscriptions as already-closed.
+    auto late = bus.subscribe();
+    EXPECT_TRUE(late->closed());
+}
+
+// ---- live dashboard ------------------------------------------------------
+
+namespace {
+
+Experiment
+point(const std::string &sched, unsigned cores)
+{
+    Experiment e;
+    e.workload = "cholesky";
+    e.params.granularity = 262144; // 8x8 tiles, 120 tasks: fast
+    e.runtime = core::RuntimeType::Tdm;
+    e.config.scheduler = sched;
+    e.config.numCores = cores;
+    return e;
+}
+
+campaign::Campaign
+grid(const std::string &name, std::vector<SweepPoint> points)
+{
+    campaign::Campaign c;
+    c.name = name;
+    c.points = std::move(points);
+    c.metrics = "dmu.tat.*";
+    return c;
+}
+
+std::vector<SweepPoint>
+smallGrid()
+{
+    return {
+        {"fifo8", point("fifo", 8)},
+        {"age8", point("age", 8)},
+        {"fifo16", point("fifo", 16)},
+        {"age16", point("age", 16)},
+    };
+}
+
+/** A job's metrics rendered exactly as every JSON writer renders
+ *  them — the byte-identity probe. */
+std::string
+metricsFragment(const campaign::JobResult &job)
+{
+    std::ostringstream os;
+    os << "\"metrics\":{";
+    bool first = true;
+    for (const auto &[k, v] : job.summary.metrics().entries()) {
+        os << (first ? "" : ",") << "\"" << k << "\":";
+        report::jsonNumber(os, v);
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+/** In-process daemon with the dashboard enabled. */
+class HttpFixture
+{
+  public:
+    explicit HttpFixture(const std::string &store_dir = "")
+    {
+        svc::ServerOptions opts;
+        opts.engine.threads = 2;
+        opts.storeDir = store_dir;
+        opts.httpAddr = "tcp:127.0.0.1:0";
+        server_ = std::make_unique<svc::CampaignServer>(
+            svc::parseAddress("tcp:127.0.0.1:0"), opts);
+        thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    ~HttpFixture() { stop(); }
+
+    void
+    stop()
+    {
+        if (thread_.joinable()) {
+            server_->stop();
+            thread_.join();
+        }
+    }
+
+    std::string address() const { return server_->address().display(); }
+    const svc::Address &httpAddress() const
+    {
+        return *server_->httpAddress();
+    }
+    svc::CampaignServer &server() { return *server_; }
+
+  private:
+    std::unique_ptr<svc::CampaignServer> server_;
+    std::thread thread_;
+};
+
+/** One-shot HTTP exchange; returns the full response bytes. */
+std::string
+httpRequest(const svc::Address &addr, const std::string &raw)
+{
+    svc::Socket s = svc::connectTo(addr);
+    EXPECT_TRUE(s.sendAll(raw));
+    std::string resp;
+    char buf[4096];
+    long n;
+    while ((n = s.readSome(buf, sizeof buf)) > 0)
+        resp.append(buf, static_cast<std::size_t>(n));
+    return resp;
+}
+
+std::string
+httpGet(const svc::Address &addr, const std::string &target)
+{
+    return httpRequest(addr, "GET " + target
+                                 + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+/** Read /api/events until a complete "done" frame arrives; flips
+ *  @p connected once the stream preamble lands. */
+std::string
+readSseUntilDone(const svc::Address &addr, std::atomic<bool> &connected)
+{
+    svc::Socket s = svc::connectTo(addr);
+    EXPECT_TRUE(s.sendAll(
+        "GET /api/events HTTP/1.1\r\nHost: t\r\n\r\n"));
+    std::string resp;
+    char buf[4096];
+    while (true) {
+        const long n = s.readSome(buf, sizeof buf);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+        if (resp.find(": connected") != std::string::npos)
+            connected.store(true);
+        const std::size_t done = resp.find("event: done");
+        if (done != std::string::npos
+            && resp.find("\n\n", done) != std::string::npos)
+            break;
+    }
+    return resp;
+}
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0, pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+} // namespace
+
+TEST(Dashboard, ServesStatusAssetsAndErrors)
+{
+    HttpFixture fx;
+    const svc::Address &http = fx.httpAddress();
+
+    const std::string status = httpGet(http, "/api/status");
+    EXPECT_NE(status.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(status.find("\"event\":\"status\""), std::string::npos);
+    EXPECT_NE(status.find("\"uptime_ms\":"), std::string::npos);
+    EXPECT_NE(status.find("\"http\":{"), std::string::npos);
+
+    const std::string page = httpGet(http, "/");
+    EXPECT_NE(page.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(page.find("Content-Type: text/html"), std::string::npos);
+    EXPECT_NE(page.find("tdm campaign dashboard"), std::string::npos);
+
+    const std::string js = httpGet(http, "/app.js");
+    EXPECT_NE(js.find("Content-Type: application/javascript"),
+              std::string::npos);
+
+    const std::string missing = httpGet(http, "/nope");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+    const std::string post = httpRequest(
+        http, "POST /api/status HTTP/1.1\r\nHost: t\r\n"
+              "Content-Length: 0\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+
+    const std::string garbage = httpRequest(http, "not http\r\n\r\n");
+    EXPECT_NE(garbage.find("HTTP/1.1 400"), std::string::npos);
+
+    // No store configured: the browser endpoints say so, not crash.
+    const std::string store = httpGet(http, "/api/store");
+    EXPECT_NE(store.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(Dashboard, ConcurrentSseClientsSeeLiveSweep)
+{
+    HttpFixture fx;
+    const svc::Address &http = fx.httpAddress();
+
+    std::atomic<bool> connected1{false}, connected2{false};
+    std::string capture1, capture2;
+    std::thread watcher1(
+        [&] { capture1 = readSseUntilDone(http, connected1); });
+    std::thread watcher2(
+        [&] { capture2 = readSseUntilDone(http, connected2); });
+    while (!connected1.load() || !connected2.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    svc::ServiceClient client(fx.address());
+    const campaign::CampaignResult result =
+        client.submit(grid("live", smallGrid()));
+    ASSERT_TRUE(result.allOk());
+    watcher1.join();
+    watcher2.join();
+
+    for (const std::string *cap : {&capture1, &capture2}) {
+        EXPECT_EQ(countOccurrences(*cap, "event: accepted\n"), 1u);
+        EXPECT_EQ(countOccurrences(*cap, "event: point\n"), 4u);
+        EXPECT_EQ(countOccurrences(*cap, "event: progress\n"), 4u);
+        EXPECT_EQ(countOccurrences(*cap, "event: done\n"), 1u);
+        // The SSE stream carries the exact bytes the protocol client
+        // got — including every 17-significant-digit metric value.
+        for (const campaign::JobResult &job : result.jobs)
+            EXPECT_NE(cap->find(metricsFragment(job)),
+                      std::string::npos)
+                << job.label;
+    }
+
+    // The registry's replay serves the same bytes after the fact.
+    const std::string points = httpGet(http, "/api/campaign/1/points");
+    EXPECT_NE(points.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(points.find("\"name\":\"live\""), std::string::npos);
+    EXPECT_NE(points.find("\"active\":false"), std::string::npos);
+    for (const campaign::JobResult &job : result.jobs) {
+        EXPECT_NE(points.find("\"label\":\"" + job.label + "\""),
+                  std::string::npos);
+        EXPECT_NE(points.find(metricsFragment(job)), std::string::npos)
+            << job.label;
+    }
+
+    const std::string campaigns = httpGet(http, "/api/campaigns");
+    EXPECT_NE(campaigns.find("\"id\":1"), std::string::npos);
+    EXPECT_NE(campaigns.find("\"total\":4"), std::string::npos);
+    EXPECT_NE(campaigns.find("\"done\":4"), std::string::npos);
+
+    const std::string unknown =
+        httpGet(http, "/api/campaign/999/points");
+    EXPECT_NE(unknown.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(Dashboard, StoreBrowserServesBlobsAndStats)
+{
+    const std::string dir =
+        (fs::temp_directory_path()
+         / ("tdm_http_store_" + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(dir);
+    {
+        HttpFixture fx(dir);
+        svc::ServiceClient client(fx.address());
+        const campaign::CampaignResult result =
+            client.submit(grid("seed", smallGrid()));
+        ASSERT_TRUE(result.allOk());
+
+        const std::string store =
+            httpGet(fx.httpAddress(), "/api/store");
+        EXPECT_NE(store.find("HTTP/1.1 200 OK"), std::string::npos);
+        EXPECT_NE(store.find("\"blobs\":4"), std::string::npos);
+        // Every digest the sweep produced is listed and fetchable.
+        for (const campaign::JobResult &job : result.jobs) {
+            EXPECT_NE(store.find("\"digest\":\"" + job.digest + "\""),
+                      std::string::npos);
+            const std::string blob = httpGet(
+                fx.httpAddress(), "/api/store/" + job.digest);
+            EXPECT_NE(blob.find("HTTP/1.1 200 OK"), std::string::npos);
+            // The blob carries the FULL metric tree (no selection);
+            // every selected metric must appear byte-identically.
+            for (const auto &[k, v] : job.summary.metrics().entries()) {
+                std::ostringstream frag;
+                frag << "\"" << k << "\":";
+                report::jsonNumber(frag, v);
+                EXPECT_NE(blob.find(frag.str()), std::string::npos)
+                    << job.label << " " << k;
+            }
+            const std::string raw = httpGet(
+                fx.httpAddress(),
+                "/api/store/" + job.digest + "?raw=1");
+            EXPECT_NE(raw.find("Content-Type: text/plain"),
+                      std::string::npos);
+        }
+        const std::string absent = httpGet(
+            fx.httpAddress(), "/api/store/0123456789abcdef");
+        EXPECT_NE(absent.find("HTTP/1.1 404"), std::string::npos);
+        // Status now reports blob count and on-disk bytes.
+        const svc::StatusInfo info = fx.server().status();
+        EXPECT_EQ(info.storeBlobs, 4u);
+        EXPECT_GT(info.storeBytes, 0u);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(Dashboard, ZeroSubscriberSweepMatchesNoHttpRun)
+{
+    // Same sweep on a daemon with the dashboard mounted (but no HTTP
+    // client attached) and on one without --http at all: every metric
+    // byte must match — the dashboard costs nothing it doesn't use.
+    std::vector<std::string> withHttp, without;
+    {
+        HttpFixture fx;
+        svc::ServiceClient client(fx.address());
+        const campaign::CampaignResult r =
+            client.submit(grid("zero", smallGrid()));
+        for (const campaign::JobResult &job : r.jobs)
+            withHttp.push_back(job.label + "|" + metricsFragment(job));
+    }
+    {
+        svc::ServerOptions opts;
+        opts.engine.threads = 2;
+        auto server = std::make_unique<svc::CampaignServer>(
+            svc::parseAddress("tcp:127.0.0.1:0"), opts);
+        std::thread t([&] { server->serve(); });
+        svc::ServiceClient client(server->address().display());
+        const campaign::CampaignResult r =
+            client.submit(grid("zero", smallGrid()));
+        for (const campaign::JobResult &job : r.jobs)
+            without.push_back(job.label + "|" + metricsFragment(job));
+        server->stop();
+        t.join();
+    }
+    EXPECT_EQ(withHttp, without);
+}
+
+TEST(Dashboard, SseSessionsUnblockOnServerStop)
+{
+    auto fx = std::make_unique<HttpFixture>();
+    std::atomic<bool> connected{false};
+    std::string capture;
+    std::thread watcher([&] {
+        capture = readSseUntilDone(fx->httpAddress(), connected);
+    });
+    while (!connected.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    fx->stop(); // must close the stream, not strand the reader
+    watcher.join();
+    EXPECT_EQ(capture.find("event: done"), std::string::npos);
+    fx.reset();
+}

@@ -9,12 +9,17 @@ it to shut down:
     tools/campaign_client.py --server tcp:127.0.0.1:7077 sweep.campaign
     tools/campaign_client.py --server tcp:127.0.0.1:7077 --status
     tools/campaign_client.py --server tcp:127.0.0.1:7077 --shutdown
+    tools/campaign_client.py --watch --http tcp:127.0.0.1:8077
 
 Submissions stream one "point" event per grid point as the shared
 engine resolves it (from the in-memory cache, the persistent store, an
 in-flight duplicate, or a fresh simulation), then a "done" summary.
 --json passes the raw event lines through for scripting; the default
 output is a human-readable progress log.
+
+--watch tails the dashboard's /api/events SSE stream (the daemon must
+run with --http) and prints every campaign's progress live — a
+terminal version of the browser dashboard. Ctrl-C to stop.
 
 Exit status: 0 on success, 1 when the server reports an error or any
 point fails, 2 on usage errors.
@@ -97,15 +102,24 @@ def one_shot(addr, op, raw):
                   f"disk={served.get('disk')} "
                   f"inflight={served.get('inflight')} "
                   f"cache_points={event.get('cache_points')} "
-                  f"threads={event.get('threads')}")
+                  f"threads={event.get('threads')} "
+                  f"uptime_ms={event.get('uptime_ms')}")
             if store:
                 print(f"store dir={store.get('dir')} "
                       f"blobs={store.get('blobs')} "
+                      f"bytes={store.get('bytes')} "
                       f"hits={store.get('hits')} "
                       f"stores={store.get('stores')} "
                       f"corrupt={store.get('corrupt')}")
             else:
                 print("store (none: memory-only daemon)")
+            http = event.get("http")
+            if http:
+                print(f"http addr={http.get('addr')} "
+                      f"requests={http.get('requests')} "
+                      f"sse={http.get('sse_subscribers')} "
+                      f"published={http.get('events_published')} "
+                      f"dropped={http.get('events_dropped')}")
         else:
             print(f"campaign_client: {event.get('event')}")
         return 0
@@ -180,6 +194,76 @@ def submit(addr, args):
     raise SystemExit("campaign_client: connection closed mid-campaign")
 
 
+def sse_events(sock):
+    """Yield (event_name, data) pairs from an open SSE stream."""
+    name, data = "", []
+    with sock.makefile("rb") as stream:
+        # Skip the response head.
+        status = stream.readline().decode("latin-1").strip()
+        if " 200 " not in status + " ":
+            raise SystemExit(f"campaign_client: dashboard said {status}")
+        while stream.readline().strip():
+            pass
+        for raw in stream:
+            line = raw.decode("utf-8", "replace").rstrip("\r\n")
+            if not line:
+                if data:
+                    yield name or "message", "\n".join(data)
+                name, data = "", []
+                continue
+            if line.startswith(":"):
+                continue  # keepalive comment
+            field, _, value = line.partition(":")
+            value = value[1:] if value.startswith(" ") else value
+            if field == "event":
+                name = value
+            elif field == "data":
+                data.append(value)
+
+
+def watch(args):
+    """Tail the dashboard SSE stream and print live progress."""
+    sock = connect(parse_address(args.http))
+    request = ("GET /api/events HTTP/1.1\r\n"
+               "Host: dashboard\r\nAccept: text/event-stream\r\n\r\n")
+    sock.sendall(request.encode("ascii"))
+    try:
+        for name, data in sse_events(sock):
+            if args.json:
+                print(f"{name}: {data}")
+                sys.stdout.flush()
+                continue
+            try:
+                event = json.loads(data)
+            except json.JSONDecodeError:
+                continue
+            cid = event.get("id")
+            if name == "accepted":
+                print(f"#{cid} accepted: {event.get('name')} "
+                      f"({event.get('points')} points)")
+            elif name == "point":
+                print(f"#{cid} " + format_point(event))
+            elif name == "progress":
+                eta = event.get("eta_ms") or 0
+                served = event.get("served", {})
+                print(f"#{cid} progress: {event.get('done')}"
+                      f"/{event.get('total')} "
+                      f"(sim={served.get('simulated')} "
+                      f"mem={served.get('memory')} "
+                      f"disk={served.get('disk')} "
+                      f"infl={served.get('inflight')})"
+                      + (f" eta={eta / 1000.0:.1f}s" if eta else ""))
+            elif name == "done":
+                print(f"#{cid} done: {event.get('points')} points, "
+                      f"{event.get('failures')} failures, "
+                      f"{event.get('wall_ms')} ms")
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        return 0
+    print("campaign_client: dashboard stream closed")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -187,8 +271,13 @@ def main():
                "--ping is required")
     ap.add_argument("campaign", nargs="?",
                     help="campaign file to submit (*.campaign)")
-    ap.add_argument("--server", required=True, metavar="ADDR",
+    ap.add_argument("--server", metavar="ADDR",
                     help="daemon address: tcp:HOST:PORT or unix:PATH")
+    ap.add_argument("--http", metavar="ADDR",
+                    help="dashboard address (for --watch): the "
+                         "daemon's --http value")
+    ap.add_argument("--watch", action="store_true",
+                    help="tail the dashboard SSE stream (needs --http)")
     ap.add_argument("--name", help="override the campaign name")
     ap.add_argument("--metrics", metavar="GLOBS",
                     help="comma-separated metric glob selection "
@@ -206,10 +295,18 @@ def main():
                     help="check liveness and exit")
     args = ap.parse_args()
 
-    modes = [bool(args.campaign), args.status, args.shutdown, args.ping]
+    modes = [bool(args.campaign), args.status, args.shutdown, args.ping,
+             args.watch]
     if sum(modes) != 1:
         ap.error("need exactly one of CAMPAIGN, --status, --shutdown, "
-                 "--ping")
+                 "--ping, --watch")
+    if args.watch:
+        if not args.http:
+            ap.error("--watch needs --http ADDR (the daemon's "
+                     "dashboard address)")
+        return watch(args)
+    if not args.server:
+        ap.error("--server is required for this mode")
 
     addr = parse_address(args.server)
     if args.status:

@@ -1,8 +1,9 @@
 /**
  * @file
  * campaign_serve — the campaign-as-a-service daemon: one shared
- * engine, a persistent content-addressed result store, and a
- * line-delimited JSON protocol on a local socket.
+ * engine, a persistent content-addressed result store, a
+ * line-delimited JSON protocol on a local socket, and an optional
+ * embedded HTTP dashboard.
  *
  * Usage:
  *   campaign_serve [options]
@@ -13,6 +14,11 @@
  *                   ephemeral port — the "listening on" line reports
  *                   the actual address, which is how scripts and CI
  *                   discover it.
+ *   --http ADDR     serve the live dashboard (HTTP + SSE) on ADDR
+ *                   (same unix:/tcp: grammar, loopback only; port 0
+ *                   works here too, reported by the "dashboard on"
+ *                   line). Off by default: without it the daemon
+ *                   starts no HTTP threads and does no per-event work.
  *   --store DIR     persistent result store (created if absent);
  *                   without it the daemon serves from memory only
  *   --threads N     engine worker threads (default: hardware
@@ -22,20 +28,29 @@
  *   --log-level L   quiet|warn|info|debug (default info)
  *   --quiet         log level warn
  *
- * The daemon runs until a client sends {"op":"shutdown"}. Concurrent
- * clients share the engine's caches and in-flight claim table, so
- * overlapping sweeps cost one simulation per distinct fingerprint —
- * see src/driver/service/ and the README "Campaign service" section
- * for the protocol.
+ * The daemon runs until a client sends {"op":"shutdown"} or it
+ * receives SIGINT/SIGTERM; either way it stops accepting, unwinds its
+ * client connections, and exits 0 with the served-totals line — so a
+ * ^C'd daemon on a unix socket still removes its socket file.
+ * Concurrent clients share the engine's caches and in-flight claim
+ * table, so overlapping sweeps cost one simulation per distinct
+ * fingerprint — see src/driver/service/ and the README "Campaign
+ * service" / "Dashboard" sections.
  *
- *   campaign_serve --listen tcp:127.0.0.1:0 --store /var/tmp/tdm-store
+ *   campaign_serve --listen tcp:127.0.0.1:0 --store /var/tmp/tdm-store \
+ *                  --http tcp:127.0.0.1:0
  *   campaign_run --server tcp:127.0.0.1:PORT fig12
  *   tools/campaign_client.py --server tcp:127.0.0.1:PORT sweep.campaign
  */
 
+#include <atomic>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+
+#include <pthread.h>
+#include <signal.h>
 
 #include "driver/campaign/engine.hh"
 #include "driver/service/server.hh"
@@ -50,8 +65,9 @@ namespace {
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--listen ADDR] [--store DIR] [--threads N]"
-                 " [--trace-dir DIR] [--log-level LEVEL] [--quiet]\n";
+              << " [--listen ADDR] [--http ADDR] [--store DIR]"
+                 " [--threads N] [--trace-dir DIR] [--log-level LEVEL]"
+                 " [--quiet]\n";
     std::exit(2);
 }
 
@@ -76,6 +92,8 @@ main(int argc, char **argv)
         const char *a = argv[i];
         if (!std::strcmp(a, "--listen")) {
             listen = need(i);
+        } else if (!std::strcmp(a, "--http")) {
+            opts.httpAddr = need(i);
         } else if (!std::strcmp(a, "--store")) {
             opts.storeDir = need(i);
         } else if (!std::strcmp(a, "--threads")) {
@@ -103,15 +121,53 @@ main(int argc, char **argv)
         }
     }
 
+    // Graceful SIGINT/SIGTERM: block the signals in every thread
+    // (must happen before any thread is spawned — children inherit
+    // the mask), then dedicate one thread to sigwait. On delivery it
+    // stops the server, which unwinds serve() and lets main run the
+    // normal exit path — unix socket files get unlinked, the totals
+    // line gets printed, and the exit code is 0, same as a
+    // client-requested shutdown.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
     try {
         svc::Address addr = svc::parseAddress(listen);
         svc::CampaignServer server(addr, opts);
-        // The discovery line scripts scrape (ephemeral ports resolve
+        // The discovery lines scripts scrape (ephemeral ports resolve
         // here); flushed before serving so a parent process polling
-        // stdout sees it immediately.
+        // stdout sees them immediately.
         std::cout << "campaign_serve: listening on "
                   << server.address().display() << std::endl;
+        if (const svc::Address *http = server.httpAddress())
+            std::cout << "campaign_serve: dashboard on "
+                      << http->display() << std::endl;
+
+        std::atomic<bool> exiting{false};
+        std::thread watcher([&] {
+            int sig = 0;
+            while (sigwait(&sigs, &sig) == 0) {
+                if (exiting.load())
+                    return; // poked by main after serve() returned
+                sim::inform("campaign_serve: caught ",
+                            sig == SIGINT ? "SIGINT" : "SIGTERM",
+                            ", shutting down");
+                server.stop();
+                return;
+            }
+        });
+
         server.serve();
+
+        // Unblock the watcher if it is still parked in sigwait (the
+        // shutdown came over the protocol, not via a signal).
+        exiting.store(true);
+        pthread_kill(watcher.native_handle(), SIGTERM);
+        watcher.join();
+
         const svc::StatusInfo info = server.status();
         std::cout << "campaign_serve: served " << info.campaigns
                   << " campaigns, " << info.points << " points ("

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a captured dashboard SSE stream against the checked-in
+event schema (tools/sse_event_schema.json). Stdlib only.
+
+Usage:
+    check_sse_event.py EVENT_TYPE [< capture]
+
+Reads a raw SSE capture (e.g. `curl -sN .../api/events`) on stdin,
+finds the first frame of EVENT_TYPE, and checks that its JSON payload
+carries every schema-required field with the right JSON type. Exits 0
+on success, 1 on a malformed frame / missing field / type mismatch /
+no frame of that type at all.
+
+CI tails the stream during a live submit and runs this on the capture,
+so a field rename or type change in the SSE contract fails the build
+instead of silently breaking dashboard consumers.
+"""
+
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+}
+
+
+def frames(stream):
+    """Yield (event_name, data) for each complete SSE frame."""
+    name, data = "", []
+    for raw in stream:
+        line = raw.rstrip("\r\n")
+        if not line:
+            if data:
+                yield name or "message", "\n".join(data)
+            name, data = "", []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            name = value
+        elif field == "data":
+            data.append(value)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    wanted = sys.argv[1]
+
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "sse_event_schema.json")
+    with open(schema_path, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+    if wanted not in schema:
+        print(f"check_sse_event: no schema for event type '{wanted}'",
+              file=sys.stderr)
+        return 1
+
+    for name, data in frames(sys.stdin):
+        if name != wanted:
+            continue
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as e:
+            print(f"check_sse_event: '{wanted}' data is not JSON: {e}",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(payload, dict):
+            print(f"check_sse_event: '{wanted}' data is not an object",
+                  file=sys.stderr)
+            return 1
+        bad = False
+        for field, kind in schema[wanted].items():
+            if field not in payload:
+                print(f"check_sse_event: '{wanted}' missing field "
+                      f"'{field}'", file=sys.stderr)
+                bad = True
+            elif not TYPE_CHECKS[kind](payload[field]):
+                print(f"check_sse_event: '{wanted}.{field}' is "
+                      f"{type(payload[field]).__name__}, schema says "
+                      f"{kind}", file=sys.stderr)
+                bad = True
+        if bad:
+            return 1
+        print(f"check_sse_event: '{wanted}' frame OK "
+              f"({len(schema[wanted])} fields checked)")
+        return 0
+
+    print(f"check_sse_event: no '{wanted}' frame in the capture",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,286 @@
+/* tdm campaign dashboard front end.
+ *
+ * Data flow: a one-shot fetch of each JSON endpoint paints the initial
+ * state, then the /api/events SSE stream keeps it live (with a slow
+ * polling fallback so a dropped stream degrades, not dies). */
+
+"use strict";
+
+const $ = (sel) => document.querySelector(sel);
+
+const state = {
+  selectedId: null,
+  etaMs: {},       // campaign id -> latest progress-event ETA
+  refreshTimer: 0, // pending detail refresh (throttle)
+};
+
+const SOURCES = ["simulated", "memory", "disk", "inflight"];
+
+function fmtMs(ms) {
+  if (!isFinite(ms)) return "–";
+  if (ms < 1000) return ms.toFixed(0) + " ms";
+  const s = ms / 1000;
+  if (s < 120) return s.toFixed(1) + " s";
+  const m = Math.floor(s / 60);
+  return m + " min " + Math.round(s - m * 60) + " s";
+}
+
+function fmtBytes(n) {
+  if (n < 1024) return n + " B";
+  if (n < 1024 * 1024) return (n / 1024).toFixed(1) + " KiB";
+  return (n / (1024 * 1024)).toFixed(1) + " MiB";
+}
+
+function el(tag, cls, text) {
+  const e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+
+// ---- daemon status --------------------------------------------------------
+
+function card(k, v) {
+  const c = el("div", "card");
+  c.appendChild(el("div", "k", k));
+  c.appendChild(el("div", "v", v));
+  return c;
+}
+
+async function refreshStatus() {
+  const s = await (await fetch("/api/status")).json();
+  const host = $("#status-cards");
+  host.replaceChildren(
+    card("uptime", fmtMs(s.uptime_ms)),
+    card("campaigns", String(s.campaigns)),
+    card("points", String(s.points)),
+    card("simulated", String(s.served.simulated)),
+    card("memory hits", String(s.served.memory)),
+    card("disk hits", String(s.served.disk)),
+    card("inflight hits", String(s.served.inflight)),
+    card("in flight", String(s.inflight)),
+    card("threads", String(s.threads)));
+  if (s.store) {
+    host.appendChild(card("store blobs", String(s.store.blobs)));
+    host.appendChild(card("store size", fmtBytes(s.store.bytes)));
+  }
+  if (s.http) {
+    host.appendChild(card("sse streams", String(s.http.sse_subscribers)));
+    host.appendChild(card("events dropped", String(s.http.events_dropped)));
+  }
+}
+
+// ---- campaign list --------------------------------------------------------
+
+function progressBar(c) {
+  const bar = el("div", "bar");
+  const served = {
+    simulated: c.served.simulated, memory: c.served.memory,
+    disk: c.served.disk, inflight: c.served.inflight,
+  };
+  for (const src of SOURCES) {
+    if (!served[src]) continue;
+    const seg = el("div", "seg " + src);
+    seg.style.width = (100 * served[src] / Math.max(1, c.total)) + "%";
+    bar.appendChild(seg);
+  }
+  return bar;
+}
+
+async function refreshCampaigns() {
+  const data = await (await fetch("/api/campaigns")).json();
+  const host = $("#campaigns");
+  host.replaceChildren();
+  if (!data.campaigns.length) {
+    host.appendChild(el("div", "empty",
+      "no campaigns submitted yet — point campaign_client.py at this daemon"));
+    return;
+  }
+  for (const c of data.campaigns.slice().reverse()) {
+    const div = el("div", "campaign" +
+      (c.id === state.selectedId ? " selected" : ""));
+    const row = el("div", "row");
+    row.appendChild(el("span", "name", "#" + c.id + " " + c.name));
+    let meta = c.done + "/" + c.total + " points";
+    if (c.failures) meta += " · " + c.failures + " failed";
+    if (c.active) {
+      const eta = state.etaMs[c.id];
+      meta += eta !== undefined
+        ? " · running, ~" + fmtMs(eta) + " left" : " · running";
+    } else {
+      meta += " · " + fmtMs(c.wall_ms);
+    }
+    row.appendChild(el("span", "meta", meta));
+    div.appendChild(row);
+    div.appendChild(progressBar(c));
+    const legend = el("div", "legend");
+    for (const src of SOURCES) {
+      const dot = el("span", "dot seg " + src);
+      legend.appendChild(dot);
+      legend.appendChild(document.createTextNode(
+        src + " " + c.served[src]));
+    }
+    div.appendChild(legend);
+    div.addEventListener("click", () => selectCampaign(c.id));
+    host.appendChild(div);
+  }
+}
+
+// ---- campaign detail ------------------------------------------------------
+
+function drawSparkline(points) {
+  const canvas = $("#sparkline");
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const times = points.map((p) => p.done_at_ms)
+    .filter((t) => t > 0).sort((a, b) => a - b);
+  if (times.length < 2) return;
+  const tMax = times[times.length - 1];
+  const pad = 6;
+  const w = canvas.width - 2 * pad, h = canvas.height - 2 * pad;
+  ctx.strokeStyle = "#4cc2ff";
+  ctx.lineWidth = 2;
+  ctx.beginPath();
+  ctx.moveTo(pad, pad + h);
+  times.forEach((t, i) => {
+    ctx.lineTo(pad + (t / tMax) * w,
+               pad + h - ((i + 1) / times.length) * h);
+  });
+  ctx.stroke();
+}
+
+async function selectCampaign(id) {
+  state.selectedId = id;
+  const res = await fetch("/api/campaign/" + id + "/points");
+  if (!res.ok) return;
+  const data = await res.json();
+  $("#detail-panel").hidden = false;
+  $("#detail-title").textContent =
+    "Campaign #" + data.id + " — " + data.name;
+  $("#detail-summary").textContent =
+    data.points.length + "/" + data.total + " points" +
+    (data.metrics_pattern ? " · metrics: " + data.metrics_pattern : "") +
+    (data.active ? " · running" : " · finished");
+
+  // metric-vs-axis table: fixed columns then one per metric name
+  const metricNames = [];
+  for (const p of data.points)
+    for (const k of Object.keys(p.metrics))
+      if (!metricNames.includes(k)) metricNames.push(k);
+  metricNames.sort();
+
+  const table = $("#points-table");
+  table.replaceChildren();
+  const thead = el("thead");
+  const hr = el("tr");
+  for (const name of ["#", "label", "source", "makespan", "time_ms",
+                      "sim wall", ...metricNames])
+    hr.appendChild(el("th", null, name));
+  thead.appendChild(hr);
+  table.appendChild(thead);
+  const tbody = el("tbody");
+  for (const p of data.points) {
+    const tr = el("tr", p.ok ? null : "failed");
+    tr.appendChild(el("td", null, String(p.index)));
+    tr.appendChild(el("td", null, p.label));
+    const srcTd = el("td");
+    srcTd.appendChild(el("span", "src " + p.source, p.source));
+    tr.appendChild(srcTd);
+    tr.appendChild(el("td", null, String(p.makespan)));
+    tr.appendChild(el("td", null, p.time_ms.toFixed(3)));
+    tr.appendChild(el("td", null,
+      p.wall_ms > 0 ? fmtMs(p.wall_ms) : "–"));
+    for (const name of metricNames) {
+      const v = p.metrics[name];
+      tr.appendChild(el("td", null, v === undefined ? "" : String(v)));
+    }
+    tbody.appendChild(tr);
+  }
+  table.appendChild(tbody);
+  drawSparkline(data.points);
+  refreshCampaigns();
+}
+
+function scheduleDetailRefresh() {
+  if (state.selectedId === null || state.refreshTimer) return;
+  state.refreshTimer = setTimeout(() => {
+    state.refreshTimer = 0;
+    if (state.selectedId !== null) selectCampaign(state.selectedId);
+  }, 500);
+}
+
+// ---- store browser --------------------------------------------------------
+
+async function refreshStore() {
+  const data = await (await fetch("/api/store?limit=200")).json();
+  const summary = $("#store-summary");
+  const table = $("#store-table");
+  table.replaceChildren();
+  if (!data.store) {
+    summary.textContent = "no result store configured (--store)";
+    return;
+  }
+  summary.textContent = data.store.blobs + " blobs · " +
+    fmtBytes(data.store.bytes) + " · " + data.store.dir +
+    (data.truncated ? " (listing truncated)" : "");
+  const hr = el("tr");
+  for (const name of ["digest", "bytes", ""])
+    hr.appendChild(el("th", null, name));
+  table.appendChild(hr);
+  for (const b of data.blobs) {
+    const tr = el("tr");
+    const td = el("td");
+    const a = el("a", null, b.digest);
+    a.href = "/api/store/" + b.digest;
+    td.appendChild(a);
+    tr.appendChild(td);
+    tr.appendChild(el("td", null, fmtBytes(b.bytes)));
+    const rawTd = el("td");
+    const raw = el("a", null, "raw");
+    raw.href = "/api/store/" + b.digest + "?raw=1";
+    rawTd.appendChild(raw);
+    tr.appendChild(rawTd);
+    table.appendChild(tr);
+  }
+}
+
+// ---- live stream ----------------------------------------------------------
+
+function connectEvents() {
+  const es = new EventSource("/api/events");
+  const conn = $("#conn");
+  es.onopen = () => {
+    conn.textContent = "live";
+    conn.className = "conn online";
+  };
+  es.onerror = () => {
+    conn.textContent = "stream lost — retrying";
+    conn.className = "conn offline";
+  };
+  es.addEventListener("accepted", () => refreshCampaigns());
+  es.addEventListener("done", (ev) => {
+    const msg = JSON.parse(ev.data);
+    delete state.etaMs[msg.id];
+    refreshCampaigns();
+    refreshStatus();
+    refreshStore();
+    if (msg.id === state.selectedId) scheduleDetailRefresh();
+  });
+  es.addEventListener("point", (ev) => {
+    const msg = JSON.parse(ev.data);
+    refreshCampaigns();
+    if (msg.id === state.selectedId) scheduleDetailRefresh();
+  });
+  es.addEventListener("progress", (ev) => {
+    const msg = JSON.parse(ev.data);
+    state.etaMs[msg.id] = msg.eta_ms;
+    refreshCampaigns();
+  });
+}
+
+refreshStatus();
+refreshCampaigns();
+refreshStore();
+connectEvents();
+setInterval(refreshStatus, 5000);   // fallback when the stream is down
+setInterval(refreshStore, 15000);
