@@ -1,9 +1,12 @@
 #include "driver/service/http_server.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <utility>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include "driver/report/json_writer.hh"
 #include "sim/logging.hh"
@@ -277,6 +280,7 @@ httpStatusReason(int status)
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -306,8 +310,11 @@ renderHttpResponse(int status, const std::string &content_type,
     return out;
 }
 
-HttpServer::HttpServer(const Address &addr, Handler handler)
-    : handler_(std::move(handler)), listener_(addr)
+HttpServer::HttpServer(const Address &addr, Handler handler,
+                       int head_timeout_sec)
+    : handler_(std::move(handler)), listener_(addr),
+      headTimeoutSec_(head_timeout_sec > 0 ? head_timeout_sec
+                                           : kHeadReadTimeoutSec)
 {
     acceptThread_ = std::thread([this] { acceptLoop(); });
 }
@@ -317,22 +324,60 @@ HttpServer::~HttpServer() { stop(); }
 void
 HttpServer::stop()
 {
+    // The shutdown protocol op and the signal watcher may both land
+    // here concurrently; call_once runs the teardown exactly once and
+    // blocks every other caller until the joins have finished.
+    std::call_once(stopOnce_, [this] { doStop(); });
+}
+
+void
+HttpServer::doStop()
+{
     stopping_.store(true);
     listener_.shutdownNow();
     {
         std::lock_guard<std::mutex> lock(connMutex_);
-        for (int fd : connFds_)
-            ::shutdown(fd, SHUT_RDWR);
+        for (const auto &c : conns_)
+            if (c->fd >= 0)
+                ::shutdown(c->fd, SHUT_RDWR);
     }
     if (acceptThread_.joinable())
         acceptThread_.join();
-    std::vector<std::thread> workers;
+    std::list<std::unique_ptr<Conn>> conns;
     {
         std::lock_guard<std::mutex> lock(connMutex_);
-        workers.swap(threads_);
+        conns.swap(conns_);
     }
-    for (std::thread &t : workers)
-        t.join();
+    for (const auto &c : conns)
+        if (c->thr.joinable())
+            c->thr.join();
+}
+
+std::size_t
+HttpServer::trackedConnections() const
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    return conns_.size();
+}
+
+void
+HttpServer::reapFinished()
+{
+    std::list<std::unique_ptr<Conn>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if ((*it)->done.load()) {
+                finished.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &c : finished)
+        if (c->thr.joinable())
+            c->thr.join();
 }
 
 void
@@ -342,31 +387,64 @@ HttpServer::acceptLoop()
         Socket sock = listener_.accept();
         if (!sock.valid())
             break;
+        // Join threads whose handler has returned, so thread count
+        // tracks live connections instead of total requests served.
+        reapFinished();
         std::lock_guard<std::mutex> lock(connMutex_);
         if (stopping_.load())
             break;
-        connFds_.push_back(sock.fd());
-        threads_.emplace_back([this, s = std::move(sock)]() mutable {
-            handleConnection(std::move(s));
-        });
+        conns_.push_back(std::make_unique<Conn>());
+        Conn &conn = *conns_.back();
+        conn.fd = sock.fd();
+        conn.thr =
+            std::thread([this, &conn, s = std::move(sock)]() mutable {
+                handleConnection(std::move(s), conn);
+            });
     }
 }
 
 void
-HttpServer::handleConnection(Socket sock)
+HttpServer::handleConnection(Socket sock, Conn &conn)
 {
-    const int fd = sock.fd();
+    // Bound how long an idle or trickling client may hold this thread
+    // before its request head is complete: each recv gets a receive
+    // timeout, and the head as a whole gets one deadline.
+    {
+        struct timeval tv{};
+        tv.tv_sec = headTimeoutSec_;
+        ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof tv);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now()
+        + std::chrono::seconds(headTimeoutSec_);
+
     HttpParser parser;
     char chunk[4096];
+    bool timedOut = false;
     while (parser.state() == HttpParser::State::NeedMore
            && !stopping_.load()) {
         const long n = sock.readSome(chunk, sizeof chunk);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timedOut = true;
+            break;
+        }
         if (n <= 0)
             break; // peer vanished before a full request head
         parser.feed(chunk, static_cast<std::size_t>(n));
+        if (parser.state() == HttpParser::State::NeedMore
+            && std::chrono::steady_clock::now() >= deadline) {
+            timedOut = true;
+            break;
+        }
     }
 
     if (parser.state() == HttpParser::State::Done) {
+        // Handlers may be long-lived (SSE); the head-read timeout
+        // must not bleed into them.
+        struct timeval tv{};
+        ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof tv);
         requests_.fetch_add(1);
         try {
             handler_(parser.request(), sock, stopping_);
@@ -378,6 +456,11 @@ HttpServer::handleConnection(Socket sock)
                 "{\"error\":\"" + report::jsonEscape(e.what())
                     + "\"}\n"));
         }
+    } else if (timedOut) {
+        sock.sendAll(renderHttpResponse(
+            408, "application/json",
+            "{\"error\":\"request head not received within "
+                + std::to_string(headTimeoutSec_) + "s\"}\n"));
     } else if (parser.state() == HttpParser::State::Error) {
         sock.sendAll(renderHttpResponse(
             parser.status(), "application/json",
@@ -385,15 +468,14 @@ HttpServer::handleConnection(Socket sock)
                 + "\"}\n"));
     }
 
-    sock.close();
-    std::lock_guard<std::mutex> lock(connMutex_);
-    for (std::size_t i = 0; i < connFds_.size(); ++i) {
-        if (connFds_[i] == fd) {
-            connFds_[i] = connFds_.back();
-            connFds_.pop_back();
-            break;
-        }
+    // Drop the fd from stop()'s shutdown set *before* closing: once
+    // closed, the number can be reused by an unrelated descriptor.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conn.fd = -1;
     }
+    sock.close();
+    conn.done.store(true); // last: the reaper may join immediately
 }
 
 } // namespace tdm::driver::service

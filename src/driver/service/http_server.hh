@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -117,9 +119,17 @@ class HttpServer
         const HttpRequest &req, Socket &sock,
         const std::atomic<bool> &stopping)>;
 
+    /** A client gets this long to deliver its complete request head;
+     *  past it the connection is answered 408 and closed (an idle
+     *  half-open connection must not pin a thread until shutdown). */
+    static constexpr int kHeadReadTimeoutSec = 10;
+
     /** Bind @p addr and start the accept thread; throws
-     *  std::runtime_error when the address cannot be bound. */
-    HttpServer(const Address &addr, Handler handler);
+     *  std::runtime_error when the address cannot be bound.
+     *  @p head_timeout_sec overrides the request-head deadline
+     *  (tests use a short one; <= 0 falls back to the default). */
+    HttpServer(const Address &addr, Handler handler,
+               int head_timeout_sec = kHeadReadTimeoutSec);
     ~HttpServer();
 
     HttpServer(const HttpServer &) = delete;
@@ -135,18 +145,38 @@ class HttpServer
     /** Requests served (any status). */
     std::uint64_t requests() const { return requests_.load(); }
 
+    /** Connection records not yet reaped (live plus finished threads
+     *  awaiting their join at the next accept). A long-running daemon
+     *  keeps this near its live-connection count; 0 after stop(). */
+    std::size_t trackedConnections() const;
+
   private:
+    /** One live (or finished-but-unjoined) connection. The handler
+     *  thread clears @c fd before closing the socket (so stop() never
+     *  shuts down a kernel-reused descriptor) and raises @c done as
+     *  its final act; the accept loop joins done threads so a
+     *  long-running daemon holds threads only for live connections. */
+    struct Conn
+    {
+        int fd = -1; ///< -1 once the handler has closed the socket
+        std::atomic<bool> done{false};
+        std::thread thr;
+    };
+
+    void doStop();
+    void reapFinished();
     void acceptLoop();
-    void handleConnection(Socket sock);
+    void handleConnection(Socket sock, Conn &conn);
 
     Handler handler_;
     Listener listener_;
+    const int headTimeoutSec_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> requests_{0};
 
-    std::mutex connMutex_;
-    std::vector<int> connFds_;
-    std::vector<std::thread> threads_; ///< connection threads
+    mutable std::mutex connMutex_;
+    std::list<std::unique_ptr<Conn>> conns_;
+    std::once_flag stopOnce_;
     std::thread acceptThread_;         ///< last: joined first in stop()
 };
 

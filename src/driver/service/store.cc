@@ -420,8 +420,11 @@ ResultStore::publish(const std::string &key, const RunSummary &summary)
         fs::remove(tmpPath, ec);
         return;
     }
-    index_.emplace(digest, bytes.size());
-    bytes_ += bytes.size();
+    // The early count() check makes a duplicate unlikely, but another
+    // writer sharing this directory could have indexed the digest via
+    // a rescan — never double-count its bytes.
+    if (index_.emplace(digest, bytes.size()).second)
+        bytes_ += bytes.size();
     ++stores_;
 }
 

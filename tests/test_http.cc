@@ -605,6 +605,112 @@ TEST(Dashboard, ZeroSubscriberSweepMatchesNoHttpRun)
     EXPECT_EQ(withHttp, without);
 }
 
+// ---- HttpServer lifecycle ------------------------------------------------
+
+namespace {
+
+/** A handler that answers 200 `{}` immediately. */
+void
+okHandler(const svc::HttpRequest &, svc::Socket &sock,
+          const std::atomic<bool> &)
+{
+    sock.sendAll(svc::renderHttpResponse(200, "application/json",
+                                         "{}\n"));
+}
+
+} // namespace
+
+TEST(HttpServerLifecycle, ReapsFinishedConnectionThreads)
+{
+    svc::HttpServer server(svc::parseAddress("tcp:127.0.0.1:0"),
+                           okHandler);
+    for (int i = 0; i < 40; ++i) {
+        const std::string resp = httpGet(server.address(), "/");
+        ASSERT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
+    }
+    // Every accept first joins connections whose handler returned, so
+    // the tracked set follows live connections (none now), not the 40
+    // requests served; only the most recent few may still be winding
+    // down. A grow-only thread list would report 40 here.
+    EXPECT_LE(server.trackedConnections(), 5u);
+    EXPECT_EQ(server.requests(), 40u);
+    server.stop();
+    EXPECT_EQ(server.trackedConnections(), 0u);
+}
+
+TEST(HttpServerLifecycle, ConcurrentStopIsSafe)
+{
+    svc::HttpServer server(
+        svc::parseAddress("tcp:127.0.0.1:0"),
+        [](const svc::HttpRequest &, svc::Socket &sock,
+           const std::atomic<bool> &stopping) {
+            // The SSE shape: hold the connection until shutdown.
+            while (!stopping.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            sock.sendAll(svc::renderHttpResponse(
+                200, "text/plain", "bye\n"));
+        });
+    svc::Socket client = svc::connectTo(server.address());
+    ASSERT_TRUE(
+        client.sendAll("GET /hold HTTP/1.1\r\nHost: t\r\n\r\n"));
+    while (server.requests() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // The shutdown protocol op and the signal watcher can race into
+    // stop(); every caller must block until the one teardown is done,
+    // and none may double-join a thread.
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i)
+        stoppers.emplace_back([&] { server.stop(); });
+    for (std::thread &t : stoppers)
+        t.join();
+    EXPECT_EQ(server.trackedConnections(), 0u);
+}
+
+TEST(HttpServerLifecycle, IdleClientGets408)
+{
+    svc::HttpServer server(svc::parseAddress("tcp:127.0.0.1:0"),
+                           okHandler, /*head_timeout_sec=*/1);
+    // Connect, send nothing: the connection must not pin a thread
+    // until daemon shutdown.
+    svc::Socket s = svc::connectTo(server.address());
+    std::string resp;
+    char buf[512];
+    long n;
+    while ((n = s.readSome(buf, sizeof buf)) > 0)
+        resp.append(buf, static_cast<std::size_t>(n));
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos);
+}
+
+TEST(HttpServerLifecycle, TricklingClientGets408)
+{
+    svc::HttpServer server(svc::parseAddress("tcp:127.0.0.1:0"),
+                           okHandler, /*head_timeout_sec=*/1);
+    // One header byte every 100 ms keeps each recv() fresh, so only
+    // the overall head deadline can cut this client off.
+    svc::Socket s = svc::connectTo(server.address());
+    std::atomic<bool> stop{false};
+    std::thread trickler([&] {
+        const std::string head = "GET / HTTP/1.1\r\nHost: t\r\n";
+        std::size_t i = 0;
+        while (!stop.load() && i < head.size()) {
+            if (!s.sendAll(std::string(1, head[i])))
+                break; // server closed on us — expected
+            ++i;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    });
+    std::string resp;
+    char buf[512];
+    long n;
+    while ((n = s.readSome(buf, sizeof buf)) > 0)
+        resp.append(buf, static_cast<std::size_t>(n));
+    stop.store(true);
+    trickler.join();
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos);
+}
+
 TEST(Dashboard, SseSessionsUnblockOnServerStop)
 {
     auto fx = std::make_unique<HttpFixture>();
