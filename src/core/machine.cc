@@ -645,6 +645,11 @@ Machine::onFifoDispatch(sim::CoreId core, sim::Tick seg_start,
 void
 Machine::startExec(sim::CoreId core, const rt::ReadyTask &task)
 {
+    // Warmup/ROI boundary: the first task body is about to run, and
+    // nothing ROI-affecting (the memory stall below) has been computed
+    // yet. This is the checkpoint warm-start forks restore to.
+    if (forkCaptureArmed_ && !sawFirstExec_ && !warmCaptured_)
+        captureWarm(core, task);
     const rt::Task &t = graph_.task(task.id);
     sim::Tick stall = 0;
     if (mem_) {
@@ -1034,7 +1039,14 @@ Machine::run()
     snapRunStart_ = metrics_.snapshot();
     eq_.post<&Machine::onStart>(0, this);
     eq_.run(cfg_.maxTicks);
+    if (forkCaptureArmed_ && finished_)
+        captureFinal();
+    return finalize();
+}
 
+MachineResult
+Machine::finalize()
+{
     MachineResult res;
     if (!finished_) {
         if (eq_.empty()) {
@@ -1160,6 +1172,151 @@ Machine::run()
               roiEndTick_);
     addWindow("drain", snapRoiEnd_, snapEnd, roiEndTick_, makespan_);
     return res;
+}
+
+// ---------------------------------------------------------------------
+// Warm-start forking
+// ---------------------------------------------------------------------
+
+void
+Machine::snapshotState(sim::Snapshot &s)
+{
+    // Every captured member restores by in-place assignment, so the
+    // metric registry's typed pointers into these objects stay valid
+    // across restores. The memory model and energy accountant are
+    // deliberately absent: both are rebuilt per fork from the fork's
+    // own configuration (the memory model is provably untouched before
+    // the first task body; the accountant only accumulates during
+    // finalize).
+    s.capture(phases_);
+    s.capture(mesh_);
+    if (tracker_)
+        tracker_->snapshotState(s);
+    if (pool_)
+        pool_->snapshotState(s);
+    if (dmu_)
+        dmu_->snapshotState(s);
+    if (hwq_)
+        hwq_->snapshotState(s);
+    s.capture(lock_);
+    s.capture(dmuPipe_);
+    s.capture(cores_);
+    s.capture(idleNext_);
+    s.capture(idlePrev_);
+    s.capture(idleLinked_);
+    s.capture(idleHead_);
+    s.capture(idleTail_);
+    s.capture(trace_);
+    s.capture(tbuf_);
+    s.capture(idleCount_);
+    s.capture(curRegion_);
+    s.capture(nextToCreate_);
+    s.capture(createdInRegion_);
+    s.capture(executedInRegion_);
+    s.capture(masterCreating_);
+    s.capture(regionDone_);
+    s.capture(finished_);
+    s.capture(dmuWaiters_);
+    s.capture(dmuWaiterScratch_);
+    s.capture(tasksExecuted_);
+    s.capture(carbonRr_);
+    s.capture(masterCreateTicks_);
+    s.capture(makespan_);
+    s.capture(taskCycles_);
+    s.capture(createdTotal_);
+    s.capture(sawFirstExec_);
+    s.capture(roiEnded_);
+    s.capture(pendingRoiEnd_);
+    s.capture(warmupEndTick_);
+    s.capture(roiEndTick_);
+    s.capture(snapRunStart_);
+    s.capture(snapWarmupEnd_);
+    s.capture(snapRoiEnd_);
+}
+
+void
+Machine::captureWarm(sim::CoreId core, const rt::ReadyTask &task)
+{
+    warmSnap_.clear();
+    if (!eq_.snapshotState(warmSnap_)) {
+        // A pending event is not clonable (type-erased lambda shim):
+        // leave warmCaptured_ false so the group degrades to cold
+        // runs. sawFirstExec_ flips right after this, so the capture
+        // is attempted exactly once per run.
+        warmSnap_.clear();
+        return;
+    }
+    snapshotState(warmSnap_);
+    metrics_.snapshotState(warmSnap_);
+    resumeCore_ = core;
+    resumeTask_ = task;
+    warmCaptured_ = true;
+}
+
+void
+Machine::captureFinal()
+{
+    // Only what the finalize tail mutates: phase totals (end-of-run
+    // idle accounting), the trace buffer, per-core idle flags, the
+    // energy accountant, and the window-closing state for degenerate
+    // graphs.
+    finalSnap_.clear();
+    finalSnap_.capture(phases_);
+    finalSnap_.capture(tbuf_);
+    finalSnap_.capture(cores_);
+    finalSnap_.capture(acct_);
+    finalSnap_.capture(sawFirstExec_);
+    finalSnap_.capture(roiEnded_);
+    finalSnap_.capture(warmupEndTick_);
+    finalSnap_.capture(roiEndTick_);
+    finalSnap_.capture(snapWarmupEnd_);
+    finalSnap_.capture(snapRoiEnd_);
+    finalCaptured_ = true;
+}
+
+MachineResult
+Machine::runFromWarm(const cpu::MachineConfig &cfg)
+{
+    if (!warmCaptured_)
+        sim::panic("runFromWarm without a captured warm snapshot");
+    warmSnap_.restore();
+    cfg_ = cfg;
+    // The memory model's only entry point is the stall computation in
+    // startExec, which the checkpoint precedes, so it is provably
+    // untouched: rebuilding it from the fork's own parameters yields
+    // exactly the state a cold run would have here.
+    mem_.reset();
+    if (cfg_.enableMemModel)
+        mem_ = std::make_unique<mem::MemoryModel>(cfg_.mem,
+                                                  cfg_.numCores);
+    // Fresh registry over the restored component state (the old one
+    // held pointers into the replaced memory model). The snapshot's
+    // shape hook has already verified the key set is fork-invariant,
+    // so the restored phase-window snapshots stay meaningful.
+    metrics_ = sim::MetricRegistry();
+    registerMetrics();
+    acct_ = pwr::EnergyAccountant(cfg_.power);
+    finalCaptured_ = false;
+    // Replay the interrupted dispatch: every call site invokes
+    // startExec in tail position, so re-entering it at the restored
+    // clock — with this fork's memory model computing the first
+    // stall — reproduces a cold run's event sequence exactly.
+    startExec(resumeCore_, resumeTask_);
+    eq_.run(cfg_.maxTicks);
+    if (forkCaptureArmed_ && finished_)
+        captureFinal();
+    return finalize();
+}
+
+MachineResult
+Machine::runFromFinal(const cpu::MachineConfig &cfg)
+{
+    if (!finalCaptured_)
+        sim::panic("runFromFinal without a captured finalize snapshot");
+    finalSnap_.restore();
+    cfg_ = cfg;
+    acct_ = pwr::EnergyAccountant(cfg_.power);
+    return finalize();
 }
 
 } // namespace tdm::core

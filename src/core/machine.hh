@@ -44,6 +44,7 @@
 #include "runtime/task_graph.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
 namespace tdm::core {
@@ -113,6 +114,48 @@ class Machine
 
     /** Run to completion and summarize. */
     MachineResult run();
+
+    // ---- warm-start forking ----------------------------------------
+
+    /**
+     * Arm checkpoint capture for the next run(): a restorable warm
+     * snapshot is taken at the warmup/ROI boundary (the tick of the
+     * first task-body dispatch, before its memory stall is computed)
+     * and a finalize snapshot at the end of the event loop. Runs of
+     * spec points that share this machine's warmup-affecting
+     * parameters can then fork via runFromWarm()/runFromFinal()
+     * instead of replaying the whole trajectory cold.
+     */
+    void armForkCapture() { forkCaptureArmed_ = true; }
+
+    /** True when run() captured a restorable warmup/ROI snapshot
+     *  (false for degenerate graphs that never dispatch a task, or
+     *  when a pending event was not clonable). */
+    bool hasWarmSnapshot() const { return warmCaptured_; }
+
+    /** True when run() completed and captured a pre-finalize
+     *  snapshot. */
+    bool hasFinalSnapshot() const { return finalCaptured_; }
+
+    /**
+     * Re-run from the warmup/ROI snapshot under @p cfg, which must
+     * agree with the captured run on every warmup-affecting parameter
+     * (spec::KeyPhase::Warmup keys) and may differ in ROI and finalize
+     * parameters (memory hierarchy, power). Restores the full machine
+     * state, rebuilds the memory model and metric registry for @p cfg,
+     * and replays the interrupted dispatch; the result is bit-for-bit
+     * identical to a cold run of @p cfg. Restorable any number of
+     * times.
+     */
+    MachineResult runFromWarm(const cpu::MachineConfig &cfg);
+
+    /**
+     * Re-run only the finalize tail (idle accounting + energy model +
+     * metric tree) under @p cfg, which may differ from the captured
+     * run only in finalize-phase parameters (spec::KeyPhase::Final,
+     * the power model). The entire simulated trajectory is shared.
+     */
+    MachineResult runFromFinal(const cpu::MachineConfig &cfg);
 
     const cpu::PhaseStats &phases() const { return phases_; }
     const dmu::Dmu *dmuUnit() const { return dmu_.get(); }
@@ -235,6 +278,18 @@ class Machine
     /** Register every component's metrics (constructor tail). */
     void registerMetrics();
 
+    // ---- warm-start fork internals ----
+    /** Capture every restorable machine field and delegate to each
+     *  component's snapshotState hook. */
+    void snapshotState(sim::Snapshot &s);
+    /** Take the warm snapshot at the top of the first startExec. */
+    void captureWarm(sim::CoreId core, const rt::ReadyTask &task);
+    /** Take the pre-finalize snapshot after the event loop drains. */
+    void captureFinal();
+    /** Summarize the finished (or watchdogged) event loop — the tail
+     *  of run(), factored out so forked replays reuse it. */
+    MachineResult finalize();
+
     // ---- tracing helpers (no-ops when the category is off) ----
     /** Sample every DMU occupancy counter at the current tick. */
     void traceDmuCounters();
@@ -353,6 +408,18 @@ class Machine
     sim::MetricSnapshot snapRunStart_;
     sim::MetricSnapshot snapWarmupEnd_;
     sim::MetricSnapshot snapRoiEnd_;
+
+    // ---- warm-start fork state ----
+    bool forkCaptureArmed_ = false;
+    bool warmCaptured_ = false;
+    bool finalCaptured_ = false;
+    sim::Snapshot warmSnap_;
+    sim::Snapshot finalSnap_;
+    /** The dispatch interrupted by the warm capture; every startExec
+     *  call site invokes it in tail position, so replaying it from the
+     *  restored clock reproduces the original event suffix exactly. */
+    sim::CoreId resumeCore_ = 0;
+    rt::ReadyTask resumeTask_{};
 
     static constexpr sim::CoreId masterCore = 0;
 };

@@ -76,6 +76,26 @@ ablationScalingGrid()
         .label("{workload}/c{machine.cores}/{runtime}");
 }
 
+/**
+ * Memory/power sensitivity ablation: each (workload, runtime) point
+ * swept over L1 capacity and active-core power. Every 9-point cell
+ * shares one warm prefix (only `mem.*` / `power.*` keys vary), so this
+ * is the warm-start fork showcase: the engine simulates each warmup
+ * once and forks, where a cold engine simulates all 36 points from
+ * tick 0. BENCH_PR*.json records the A/B wall-clock.
+ */
+spec::Grid
+ablationSensitivityGrid()
+{
+    return spec::Grid()
+        .axis("workload", {"cholesky", "lu"})
+        .axis("runtime", {"sw", "tdm"})
+        .axis("mem.l1_bytes", {"16384", "32768", "65536"})
+        .axis("power.active_w", {"0.6", "0.9", "1.2"})
+        .label("{workload}/{runtime}/l1_{mem.l1_bytes}"
+               "/w{power.active_w}");
+}
+
 void
 registerGrid(const std::string &name, const std::string &description,
              spec::Grid (*build)())
@@ -107,6 +127,10 @@ registerBuiltinCampaigns()
                      "Core-count scaling ablation: SW vs TDM at "
                      "8-64 cores",
                      ablationScalingGrid);
+        registerGrid("ablation_sensitivity",
+                     "Memory/power sensitivity ablation: L1 size x "
+                     "active watts per runtime (warm-fork showcase)",
+                     ablationSensitivityGrid);
         return true;
     }();
     (void)once;

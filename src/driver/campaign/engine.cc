@@ -1,5 +1,6 @@
 #include "driver/campaign/engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
@@ -9,11 +10,14 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "driver/campaign/fingerprint.hh"
+#include "driver/fork_runner.hh"
 #include "driver/report/trace_writer.hh"
+#include "driver/spec/spec.hh"
 #include "sim/logging.hh"
 
 namespace tdm::driver::campaign {
@@ -47,6 +51,7 @@ jobSourceName(JobSource source)
     case JobSource::Memory: return "memory";
     case JobSource::Disk: return "disk";
     case JobSource::Inflight: return "inflight";
+    case JobSource::Forked: return "forked";
     }
     return "unknown";
 }
@@ -258,6 +263,41 @@ CampaignEngine::run(const std::string &name,
         }
     }
 
+    // Phase 1.5: warm-start fork grouping. Points this run simulates
+    // are bucketed by warm-prefix fingerprint (the Warmup-phase
+    // projection of their canonical spec, first-seen order); each
+    // bucket is one work unit simulating a single cold warmup leg and
+    // forking the rest. Members sort by ROI fingerprint (stably, so
+    // ties keep input order) to chain finalize-level forks: points
+    // differing only in `power.*` keys sit adjacent and share the
+    // whole trajectory. Grouping never changes any result — forked
+    // summaries are bit-identical to cold ones — so output order and
+    // content stay schedule-independent exactly as before.
+    std::vector<std::string> roiKeys(n);
+    std::vector<std::vector<std::size_t>> groups;
+    if (opts_.warmFork) {
+        std::unordered_map<std::string, std::size_t> groupOf;
+        for (const std::size_t i : work) {
+            const std::string warmKey =
+                spec::warmFingerprint(report.jobs[i].spec);
+            roiKeys[i] = spec::roiFingerprint(report.jobs[i].spec);
+            auto [it, fresh] =
+                groupOf.emplace(warmKey, groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+        for (std::vector<std::size_t> &g : groups)
+            std::stable_sort(g.begin(), g.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return roiKeys[a] < roiKeys[b];
+                             });
+    } else {
+        groups.reserve(work.size());
+        for (const std::size_t i : work)
+            groups.push_back({i});
+    }
+
     // Simulated points resolve their task graph through the engine's
     // build-once graph store from inside the worker loop, so workers
     // share one immutable graph per distinct (workload, effective
@@ -267,83 +307,109 @@ CampaignEngine::run(const std::string &name,
     // publisher wins inside the cache).
     const std::uint64_t graphBuilds0 = graphs_.builds();
 
-    // Phase 2: simulate the unique misses on the worker pool. Results
-    // land at their input index, so output order never depends on the
-    // execution schedule.
+    // Phase 2: simulate the unique misses on the worker pool, one
+    // fork group per dispatch. Results land at their input index, so
+    // output order never depends on the execution schedule.
     std::atomic<std::size_t> nextJob{0};
     std::atomic<std::size_t> doneJobs{0};
     std::mutex progressMutex;
     auto workerLoop = [&] {
         for (;;) {
-            const std::size_t w = nextJob.fetch_add(1);
-            if (w >= work.size())
+            const std::size_t g = nextJob.fetch_add(1);
+            if (g >= groups.size())
                 return;
-            const std::size_t i = work[w];
-            JobResult &job = report.jobs[i];
-            const bool wantTrace =
-                !opts_.traceDir.empty()
-                && exps[i].config.trace.categories != 0;
-            sim::TraceBuffer tb;
-            const Clock::time_point j0 = Clock::now();
-            try {
-                // A graph-build failure lands in this job's error,
-                // exactly as it did when every point built its own.
-                std::shared_ptr<const rt::TaskGraph> graph =
-                    opts_.shareGraphs ? graphs_.obtain(exps[i])
-                                      : nullptr;
-                job.summary = driver::run(exps[i], graph,
-                                          wantTrace ? &tb : nullptr);
-                if (wantTrace) {
-                    const std::string path =
-                        opts_.traceDir + "/" + job.digest + ".json";
-                    std::ofstream f(path);
-                    if (!f) {
-                        sim::warn("cannot write trace file ", path);
-                    } else {
-                        report::TraceMeta meta;
-                        meta.processName = job.label;
-                        meta.numCores = exps[i].config.numCores;
-                        meta.graph = graph.get();
-                        report::writeChromeTrace(f, tb, meta);
-                        job.tracePath = path;
+            const std::vector<std::size_t> &group = groups[g];
+            // Created on the group's first member so a graph-build
+            // failure leaves it untouched; singleton groups skip the
+            // fork machinery (and its capture overhead) entirely.
+            std::optional<ForkGroupRunner> runner;
+            for (const std::size_t i : group) {
+                JobResult &job = report.jobs[i];
+                const bool wantTrace =
+                    !opts_.traceDir.empty()
+                    && exps[i].config.trace.categories != 0;
+                sim::TraceBuffer tb;
+                const Clock::time_point j0 = Clock::now();
+                try {
+                    // A graph-build failure lands in this job's
+                    // error, exactly as it did when every point built
+                    // its own. Members of one group share a graph by
+                    // construction (workload keys are Warmup-phase).
+                    std::shared_ptr<const rt::TaskGraph> graph =
+                        opts_.shareGraphs ? graphs_.obtain(exps[i])
+                                          : nullptr;
+                    if (!runner)
+                        runner.emplace(graph, group.size() > 1);
+                    bool forked = false;
+                    job.summary =
+                        runner->run(exps[i], roiKeys[i],
+                                    wantTrace ? &tb : nullptr,
+                                    &forked);
+                    if (forked)
+                        job.source = JobSource::Forked;
+                    if (wantTrace) {
+                        const std::string path =
+                            opts_.traceDir + "/" + job.digest
+                            + ".json";
+                        std::ofstream f(path);
+                        if (!f) {
+                            sim::warn("cannot write trace file ",
+                                      path);
+                        } else {
+                            report::TraceMeta meta;
+                            meta.processName = job.label;
+                            meta.numCores = exps[i].config.numCores;
+                            meta.graph = graph.get();
+                            report::writeChromeTrace(f, tb, meta);
+                            job.tracePath = path;
+                        }
                     }
+                } catch (const std::exception &e) {
+                    job.error = e.what();
+                    job.threw = true;
+                    if (runner)
+                        runner->reset(); // machine may be mid-restore
+                } catch (...) {
+                    job.error = "unknown error";
+                    job.threw = true;
+                    if (runner)
+                        runner->reset();
                 }
-            } catch (const std::exception &e) {
-                job.error = e.what();
-                job.threw = true;
-            } catch (...) {
-                job.error = "unknown error";
-                job.threw = true;
-            }
-            job.wallMs = msSince(j0);
-            // Cache any summary the simulator produced — incomplete
-            // runs are as deterministic as complete ones. Exceptions
-            // left no summary, so those are not cached.
-            if (opts_.useCache && job.error.empty()) {
-                cache_.store(keys[i], job.summary);
-                if (opts_.backend)
-                    opts_.backend->publish(keys[i], job.summary);
-            }
-            markIncomplete(job);
-            // Hand the outcome to every attached claimant (this run's
-            // in-list duplicates and concurrent runs of the same
-            // fingerprint) and release the claim. Runs even after an
-            // exception so claimants never wait forever.
-            if (opts_.useCache)
-                resolveInflight(keys[i], job);
-            emit(job, i);
-            const std::size_t k = doneJobs.fetch_add(1) + 1;
-            if (opts_.progress) {
-                std::lock_guard<std::mutex> lock(progressMutex);
-                sim::inform("  [", k, "/", work.size(), "] ",
-                            job.label, job.ok() ? "" : " FAILED",
-                            " (", job.wallMs, " ms)");
+                job.wallMs = msSince(j0);
+                // Cache any summary the simulator produced —
+                // incomplete runs are as deterministic as complete
+                // ones. Exceptions left no summary, so those are not
+                // cached.
+                if (opts_.useCache && job.error.empty()) {
+                    cache_.store(keys[i], job.summary);
+                    if (opts_.backend)
+                        opts_.backend->publish(keys[i], job.summary);
+                }
+                markIncomplete(job);
+                // Hand the outcome to every attached claimant (this
+                // run's in-list duplicates and concurrent runs of the
+                // same fingerprint) and release the claim. Runs even
+                // after an exception so claimants never wait forever.
+                if (opts_.useCache)
+                    resolveInflight(keys[i], job);
+                emit(job, i);
+                const std::size_t k = doneJobs.fetch_add(1) + 1;
+                if (opts_.progress) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    sim::inform("  [", k, "/", work.size(), "] ",
+                                job.label,
+                                job.source == JobSource::Forked
+                                    ? " (forked)"
+                                    : "",
+                                job.ok() ? "" : " FAILED", " (",
+                                job.wallMs, " ms)");
+                }
             }
         }
     };
 
     const unsigned poolSize = static_cast<unsigned>(
-        std::min<std::size_t>(threads, work.size()));
+        std::min<std::size_t>(threads, groups.size()));
     if (poolSize <= 1) {
         workerLoop();
     } else {
@@ -391,11 +457,23 @@ CampaignEngine::run(const std::string &name,
         case JobSource::Memory: ++report.fromMemory; break;
         case JobSource::Disk: ++report.fromDisk; break;
         case JobSource::Inflight: ++report.fromInflight; break;
+        case JobSource::Forked: ++report.fromForked; break;
         case JobSource::Simulated: break;
         }
         report.simMsTotal += j.wallMs;
     }
-    report.simulated = work.size();
+    // Cold legs = the simulated points minus the ones forking another
+    // point's snapshot; a warmup is "shared" when at least one group
+    // member actually resumed from it.
+    report.simulated = work.size() - report.fromForked;
+    for (const std::vector<std::size_t> &g : groups) {
+        const bool shared = std::any_of(
+            g.begin(), g.end(), [&](std::size_t i) {
+                return report.jobs[i].source == JobSource::Forked;
+            });
+        if (shared)
+            ++report.warmupsShared;
+    }
     return report;
 }
 

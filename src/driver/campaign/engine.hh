@@ -76,6 +76,21 @@ struct EngineOptions
      * engine. Only consulted when useCache is on.
      */
     CacheBackend *backend = nullptr;
+
+    /**
+     * Warm-start batching: group the points this run simulates by
+     * their warm-prefix fingerprint (the Warmup-phase projection of
+     * the canonical spec, see spec::KeyPhase), simulate one warmup
+     * leg per group, and fork the remaining members from a snapshot
+     * taken at the warmup/ROI boundary (members differing only in
+     * `power.*` keys fork at finalization and share the whole
+     * trajectory). Pure wall-clock optimization: forked summaries are
+     * bit-identical to cold runs (the forked-equivalence test pins
+     * this), and groups degrade to cold legs when a snapshot is
+     * unavailable. Off (campaign_run --no-warm-fork) is only useful
+     * for that comparison and for timing baselines.
+     */
+    bool warmFork = true;
 };
 
 /**
@@ -83,11 +98,13 @@ struct EngineOptions
  * counters. "Disk" means the external CacheBackend (the on-disk
  * store); "Inflight" means the point attached to an identical point
  * already simulating (in this run or a concurrent one) instead of
- * re-simulating.
+ * re-simulating; "Forked" means the point was simulated, but resumed
+ * from another point's warmup (or whole-trajectory) snapshot instead
+ * of starting cold (EngineOptions::warmFork).
  */
-enum class JobSource { Simulated, Memory, Disk, Inflight };
+enum class JobSource { Simulated, Memory, Disk, Inflight, Forked };
 
-/** "simulated" / "memory" / "disk" / "inflight". */
+/** "simulated" / "memory" / "disk" / "inflight" / "forked". */
 const char *jobSourceName(JobSource source);
 
 /** Outcome of one campaign point. */
@@ -99,7 +116,8 @@ struct JobResult
                            ///< serialization is the cache key)
     RunSummary summary{};
     bool cacheHit = false; ///< served without simulating this point
-                           ///< (== source != Simulated)
+                           ///< (Memory/Disk/Inflight; Forked still
+                           ///< simulates, just not from tick 0)
     JobSource source = JobSource::Simulated; ///< where the summary
                                              ///< came from
     double wallMs = 0.0;   ///< simulation wall-clock (0 for cache hits)
@@ -145,11 +163,15 @@ struct CampaignResult
     double simMsTotal = 0.0;     ///< summed wall-clock of simulated
                                  ///< points (cache hits cost ~0)
     std::uint64_t cacheHits = 0; ///< fromMemory + fromDisk + fromInflight
-    std::uint64_t simulated = 0;
+    std::uint64_t simulated = 0; ///< points simulated cold (from tick 0)
     std::uint64_t fromMemory = 0;   ///< served from the in-memory cache
     std::uint64_t fromDisk = 0;     ///< served from the external backend
     std::uint64_t fromInflight = 0; ///< attached to an identical
                                     ///< in-flight simulation
+    std::uint64_t fromForked = 0;   ///< simulated by forking another
+                                    ///< point's warm-start snapshot
+    std::uint64_t warmupsShared = 0; ///< cold warmup legs at least one
+                                     ///< forked point resumed from
     std::uint64_t graphBuilds = 0; ///< distinct task graphs built
     std::uint64_t graphShares = 0; ///< simulated points served a
                                    ///< cached shared graph

@@ -28,12 +28,17 @@ run(const Experiment &exp, std::shared_ptr<const rt::TaskGraph> graph,
     core::MachineResult mr = machine.run();
     if (trace_out)
         *trace_out = machine.takeTraceBuffer();
+    return summarize(std::move(mr), *graph);
+}
 
+RunSummary
+summarize(core::MachineResult mr, const rt::TaskGraph &graph)
+{
     // Workload-shape facts live outside the machine's registry; fold
     // them into the tree so exports are self-contained.
     mr.metrics.set("workload.num_tasks",
-                   static_cast<double>(graph->numTasks()));
-    mr.metrics.set("workload.avg_task_us", graph->avgTaskUs());
+                   static_cast<double>(graph.numTasks()));
+    mr.metrics.set("workload.avg_task_us", graph.avgTaskUs());
 
     RunSummary s;
     s.machine = std::move(mr);
@@ -45,8 +50,8 @@ run(const Experiment &exp, std::shared_ptr<const rt::TaskGraph> graph,
     s.energyJ = m.get("power.energy_j");
     s.edp = m.get("power.edp");
     s.avgWatts = m.get("power.avg_watts");
-    s.numTasks = graph->numTasks();
-    s.avgTaskUs = graph->avgTaskUs();
+    s.numTasks = graph.numTasks();
+    s.avgTaskUs = graph.avgTaskUs();
     return s;
 }
 

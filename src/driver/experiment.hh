@@ -97,6 +97,15 @@ RunSummary run(const Experiment &exp,
                std::shared_ptr<const rt::TaskGraph> graph,
                sim::TraceBuffer *trace_out);
 
+/**
+ * Build a RunSummary from a finished machine result: folds the
+ * workload-shape facts of @p graph into the metric tree and populates
+ * the typed scalar views. The tail of run(), shared with the
+ * warm-start ForkGroupRunner so forked and cold summaries are built by
+ * the same code.
+ */
+RunSummary summarize(core::MachineResult mr, const rt::TaskGraph &graph);
+
 /** Speedup of @p test over @p base (makespans). */
 double speedup(const RunSummary &base, const RunSummary &test);
 

@@ -1,0 +1,77 @@
+#include "driver/fork_runner.hh"
+
+#include "driver/graph_cache.hh"
+
+namespace tdm::driver {
+
+ForkGroupRunner::ForkGroupRunner(
+    std::shared_ptr<const rt::TaskGraph> graph, bool enableFork)
+    : graph_(std::move(graph)), enableFork_(enableFork)
+{}
+
+void
+ForkGroupRunner::reset()
+{
+    machine_.reset();
+    finalRoiKey_.clear();
+}
+
+RunSummary
+ForkGroupRunner::cold(const Experiment &exp, const std::string &roi_key,
+                      sim::TraceBuffer *trace_out)
+{
+    if (!graph_)
+        graph_ = buildGraph(exp);
+    machine_ = std::make_unique<core::Machine>(exp.config, graph_,
+                                               exp.runtime);
+    machine_->armForkCapture();
+    core::MachineResult mr = machine_->run();
+    finalRoiKey_ = roi_key;
+    if (trace_out)
+        *trace_out = machine_->takeTraceBuffer();
+    return summarize(std::move(mr), *graph_);
+}
+
+RunSummary
+ForkGroupRunner::run(const Experiment &exp, const std::string &roi_key,
+                     sim::TraceBuffer *trace_out, bool *forked)
+{
+    if (forked)
+        *forked = false;
+    if (!enableFork_)
+        return driver::run(exp, graph_, trace_out);
+
+    // Cheapest snapshot first: an equal ROI fingerprint means the
+    // member's whole trajectory matches the one in the final snapshot,
+    // so only finalization re-runs under the member's power config.
+    if (machine_ && machine_->hasFinalSnapshot()
+        && roi_key == finalRoiKey_) {
+        core::MachineResult mr = machine_->runFromFinal(exp.config);
+        if (trace_out)
+            *trace_out = machine_->takeTraceBuffer();
+        if (forked)
+            *forked = true;
+        return summarize(std::move(mr), *graph_);
+    }
+
+    // Shared warm prefix: restore the warmup/ROI boundary and
+    // re-simulate the ROI under the member's configuration. This also
+    // refreshes the final snapshot, so the member's own ROI siblings
+    // chain through the branch above.
+    if (machine_ && machine_->hasWarmSnapshot()) {
+        core::MachineResult mr = machine_->runFromWarm(exp.config);
+        finalRoiKey_ = roi_key;
+        if (trace_out)
+            *trace_out = machine_->takeTraceBuffer();
+        if (forked)
+            *forked = true;
+        return summarize(std::move(mr), *graph_);
+    }
+
+    // First member, or graceful degradation: capture may have been
+    // declined (non-clonable pending event) — later members retry
+    // against whatever snapshots this leg produces.
+    return cold(exp, roi_key, trace_out);
+}
+
+} // namespace tdm::driver

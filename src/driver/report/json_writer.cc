@@ -125,6 +125,9 @@ writeCampaign(std::ostream &os, const campaign::CampaignResult &c,
     os << indent << "  \"from_memory\": " << c.fromMemory << ",\n";
     os << indent << "  \"from_disk\": " << c.fromDisk << ",\n";
     os << indent << "  \"from_inflight\": " << c.fromInflight << ",\n";
+    os << indent << "  \"from_forked\": " << c.fromForked << ",\n";
+    os << indent << "  \"warmups_shared\": " << c.warmupsShared
+       << ",\n";
     os << indent << "  \"graph_builds\": " << c.graphBuilds << ",\n";
     os << indent << "  \"graph_shares\": " << c.graphShares << ",\n";
     os << indent << "  \"failures\": " << c.failures() << ",\n";

@@ -69,6 +69,7 @@ ServiceClient::status()
         pick("memory", info.fromMemory);
         pick("disk", info.fromDisk);
         pick("inflight", info.fromInflight);
+        pick("forked", info.fromForked);
     }
     if (const JsonValue *v = r.find("cache_points"))
         info.cachePoints = static_cast<std::size_t>(v->asNumber());
@@ -193,6 +194,8 @@ ServiceClient::submit(const campaign::Campaign &c,
             u64("from_memory", result.fromMemory);
             u64("from_disk", result.fromDisk);
             u64("from_inflight", result.fromInflight);
+            u64("from_forked", result.fromForked);
+            u64("warmups_shared", result.warmupsShared);
             u64("graph_builds", result.graphBuilds);
             u64("graph_shares", result.graphShares);
             if (const JsonValue *v = event.find("threads"))

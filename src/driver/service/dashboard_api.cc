@@ -86,6 +86,7 @@ CampaignRegistry::point(std::uint64_t id,
     case campaign::JobSource::Memory: ++rec->fromMemory; break;
     case campaign::JobSource::Disk: ++rec->fromDisk; break;
     case campaign::JobSource::Inflight: ++rec->fromInflight; break;
+    case campaign::JobSource::Forked: ++rec->fromForked; break;
     }
     rec->points.push_back(std::move(p));
 }
@@ -163,7 +164,8 @@ campaignSummaryJson(std::ostream &os, const CampaignRecord &c)
        << ",\"failures\":" << c.failures << ",\"served\":{\"simulated\":"
        << c.simulated << ",\"memory\":" << c.fromMemory
        << ",\"disk\":" << c.fromDisk << ",\"inflight\":"
-       << c.fromInflight << "},\"wall_ms\":";
+       << c.fromInflight << ",\"forked\":" << c.fromForked
+       << "},\"wall_ms\":";
     jsonNumber(os, c.wallMs);
     os << ",\"metrics_pattern\":\"" << jsonEscape(c.metricsPattern)
        << "\"}";

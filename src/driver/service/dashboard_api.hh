@@ -54,7 +54,8 @@ struct PointRecord
     std::size_t index = 0; ///< position in the campaign's point list
     std::string label;
     std::string digest;
-    std::string source; ///< "simulated" / "memory" / "disk" / "inflight"
+    std::string source; ///< "simulated" / "memory" / "disk" /
+                        ///< "inflight" / "forked"
     bool ok = false;
     std::string error;
     bool completed = false;
@@ -79,6 +80,7 @@ struct CampaignRecord
     std::uint64_t fromMemory = 0;
     std::uint64_t fromDisk = 0;
     std::uint64_t fromInflight = 0;
+    std::uint64_t fromForked = 0;
     std::size_t failures = 0;
     double wallMs = 0.0;             ///< set by the done event
     std::vector<PointRecord> points; ///< in completion order

@@ -582,6 +582,8 @@ writeDone(std::ostream &os, std::uint64_t id,
        << ",\"from_memory\":" << result.fromMemory
        << ",\"from_disk\":" << result.fromDisk
        << ",\"from_inflight\":" << result.fromInflight
+       << ",\"from_forked\":" << result.fromForked
+       << ",\"warmups_shared\":" << result.warmupsShared
        << ",\"graph_builds\":" << result.graphBuilds
        << ",\"graph_shares\":" << result.graphShares
        << ",\"failures\":" << result.failures()
@@ -598,6 +600,7 @@ writeStatus(std::ostream &os, const StatusInfo &info)
        << info.simulated << ",\"memory\":" << info.fromMemory
        << ",\"disk\":" << info.fromDisk
        << ",\"inflight\":" << info.fromInflight
+       << ",\"forked\":" << info.fromForked
        << "},\"cache_points\":" << info.cachePoints
        << ",\"inflight\":" << info.inflight
        << ",\"threads\":" << info.threads << ",\"uptime_ms\":";
@@ -642,6 +645,8 @@ sourceFromName(const std::string &name, campaign::JobSource &out)
         out = campaign::JobSource::Disk;
     else if (name == "inflight")
         out = campaign::JobSource::Inflight;
+    else if (name == "forked")
+        out = campaign::JobSource::Forked;
     else
         return false;
     return true;
@@ -674,7 +679,9 @@ decodePointEvent(const JsonValue &event, campaign::JobResult &job,
     job.label = label->text;
     if (!sourceFromName(source->text, job.source))
         return false;
-    job.cacheHit = job.source != campaign::JobSource::Simulated;
+    // Forked points were simulated (from a snapshot), not cache-served.
+    job.cacheHit = job.source != campaign::JobSource::Simulated
+                && job.source != campaign::JobSource::Forked;
 
     if (const JsonValue *v = event.find("digest"))
         job.digest = v->asString();

@@ -24,12 +24,13 @@
  *
  *     {"event":"accepted","id":1,"name":"sweep","points":4}
  *     {"event":"point","id":1,"index":0,"total":4,"label":...,
- *      "digest":...,"source":"simulated|memory|disk|inflight",
+ *      "digest":...,"source":"simulated|memory|disk|inflight|forked",
  *      "cache_hit":...,"ok":...,"error":...,"wall_ms":...,
  *      <summary fields>, "metrics":{...}}        (one per point)
  *     {"event":"done","id":1,"points":4,"simulated":...,
  *      "cache_hits":...,"from_memory":...,"from_disk":...,
- *      "from_inflight":...,"failures":...,...}
+ *      "from_inflight":...,"from_forked":...,"warmups_shared":...,
+ *      "failures":...,...}
  *
  * plus {"event":"pong"}, {"event":"status",...}, {"event":"bye"} and
  * {"event":"error","message":...} for the other ops. Numbers use the
@@ -167,6 +168,8 @@ struct StatusInfo
     std::uint64_t fromMemory = 0;
     std::uint64_t fromDisk = 0;
     std::uint64_t fromInflight = 0;
+    std::uint64_t fromForked = 0; ///< points forked from a warm-start
+                                  ///< snapshot instead of run cold
     std::size_t cachePoints = 0; ///< in-memory cache entries
     std::size_t inflight = 0;    ///< points simulating right now
     unsigned threads = 0;

@@ -208,7 +208,7 @@ CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
     // a dashboard sees the exact bytes the client got.
     bool sendOk = true;
     const std::string metricsPattern = c.metrics;
-    std::uint64_t bySource[4] = {0, 0, 0, 0};
+    std::uint64_t bySource[5] = {0, 0, 0, 0, 0};
     std::size_t doneCount = 0;
     const campaign::CampaignResult result = engine_->run(
         c, [&](const campaign::JobResult &job, std::size_t index,
@@ -242,6 +242,7 @@ CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
                << ",\"memory\":" << bySource[1]
                << ",\"disk\":" << bySource[2]
                << ",\"inflight\":" << bySource[3]
+               << ",\"forked\":" << bySource[4]
                << "},\"elapsed_ms\":";
             report::jsonNumber(pr, elapsed);
             pr << ",\"eta_ms\":";
@@ -258,10 +259,12 @@ CampaignServer::handleSubmit(Socket &sock, const SubmitRequest &req)
         fromMemory_ += result.fromMemory;
         fromDisk_ += result.fromDisk;
         fromInflight_ += result.fromInflight;
+        fromForked_ += result.fromForked;
     }
     if (opts_.verbose)
         sim::inform("campaign_serve: submit #", id, " done: ",
                     result.simulated, " simulated, ",
+                    result.fromForked, " forked, ",
                     result.fromMemory, " memory, ", result.fromDisk,
                     " disk, ", result.fromInflight, " inflight");
     std::ostringstream out;
@@ -287,6 +290,7 @@ CampaignServer::status() const
         info.fromMemory = fromMemory_;
         info.fromDisk = fromDisk_;
         info.fromInflight = fromInflight_;
+        info.fromForked = fromForked_;
     }
     info.cachePoints = engine_->cache().size();
     info.inflight = engine_->inflightCount();

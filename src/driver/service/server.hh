@@ -123,6 +123,7 @@ class CampaignServer
     std::uint64_t fromMemory_ = 0;
     std::uint64_t fromDisk_ = 0;
     std::uint64_t fromInflight_ = 0;
+    std::uint64_t fromForked_ = 0;
 
     std::mutex clientsMutex_;
     std::vector<int> clientFds_; ///< live connections, for stop()

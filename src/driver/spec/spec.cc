@@ -442,6 +442,23 @@ buildRegistry()
           return e.config.trace.bufferEvents;
       });
 
+    // Phase classification (see KeyPhase in spec.hh). The registry
+    // defaults every key to Warmup — the conservative choice — and
+    // promotes exactly the two families whose consumers provably run
+    // later: `mem.*` feeds mem::MemoryModel, which is only queried
+    // when a task body executes (inside the ROI), and `power.*` feeds
+    // pwr::EnergyAccountant, which is only consulted in
+    // Machine::finalize() after the event loop drains.
+    // `machine.mem_model` itself stays Warmup on purpose: toggling it
+    // changes which metrics register, breaking the fork contract's
+    // registry-shape invariance. test_spec.cc pins this table.
+    for (Binding &b : r) {
+        if (b.key.rfind("mem.", 0) == 0)
+            b.phase = KeyPhase::Roi;
+        else if (b.key.rfind("power.", 0) == 0)
+            b.phase = KeyPhase::Final;
+    }
+
     const Experiment defaults{};
     for (Binding &b : r)
         b.defaultValue = b.get(defaults);
@@ -461,6 +478,17 @@ valueKindName(ValueKind kind)
     case ValueKind::Runtime: return "runtime";
     case ValueKind::Scheduler: return "scheduler";
     case ValueKind::Categories: return "categories";
+    }
+    return "?";
+}
+
+const char *
+keyPhaseName(KeyPhase phase)
+{
+    switch (phase) {
+    case KeyPhase::Warmup: return "warmup";
+    case KeyPhase::Roi: return "roi";
+    case KeyPhase::Final: return "final";
     }
     return "?";
 }
@@ -541,6 +569,35 @@ canonicalSpec(const Experiment &exp)
     return describe(normalized(exp));
 }
 
+sim::Config
+phaseSpec(const sim::Config &canonical, KeyPhase phase)
+{
+    sim::Config out;
+    for (const Binding &b : allBindings()) {
+        if (b.phase != phase)
+            continue;
+        if (canonical.contains(b.key))
+            out.set(b.key, canonical.getString(b.key));
+    }
+    return out;
+}
+
+std::string
+warmFingerprint(const sim::Config &canonical)
+{
+    return phaseSpec(canonical, KeyPhase::Warmup).serialize();
+}
+
+std::string
+roiFingerprint(const sim::Config &canonical)
+{
+    sim::Config warm = phaseSpec(canonical, KeyPhase::Warmup);
+    const sim::Config roi = phaseSpec(canonical, KeyPhase::Roi);
+    for (const auto &[k, v] : roi.entries())
+        warm.set(k, v);
+    return warm.serialize();
+}
+
 std::string
 formatDouble(double v)
 {
@@ -576,11 +633,12 @@ suggestHint(const std::string &name,
 void
 writeKeyReference(std::ostream &os)
 {
-    os << "| key | type | default | description |\n";
-    os << "|---|---|---|---|\n";
+    os << "| key | type | phase | default | description |\n";
+    os << "|---|---|---|---|---|\n";
     for (const Binding &b : allBindings())
         os << "| `" << b.key << "` | " << valueKindName(b.kind)
-           << " | `" << b.defaultValue << "` | " << b.doc << " |\n";
+           << " | " << keyPhaseName(b.phase) << " | `"
+           << b.defaultValue << "` | " << b.doc << " |\n";
 }
 
 } // namespace tdm::driver::spec

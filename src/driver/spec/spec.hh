@@ -54,12 +54,47 @@ enum class ValueKind
 /** "uint", "double", ... for messages and the key reference. */
 const char *valueKindName(ValueKind kind);
 
+/**
+ * Earliest simulation phase whose outcome a key can influence. This is
+ * the load-bearing contract behind warm-start forking (Machine fork
+ * API, CampaignEngine grouping): two experiments whose Warmup-phase
+ * projections agree follow bit-identical trajectories from tick 0 up
+ * to the warmup/ROI boundary, so a single warmup leg can be simulated
+ * once, snapshotted, and forked for every member.
+ *
+ *  - Warmup: consumed from tick 0 — task graph shape, runtime costs,
+ *    machine geometry, DMU tables, trace config. The conservative
+ *    default: anything not provably later-phase is Warmup.
+ *  - Roi: first consumed at the first task execution (the warmup/ROI
+ *    boundary): the memory-model keys (`mem.*`). Task bodies — and
+ *    with them every memory access — only start executing inside the
+ *    ROI, so cache geometry and latencies cannot affect the warmup
+ *    prefix. (`machine.mem_model` itself stays Warmup: toggling the
+ *    model changes which metrics exist, violating the fork contract's
+ *    registry-shape invariance.)
+ *  - Final: consumed only after the event loop drains, during result
+ *    finalization: the energy-accounting keys (`power.*`). Members
+ *    differing only here share the entire simulated trajectory.
+ */
+enum class KeyPhase
+{
+    Warmup,
+    Roi,
+    Final,
+};
+
+/** "warmup", "roi", "final" for messages and the key reference. */
+const char *keyPhaseName(KeyPhase phase);
+
 /** One key-path: typed accessors into an Experiment plus metadata. */
 struct Binding
 {
     std::string key;
     ValueKind kind;
     std::string doc;
+
+    /** Earliest phase the key influences (see KeyPhase). */
+    KeyPhase phase = KeyPhase::Warmup;
 
     /** Value of the key on a default-constructed Experiment. */
     std::string defaultValue;
@@ -98,6 +133,30 @@ Experiment normalized(const Experiment &exp);
 
 /** describe(normalized(exp)): the canonical spec of the experiment. */
 sim::Config canonicalSpec(const Experiment &exp);
+
+/**
+ * Projection of a canonical spec onto the keys of @p phase, in
+ * registry order. Unknown keys in @p canonical are ignored (they
+ * cannot influence any phase).
+ */
+sim::Config phaseSpec(const sim::Config &canonical, KeyPhase phase);
+
+/**
+ * Warm-prefix fingerprint of a canonical spec: the serialization of
+ * its Warmup-phase projection. Two points with equal fingerprints are
+ * guaranteed bit-identical trajectories up to the warmup/ROI boundary
+ * and may share one simulated warmup leg (CampaignEngine's fork-group
+ * key).
+ */
+std::string warmFingerprint(const sim::Config &canonical);
+
+/**
+ * ROI fingerprint: the serialization of the combined Warmup+Roi
+ * projection. Points with equal ROI fingerprints differ only in Final
+ * keys and share the entire simulated trajectory (finalize-fork
+ * sub-group key).
+ */
+std::string roiFingerprint(const sim::Config &canonical);
 
 /**
  * Shortest decimal rendering of @p v that parses back to exactly the

@@ -1,6 +1,7 @@
 #include "hwbaselines/hw_task_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::hw {
 
@@ -110,6 +111,16 @@ HwTaskQueues::regMetrics(sim::MetricContext ctx)
     ctx.gauge("queued",
               [this] { return static_cast<double>(totalSize()); },
               "tasks currently queued across all cores");
+}
+
+void
+HwTaskQueues::snapshotState(sim::Snapshot &s)
+{
+    s.capture(queues_);
+    s.capture(pushes_);
+    s.capture(localPops_);
+    s.capture(steals_);
+    s.capture(failedSteals_);
 }
 
 } // namespace tdm::hw

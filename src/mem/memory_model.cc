@@ -1,6 +1,7 @@
 #include "mem/memory_model.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::mem {
 
@@ -108,6 +109,21 @@ MemoryModel::regMetrics(sim::MetricContext ctx)
                   },
                   "fraction of L1-missing classifications that hit in "
                   "L2");
+}
+
+void
+MemoryModel::snapshotState(sim::Snapshot &s)
+{
+    for (auto &cache : l1_)
+        cache->snapshotState(s);
+    l2_.snapshotState(s);
+    s.capture(l1Hits_);
+    s.capture(l1Misses_);
+    s.capture(l2Hits_);
+    s.capture(l2Misses_);
+    s.capture(l1LineAcc_);
+    s.capture(l2LineAcc_);
+    s.capture(dramLineAcc_);
 }
 
 } // namespace tdm::mem

@@ -82,6 +82,10 @@ class MemoryModel
      *  snapshots taken mid-run see current values. */
     void regMetrics(sim::MetricContext ctx);
 
+    /** Capture all cache residency state and traffic counters for
+     *  warm-start forking. */
+    void snapshotState(sim::Snapshot &s);
+
   private:
     MemConfig cfg_;
     std::vector<std::unique_ptr<RegionCache>> l1_;

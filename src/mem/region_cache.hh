@@ -26,6 +26,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace tdm::sim {
+class Snapshot;
+} // namespace tdm::sim
+
 namespace tdm::mem {
 
 /** Identifier of a data region (assigned by the workload). */
@@ -60,6 +64,10 @@ class RegionCache
     std::uint64_t misses() const { return misses_; }
     std::uint64_t evictions() const { return evictions_; }
     std::size_t residentRegions() const { return live_; }
+
+    /** Capture the full cache state (slab, index, recency list, and
+     *  counters) for warm-start forking. */
+    void snapshotState(sim::Snapshot &s);
 
   private:
     static constexpr std::uint32_t npos = 0xffffffffu;

@@ -1,6 +1,7 @@
 #include "runtime/ready_pool.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -40,6 +41,16 @@ ReadyPool::regMetrics(sim::MetricContext ctx)
     ctx.gauge("peak_size",
               [this] { return static_cast<double>(peak_); },
               "largest pool population observed");
+}
+
+void
+ReadyPool::snapshotState(sim::Snapshot &s)
+{
+    policy_->snapshotState(s);
+    s.capture(pushes_);
+    s.capture(pops_);
+    s.capture(emptyPops_);
+    s.capture(peak_);
 }
 
 } // namespace tdm::rt

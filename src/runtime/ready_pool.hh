@@ -37,6 +37,10 @@ class ReadyPool
      *  ("runtime.pool"). */
     void regMetrics(sim::MetricContext ctx);
 
+    /** Capture the policy container and pool counters for
+     *  warm-start forking. */
+    void snapshotState(sim::Snapshot &s);
+
   private:
     std::unique_ptr<Scheduler> policy_;
     std::uint64_t pushes_ = 0, pops_ = 0, emptyPops_ = 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -38,6 +39,8 @@ class AgeScheduler : public Scheduler
     /** Heap maintenance is costlier than a deque. */
     sim::Tick pushExtraCycles() const override { return 60; }
     sim::Tick popExtraCycles() const override { return 60; }
+
+    void snapshotState(sim::Snapshot &s) override { s.capture(heap_); }
 
   private:
     struct Older

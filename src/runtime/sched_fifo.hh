@@ -9,6 +9,7 @@
 #include <deque>
 
 #include "runtime/scheduler.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -31,6 +32,8 @@ class FifoScheduler : public Scheduler
 
     bool empty() const override { return q_.empty(); }
     std::size_t size() const override { return q_.size(); }
+
+    void snapshotState(sim::Snapshot &s) override { s.capture(q_); }
 
   private:
     std::deque<ReadyTask> q_;

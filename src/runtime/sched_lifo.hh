@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -31,6 +32,8 @@ class LifoScheduler : public Scheduler
 
     bool empty() const override { return stack_.empty(); }
     std::size_t size() const override { return stack_.size(); }
+
+    void snapshotState(sim::Snapshot &s) override { s.capture(stack_); }
 
   private:
     std::vector<ReadyTask> stack_;

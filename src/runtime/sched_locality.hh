@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -39,6 +40,14 @@ class LocalityScheduler : public Scheduler
 
     sim::Tick pushExtraCycles() const override { return 30; }
     sim::Tick popExtraCycles() const override { return 40; }
+
+    void
+    snapshotState(sim::Snapshot &s) override
+    {
+        s.capture(perCore_);
+        s.capture(global_);
+        s.capture(size_);
+    }
 
   private:
     /** Dequeue the oldest entry (front) of @p q. */

@@ -11,6 +11,7 @@
 #include <deque>
 
 #include "runtime/scheduler.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -52,6 +53,13 @@ class SuccessorScheduler : public Scheduler
     std::size_t size() const override { return high_.size() + low_.size(); }
 
     sim::Tick pushExtraCycles() const override { return 20; }
+
+    void
+    snapshotState(sim::Snapshot &s) override
+    {
+        s.capture(high_);
+        s.capture(low_);
+    }
 
   private:
     std::uint32_t threshold_;

@@ -19,6 +19,10 @@
 #include "runtime/task.hh"
 #include "sim/types.hh"
 
+namespace tdm::sim {
+class Snapshot;
+} // namespace tdm::sim
+
 namespace tdm::rt {
 
 /** A ready task as seen by the scheduler. */
@@ -63,6 +67,15 @@ class Scheduler
     /** Extra policy cycles on top of the base pool push/pop cost. */
     virtual sim::Tick pushExtraCycles() const { return 0; }
     virtual sim::Tick popExtraCycles() const { return 0; }
+
+    /**
+     * Capture the policy's ready-task state for warm-start forking.
+     * All built-in policies record their full container state;
+     * user-registered policies that keep internal state must override
+     * this or forked runs will diverge from cold runs (the default
+     * captures nothing).
+     */
+    virtual void snapshotState(sim::Snapshot &) {}
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::rt {
 
@@ -126,6 +127,25 @@ SoftwareTracker::regMetrics(sim::MetricContext ctx)
     ctx.gauge("in_flight",
               [this] { return static_cast<double>(inFlight_); },
               "tasks created but not yet finished");
+}
+
+void
+SoftwareTracker::snapshotState(sim::Snapshot &s)
+{
+    s.capture(regState_);
+    s.capture(numPreds_);
+    s.capture(succs_);
+    s.capture(created_);
+    s.capture(finished_);
+    s.capture(inFlight_);
+    s.capture(creates_);
+    s.capture(finishes_);
+    s.capture(depLookups_);
+    s.capture(edgeInserts_);
+    s.capture(readerScans_);
+    s.capture(fragmentSplits_);
+    s.capture(succVisits_);
+    s.capture(depVisits_);
 }
 
 } // namespace tdm::rt

@@ -22,6 +22,10 @@
 #include "runtime/task_graph.hh"
 #include "sim/metrics.hh"
 
+namespace tdm::sim {
+class Snapshot;
+} // namespace tdm::sim
+
 namespace tdm::rt {
 
 /** Work performed while registering one task's dependences. */
@@ -78,6 +82,11 @@ class SoftwareTracker
     /** Register the tracker's cumulative work counters under @p ctx's
      *  scope ("runtime.tracker"). */
     void regMetrics(sim::MetricContext ctx);
+
+    /** Capture dependence-tracking state (register file, pred
+     *  counts, lifecycle bits, and work counters) for warm-start
+     *  forking; the task graph itself is immutable and shared. */
+    void snapshotState(sim::Snapshot &s);
 
   private:
     struct RegState

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 
 #include "sim/types.hh"
@@ -42,7 +43,6 @@ class Event
 {
   public:
     Event() = default;
-    Event(const Event &) = delete;
     Event &operator=(const Event &) = delete;
     virtual ~Event() = default;
 
@@ -52,6 +52,14 @@ class Event
     /** Debug name; override for more useful traces. */
     virtual const char *name() const;
 
+    /**
+     * Heap-allocated copy of this event for snapshot images, or
+     * nullptr when the event is not clonable (type-erased payloads).
+     * A non-clonable pending event makes the whole queue state
+     * unsnapshottable and the caller falls back to a cold run.
+     */
+    virtual Event *clone() const { return nullptr; }
+
     /** Tick this event is (or was last) scheduled for. */
     Tick when() const { return when_; }
 
@@ -60,6 +68,17 @@ class Event
 
     /** True while the event sits in an event queue. */
     bool scheduled() const { return scheduled_; }
+
+  protected:
+    /**
+     * Copy for clone(): carries the schedule keys (tick, sequence) so
+     * a restored image replays in the original fire order, but resets
+     * the intrusive link and marks the copy heap-owned — clones live
+     * outside the size-class pools and are freed with plain delete.
+     */
+    Event(const Event &other)
+        : when_(other.when_), seq_(other.seq_), poolClass_(heapClass)
+    {}
 
   private:
     friend class EventQueue;
@@ -104,6 +123,15 @@ class BoundEvent final : public Event
     }
 
     const char *name() const override { return "bound"; }
+
+    Event *
+    clone() const override
+    {
+        if constexpr ((std::is_copy_constructible_v<Args> && ...))
+            return new BoundEvent(*this);
+        else
+            return nullptr;
+    }
 
     /**
      * True when recycling the event needs no destructor call — the

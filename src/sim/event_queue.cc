@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tdm::sim {
 
@@ -28,6 +30,19 @@ EventQueue::~EventQueue()
 {
     // Drain pending events (retiring pool events into the freelists),
     // then release the freelists themselves.
+    clearPending();
+    for (void *&head : freeLists_) {
+        while (head) {
+            void *next = *static_cast<void **>(head);
+            ::operator delete(head);
+            head = next;
+        }
+    }
+}
+
+void
+EventQueue::clearPending()
+{
     auto drain = [this](std::vector<Bucket> &wheel) {
         for (Bucket &b : wheel) {
             Event *ev = b.head;
@@ -47,13 +62,17 @@ EventQueue::~EventQueue()
         retire(e.ev);
     }
     overflow_.clear();
-    for (void *&head : freeLists_) {
-        while (head) {
-            void *next = *static_cast<void **>(head);
-            ::operator delete(head);
-            head = next;
-        }
+    for (const SmallEntry &e : small_) {
+        e.ev->scheduled_ = false;
+        retire(e.ev);
     }
+    small_.clear();
+    std::fill(std::begin(occupied_), std::end(occupied_), 0ull);
+    std::fill(std::begin(coarseOccupied_), std::end(coarseOccupied_),
+              0ull);
+    ringCount_ = 0;
+    coarseCount_ = 0;
+    peekValid_ = false;
 }
 
 void
@@ -72,6 +91,14 @@ EventQueue::schedule(Event *ev, Tick when)
 void
 EventQueue::enqueue(Event *ev)
 {
+    if (smallMode_) {
+        if (small_.size() < smallCap) {
+            small_.push_back(SmallEntry{ev->when_, ev->seq_, ev});
+            std::push_heap(small_.begin(), small_.end(), Later{});
+            return;
+        }
+        spillSmall();
+    }
     // windowBase_ <= curTick_ <= ev->when_ holds outside of the
     // extract path, so these subtractions cannot underflow.
     if (ev->when_ < nearHorizon_) {
@@ -95,6 +122,22 @@ EventQueue::enqueue(Event *ev)
         overflow_.push_back(OverflowEntry{ev->when_, ev->seq_, ev});
         std::push_heap(overflow_.begin(), overflow_.end(), Later{});
     }
+}
+
+void
+EventQueue::spillSmall()
+{
+    // The calendar has been idle since the queue last drained (or
+    // since construction): its window may trail the clock arbitrarily.
+    // Catch it up first — cheap, because with an empty calendar the
+    // horizon slide is a pure bitmap skip — then route every held
+    // event through normal enqueueing.
+    smallMode_ = false;
+    advanceWindowTo(curTick_);
+    std::vector<SmallEntry> held;
+    held.swap(small_);
+    for (const SmallEntry &e : held)
+        enqueue(e.ev);
 }
 
 void
@@ -210,6 +253,8 @@ EventQueue::pullCoarse()
 Tick
 EventQueue::nextPendingTick() const
 {
+    if (smallMode_)
+        return small_.empty() ? maxTick : small_.front().when;
     if (ringCount_ > 0) {
         // All ring events lie in [windowBase_, nearHorizon_), a range
         // the ring maps to distinct buckets in time order, so the
@@ -243,6 +288,13 @@ EventQueue::nextPendingTick() const
 Event *
 EventQueue::extractNext()
 {
+    if (smallMode_) {
+        std::pop_heap(small_.begin(), small_.end(), Later{});
+        Event *ev = small_.back().ev;
+        small_.pop_back();
+        ev->next_ = nullptr;
+        return ev;
+    }
     if (ringCount_ == 0) {
         bool pop_heap = coarseCount_ == 0;
         if (!pop_heap && !overflow_.empty()) {
@@ -328,7 +380,8 @@ EventQueue::fireExtracted(Event *ev)
     anyFired_ = true;
 #endif
     curTick_ = ev->when_;
-    advanceWindowTo(curTick_);
+    if (!smallMode_)
+        advanceWindowTo(curTick_);
     ++executed_;
     ev->scheduled_ = false;
     ev->fire();
@@ -337,6 +390,11 @@ EventQueue::fireExtracted(Event *ev)
     // not be recycled yet — it retires after its final firing.
     if (!ev->scheduled_)
         retire(ev);
+    // Hybrid hysteresis: the calendar re-enters the flat-heap fast
+    // path only when it drains completely, so long runs spill at most
+    // once.
+    if (!smallMode_ && pending() == 0)
+        smallMode_ = true;
 }
 
 bool
@@ -414,6 +472,109 @@ void
 EventQueue::scheduleAt(Tick when, EventFn fn)
 {
     schedule(make<LambdaEvent>(std::move(fn)), when);
+}
+
+/**
+ * Restorable image of a queue: heap-owned clones of every pending
+ * event (kept as masters and re-cloned on each restore, so one image
+ * serves any number of forks) plus the scalar kernel state.
+ */
+struct EventQueue::QueueImage
+{
+    std::vector<std::unique_ptr<Event>> masters;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+    Tick windowBase = 0;
+    Tick nearHorizon = 0;
+    bool smallMode = true;
+#if SIM_INVARIANTS_ENABLED
+    Tick lastFiredWhen = 0;
+    std::uint64_t lastFiredSeq = 0;
+    bool anyFired = false;
+#endif
+};
+
+bool
+EventQueue::snapshotState(Snapshot &s)
+{
+    auto img = std::make_shared<QueueImage>();
+    img->masters.reserve(pending());
+    bool ok = true;
+    auto cloneOne = [&](Event *ev) {
+        Event *copy = ev->clone();
+        if (!copy) {
+            ok = false;
+            return;
+        }
+        img->masters.emplace_back(copy);
+    };
+    for (const Bucket &b : ring_)
+        for (Event *ev = b.head; ok && ev; ev = ev->next_)
+            cloneOne(ev);
+    for (const Bucket &b : coarse_)
+        for (Event *ev = b.head; ok && ev; ev = ev->next_)
+            cloneOne(ev);
+    for (const OverflowEntry &e : overflow_) {
+        if (!ok)
+            break;
+        cloneOne(e.ev);
+    }
+    for (const SmallEntry &e : small_) {
+        if (!ok)
+            break;
+        cloneOne(e.ev);
+    }
+    if (!ok)
+        return false; // a pending event is not clonable: cold run
+    img->curTick = curTick_;
+    img->nextSeq = nextSeq_;
+    img->executed = executed_;
+    img->windowBase = windowBase_;
+    img->nearHorizon = nearHorizon_;
+    img->smallMode = smallMode_;
+#if SIM_INVARIANTS_ENABLED
+    img->lastFiredWhen = lastFiredWhen_;
+    img->lastFiredSeq = lastFiredSeq_;
+    img->anyFired = anyFired_;
+#endif
+    s.captureCustom([this, img] { restoreState(*img); });
+    return true;
+}
+
+void
+EventQueue::restoreState(const QueueImage &img)
+{
+    clearPending();
+    curTick_ = img.curTick;
+    nextSeq_ = img.nextSeq;
+    executed_ = img.executed;
+    windowBase_ = img.windowBase;
+    nearHorizon_ = img.nearHorizon;
+    smallMode_ = img.smallMode;
+#if SIM_INVARIANTS_ENABLED
+    lastFiredWhen_ = img.lastFiredWhen;
+    lastFiredSeq_ = img.lastFiredSeq;
+    anyFired_ = img.anyFired;
+#endif
+    // Re-clone each master into a live scheduled event. The clone
+    // carries the original (tick, seq) key, so routing through the
+    // restored window geometry reproduces the original fire order
+    // exactly: the ring sorts on insert, coarse bands recover order at
+    // migration, and both heaps order by the inline key.
+    for (const auto &master : img.masters) {
+        Event *ev = master->clone();
+        if (!ev)
+            panic("snapshot master event lost its clonability");
+        ev->scheduled_ = true;
+        if (smallMode_) {
+            small_.push_back(SmallEntry{ev->when_, ev->seq_, ev});
+        } else {
+            enqueue(ev);
+        }
+    }
+    if (smallMode_)
+        std::make_heap(small_.begin(), small_.end(), Later{});
 }
 
 } // namespace tdm::sim

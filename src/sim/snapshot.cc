@@ -1,0 +1,12 @@
+#include "sim/snapshot.hh"
+
+namespace tdm::sim {
+
+void
+Snapshot::restore() const
+{
+    for (const auto &a : actions_)
+        a();
+}
+
+} // namespace tdm::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * In-memory machine-state snapshots for warm-start forking.
+ *
+ * A Snapshot is an ordered list of capture actions recorded against
+ * live component state. `capture(field)` copies the field's current
+ * value into the snapshot (a slab copy in memory — there is no file
+ * format) and, on `restore()`, assigns it back in place. Restoring in
+ * place keeps every external pointer into the component — notably the
+ * typed metric-registry pointers — valid across a restore.
+ *
+ * Components expose a `void snapshotState(sim::Snapshot &s)` hook that
+ * records their restorable fields; the machine model composes the
+ * hooks of every component into one snapshot at the warmup/ROI
+ * boundary. State that cannot be captured by plain copy-assignment
+ * (the event queue's pending-event image, registry shape checks) goes
+ * through `captureCustom`, which takes an explicit restore action.
+ *
+ * A snapshot is restorable any number of times: each fork of a warm
+ * group restores the same image before applying its own post-warmup
+ * parameters.
+ */
+
+#ifndef TDM_SIM_SNAPSHOT_HH
+#define TDM_SIM_SNAPSHOT_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tdm::sim {
+
+class Snapshot
+{
+  public:
+    Snapshot() = default;
+    Snapshot(const Snapshot &) = delete;
+    Snapshot &operator=(const Snapshot &) = delete;
+    Snapshot(Snapshot &&) = default;
+    Snapshot &operator=(Snapshot &&) = default;
+
+    /**
+     * Record @p field: its current value is copied now, and assigned
+     * back into the same object on every restore(). The referenced
+     * object must outlive the snapshot.
+     */
+    template <typename T>
+    void capture(T &field)
+    {
+        T saved = field;
+        T *target = &field;
+        actions_.push_back(
+            [saved = std::move(saved), target] { *target = saved; });
+    }
+
+    /**
+     * Record an arbitrary restore action for state that plain
+     * copy-assignment cannot express. The action runs, in capture
+     * order, on every restore() and must itself be repeatable.
+     */
+    void captureCustom(std::function<void()> restoreFn)
+    {
+        actions_.push_back(std::move(restoreFn));
+    }
+
+    /** Re-apply every captured value, in capture order. */
+    void restore() const;
+
+    bool empty() const { return actions_.empty(); }
+    std::size_t size() const { return actions_.size(); }
+    void clear() { actions_.clear(); }
+
+  private:
+    std::vector<std::function<void()>> actions_;
+};
+
+} // namespace tdm::sim
+
+#endif // TDM_SIM_SNAPSHOT_HH

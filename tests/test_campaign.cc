@@ -210,9 +210,25 @@ TEST(Engine, NoCacheOptionDisablesDedup)
     opts.useCache = false;
     campaign::CampaignEngine engine(opts);
     auto rep = engine.run("nocache", points);
-    EXPECT_EQ(rep.simulated, 2u);
+    // Cache dedup is off, so neither point is *served* from a cache —
+    // but warm-start batching still groups the identical specs, so
+    // the second point forks the first's snapshot instead of starting
+    // cold, and its summary must come out identical.
+    EXPECT_EQ(rep.simulated, 1u);
+    EXPECT_EQ(rep.fromForked, 1u);
+    EXPECT_EQ(rep.warmupsShared, 1u);
     EXPECT_EQ(rep.cacheHits, 0u);
     expectSummariesEqual(rep.jobs[0].summary, rep.jobs[1].summary);
+
+    // With batching off too, both points simulate cold end-to-end —
+    // the historical contract.
+    opts.warmFork = false;
+    campaign::CampaignEngine coldEngine(opts);
+    auto coldRep = coldEngine.run("nocache", points);
+    EXPECT_EQ(coldRep.simulated, 2u);
+    EXPECT_EQ(coldRep.fromForked, 0u);
+    EXPECT_EQ(coldRep.cacheHits, 0u);
+    expectSummariesEqual(coldRep.jobs[0].summary, rep.jobs[1].summary);
 }
 
 TEST(Engine, PropagatesIncompleteRuns)

@@ -152,6 +152,86 @@ TEST(CampaignStress, ConcurrentClientsHammerOneEngine)
     }
 }
 
+TEST(CampaignStress, ConcurrentForkedGroupsStayDeterministic)
+{
+    // Warm-start fork groups under contention: four distinct warmup
+    // prefixes (runtime x scheduler), each with a leader plus a
+    // `power.*` variant (finalize fork) and a `mem.*` variant (warm
+    // fork). Caching is off, so every client drives the full fork
+    // machinery itself — four ForkGroupRunners per run, live machine
+    // snapshots restored on worker threads — while four clients do
+    // the same concurrently. TSan checks the isolation (each group's
+    // machine is worker-private); the asserts check the fork paths
+    // were actually taken and stayed deterministic.
+    constexpr unsigned kClients = 4;
+
+    std::vector<SweepPoint> points;
+    for (core::RuntimeType rt_ :
+         {core::RuntimeType::Tdm, core::RuntimeType::Software}) {
+        for (const char *sched : {"fifo", "locality"}) {
+            const std::string tag =
+                std::string(core::traitsOf(rt_).name) + "/" + sched;
+            Experiment lead = point(rt_, sched, 8);
+            points.push_back({tag + "/lead", lead});
+            Experiment pw = lead;
+            pw.config.power.activeWatts *= 2.0;
+            points.push_back({tag + "/power", pw});
+            Experiment mm = lead;
+            mm.config.mem.l1Bytes /= 2;
+            points.push_back({tag + "/mem", mm});
+        }
+    }
+
+    campaign::EngineOptions opts;
+    opts.threads = 4;
+    opts.useCache = false;
+    campaign::CampaignEngine engine(opts);
+
+    std::vector<campaign::CampaignResult> results(kClients);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (unsigned c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                results[c] = engine.run("fork-" + std::to_string(c),
+                                        points);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+
+    // Every client: 4 cold leaders, 8 forked members, 4 shared
+    // warmups, zero cache traffic.
+    for (const auto &rep : results) {
+        ASSERT_EQ(rep.jobs.size(), points.size());
+        EXPECT_TRUE(rep.allOk()) << rep.name;
+        EXPECT_EQ(rep.simulated, 4u) << rep.name;
+        EXPECT_EQ(rep.fromForked, 8u) << rep.name;
+        EXPECT_EQ(rep.warmupsShared, 4u) << rep.name;
+        EXPECT_EQ(rep.cacheHits, 0u) << rep.name;
+    }
+
+    // Forked results are deterministic across clients and identical
+    // to a fork-disabled (all-cold) reference run.
+    campaign::EngineOptions coldOpts;
+    coldOpts.threads = 4;
+    coldOpts.useCache = false;
+    coldOpts.warmFork = false;
+    campaign::CampaignEngine coldEngine(coldOpts);
+    const campaign::CampaignResult cold =
+        coldEngine.run("fork-cold-ref", points);
+    EXPECT_EQ(cold.fromForked, 0u);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (const auto &rep : results) {
+            EXPECT_EQ(rep.jobs[i].summary.makespan,
+                      cold.jobs[i].summary.makespan)
+                << rep.jobs[i].label;
+        }
+    }
+}
+
 TEST(CampaignStress, ResultCacheConcurrentLookupStore)
 {
     // Raw cache hammer: 8 threads x 4000 ops over 32 keys, mixing

@@ -390,6 +390,48 @@ TEST(EventQueue, LazyHeapEventBeforeFirstCoarseBandPopsDirectly)
     EXPECT_EQ(eq.now(), sim::Tick{2210000});
 }
 
+TEST(EventQueue, SmallTierSpillBoundaryKeepsTickSeqOrder)
+{
+    // Hybrid kernel: below 32 pending events the queue runs a flat
+    // binary heap; the 33rd concurrent event spills into the
+    // calendar. Crossing the boundary (either direction) must not
+    // reorder anything — same (tick, seq) discipline on both sides.
+    // Ties straddle the spill point on purpose.
+    sim::EventQueue eq;
+    struct Fired { sim::Tick when; int idx; };
+    std::vector<Fired> fired;
+    int idx = 0;
+    auto at = [&](sim::Tick t) {
+        int my = idx++;
+        eq.scheduleAt(t, [&fired, t, my] { fired.push_back({t, my}); });
+    };
+
+    // 100 pending events (spilled well past the small tier), with
+    // deliberate ties: two events per tick, later ones at earlier
+    // ticks so the spill insert is never append-only.
+    for (int i = 0; i < 50; ++i) {
+        at(1000 - 10 * static_cast<sim::Tick>(i));
+        at(1000 - 10 * static_cast<sim::Tick>(i));
+    }
+    EXPECT_EQ(eq.pending(), 100u);
+
+    // Drain completely (the queue re-enters small mode), then refill
+    // across the spill boundary a second time.
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    for (int i = 0; i < 80; ++i)
+        at(2000 + (i % 7));
+    eq.run();
+
+    ASSERT_EQ(fired.size(), 180u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        ASSERT_GE(fired[i].when, fired[i - 1].when);
+        if (fired[i].when == fired[i - 1].when) {
+            ASSERT_GT(fired[i].idx, fired[i - 1].idx);
+        }
+    }
+}
+
 TEST(EventQueue, RandomScheduleFiresInTickSeqOrder)
 {
     sim::EventQueue eq;

@@ -11,10 +11,16 @@
  * drift: any change here means the kernel reordered events.
  */
 
+#include <bit>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "driver/campaign/engine.hh"
+#include "driver/campaign/fingerprint.hh"
 #include "driver/experiment.hh"
+#include "driver/fork_runner.hh"
+#include "driver/spec/spec.hh"
 #include "driver/sweep.hh"
 
 using namespace tdm;
@@ -47,6 +53,31 @@ const Golden goldens[] = {
 class GoldenDeterminism : public ::testing::TestWithParam<Golden>
 {};
 
+/** Bit-level equality of two full metric trees: same keys, and every
+ *  double payload identical down to the last mantissa bit. */
+void
+expectMetricsBitIdentical(const sim::MetricSet &cold,
+                          const sim::MetricSet &forked, const char *what)
+{
+    ASSERT_EQ(cold.entries().size(), forked.entries().size()) << what;
+    auto it = forked.entries().begin();
+    for (const auto &[key, v] : cold.entries()) {
+        ASSERT_EQ(key, it->first) << what;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(v),
+                  std::bit_cast<std::uint64_t>(it->second))
+            << what << ": metric '" << key << "' diverged (cold " << v
+            << " vs forked " << it->second << ")";
+        ++it;
+    }
+}
+
+std::string
+roiKeyOf(const driver::Experiment &e)
+{
+    return driver::spec::roiFingerprint(
+        driver::campaign::canonicalConfig(e));
+}
+
 } // namespace
 
 TEST_P(GoldenDeterminism, MakespanIsByteIdenticalToSeedKernel)
@@ -61,6 +92,59 @@ TEST_P(GoldenDeterminism, MakespanIsByteIdenticalToSeedKernel)
     EXPECT_EQ(s.makespan, g.makespan)
         << "event kernel changed the execution order for " << g.workload
         << "/" << g.scheduler;
+}
+
+TEST_P(GoldenDeterminism, ForkedRunsReproduceColdRunsBitForBit)
+{
+    // The warm-start fork contract (PR 10): a member served from a
+    // snapshot — finalize-level for a `power.*`-only variation,
+    // warm-level for a `mem.*` variation — must reproduce a cold run
+    // of the same experiment bit-for-bit, makespan and the entire
+    // metric tree alike. Forking is a pure wall-clock optimization.
+    const Golden &g = GetParam();
+    driver::Experiment leader;
+    leader.workload = g.workload;
+    leader.runtime = g.runtime;
+    leader.config.scheduler = g.scheduler;
+
+    driver::Experiment powerVar = leader;
+    powerVar.config.power.activeWatts *= 2.0;
+    driver::Experiment memVar = leader;
+    memVar.config.mem.l1Bytes /= 2;
+
+    const driver::RunSummary coldPower = driver::run(powerVar);
+    const driver::RunSummary coldMem = driver::run(memVar);
+    ASSERT_TRUE(coldPower.completed);
+    ASSERT_TRUE(coldMem.completed);
+
+    driver::ForkGroupRunner runner(nullptr);
+    bool forked = true;
+    const driver::RunSummary lead =
+        runner.run(leader, roiKeyOf(leader), nullptr, &forked);
+    EXPECT_FALSE(forked) << "first member must run cold";
+    ASSERT_TRUE(lead.completed);
+    EXPECT_EQ(lead.makespan, g.makespan);
+
+    // Same ROI fingerprint as the leader (power.* keys are Final):
+    // served by re-running finalization over the shared trajectory.
+    EXPECT_EQ(roiKeyOf(powerVar), roiKeyOf(leader));
+    const driver::RunSummary forkPower =
+        runner.run(powerVar, roiKeyOf(powerVar), nullptr, &forked);
+    EXPECT_TRUE(forked) << "power variant must fork, not re-simulate";
+    EXPECT_EQ(forkPower.makespan, coldPower.makespan);
+    expectMetricsBitIdentical(coldPower.metrics(), forkPower.metrics(),
+                              "finalize fork");
+
+    // Different ROI fingerprint (mem.* keys are Roi): restored at the
+    // warmup/ROI boundary, the ROI re-simulated under the variant's
+    // cache geometry.
+    EXPECT_NE(roiKeyOf(memVar), roiKeyOf(leader));
+    const driver::RunSummary forkMem =
+        runner.run(memVar, roiKeyOf(memVar), nullptr, &forked);
+    EXPECT_TRUE(forked) << "mem variant must warm-fork";
+    EXPECT_EQ(forkMem.makespan, coldMem.makespan);
+    expectMetricsBitIdentical(coldMem.metrics(), forkMem.metrics(),
+                              "warm fork");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -15,7 +15,9 @@ cold-cache campaign runs, then writes a machine-readable snapshot:
       "campaigns": {
         "fig13": {"threads": ..., "points": ...,
                   "wall_s": ..., "wall_s_no_graph_share": ...,
-                  "graph_share_speedup": ...}
+                  "graph_share_speedup": ...,
+                  "wall_s_no_warm_fork": ...,
+                  "warm_fork_speedup": ...}
       }
     }
 
@@ -48,7 +50,10 @@ GEOMEAN_RE = re.compile(r"^geomean speedup[^:]*:\s*([\d.]+)x\s*$")
 # tool still reads logs from builds that predate the result store.
 CAMPAIGN_RE = re.compile(
     r"^(?P<name>\S+): (?P<points>\d+) points, (?P<simulated>\d+)"
-    r" simulated, (?P<hits>\d+) cache hits"
+    r" simulated,"
+    r"(?: (?P<forked>\d+) forked \((?P<warmups>\d+) warmups"
+    r" shared\),)?"
+    r" (?P<hits>\d+) cache hits"
     r"(?: \((?P<memory>\d+) memory, (?P<disk>\d+) disk,"
     r" (?P<inflight>\d+) inflight\))?,"
     r"(?: (?P<graphs>\d+) graphs built \((?P<shared>\d+) shared\),)?"
@@ -121,6 +126,8 @@ def run_campaign(build_dir, name, threads, extra=()):
             return {
                 "points": int(m.group("points")),
                 "simulated": int(m.group("simulated")),
+                "forked": int(m.group("forked") or 0),
+                "warmups_shared": int(m.group("warmups") or 0),
                 "graphs_built": int(m.group("graphs") or 0),
                 "graphs_shared": int(m.group("shared") or 0),
                 "threads": int(m.group("threads")),
@@ -151,7 +158,8 @@ def main():
     args = ap.parse_args()
 
     micros = args.micro or sorted(MICRO_ARGS)
-    campaigns = args.campaign if args.campaign is not None else ["fig13"]
+    campaigns = args.campaign if args.campaign is not None \
+        else ["fig13", "ablation_sensitivity"]
     iters = QUICK_ITER if args.quick else MICRO_ITER
 
     doc = {
@@ -177,6 +185,16 @@ def main():
             entry["wall_s_no_graph_share"] = base["wall_s"]
             entry["graph_share_speedup"] = round(
                 base["wall_s"] / entry["wall_s"], 3) \
+                if entry["wall_s"] else None
+            # Warm-fork A/B: --no-warm-fork simulates every point from
+            # tick 0. Only campaigns whose points share warm prefixes
+            # (e.g. ablation_sensitivity) gain; for warmup-axis sweeps
+            # like fig13 the two runs should match.
+            cold = run_campaign(args.build_dir, name, args.threads,
+                                extra=["--no-warm-fork"])
+            entry["wall_s_no_warm_fork"] = cold["wall_s"]
+            entry["warm_fork_speedup"] = round(
+                cold["wall_s"] / entry["wall_s"], 3) \
                 if entry["wall_s"] else None
         doc["campaigns"][name] = entry
 

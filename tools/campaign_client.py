@@ -101,6 +101,7 @@ def one_shot(addr, op, raw):
                   f"memory={served.get('memory')} "
                   f"disk={served.get('disk')} "
                   f"inflight={served.get('inflight')} "
+                  f"forked={served.get('forked')} "
                   f"cache_points={event.get('cache_points')} "
                   f"threads={event.get('threads')} "
                   f"uptime_ms={event.get('uptime_ms')}")
@@ -184,6 +185,8 @@ def submit(addr, args):
             if not args.json:
                 print(f"done: {event.get('points')} points, "
                       f"{event.get('simulated')} simulated, "
+                      f"{event.get('from_forked')} forked "
+                      f"({event.get('warmups_shared')} warmups shared), "
                       f"{event.get('cache_hits')} cache hits "
                       f"({event.get('from_memory')} memory, "
                       f"{event.get('from_disk')} disk, "
@@ -249,6 +252,7 @@ def watch(args):
                 print(f"#{cid} progress: {event.get('done')}"
                       f"/{event.get('total')} "
                       f"(sim={served.get('simulated')} "
+                      f"fork={served.get('forked')} "
                       f"mem={served.get('memory')} "
                       f"disk={served.get('disk')} "
                       f"infl={served.get('inflight')})"

@@ -23,6 +23,10 @@
  *   --no-graph-share  rebuild each point's task graph instead of
  *                     sharing one immutable graph per distinct
  *                     workload (A/B baseline for perf tracking)
+ *   --no-warm-fork    simulate every point cold from tick 0 instead
+ *                     of forking points that share a warm prefix
+ *                     from one warmup snapshot (A/B baseline; forked
+ *                     results are bit-identical either way)
  *   --seed-base S     reseed point i with S+i (deterministic per job)
  *   --json FILE       write all results as JSON (with each point's
  *                     full canonical spec)
@@ -182,6 +186,8 @@ main(int argc, char **argv)
             opts.useCache = false;
         } else if (!std::strcmp(a, "--no-graph-share")) {
             opts.shareGraphs = false;
+        } else if (!std::strcmp(a, "--no-warm-fork")) {
+            opts.warmFork = false;
         } else if (!std::strcmp(a, "--seed-base")) {
             opts.seedBase = cmp::parseUintArg(need(i), "--seed-base");
         } else if (!std::strcmp(a, "--json")) {
@@ -308,7 +314,10 @@ main(int argc, char **argv)
         for (const cmp::JobResult &j : rep.jobs) {
             t.row()
                 .cell(j.label)
-                .cell(!j.ok() ? "FAILED" : j.cacheHit ? "cached" : "ok")
+                .cell(!j.ok()         ? "FAILED"
+                      : j.cacheHit    ? "cached"
+                      : j.source == cmp::JobSource::Forked ? "forked"
+                                                           : "ok")
                 .cell(j.summary.timeMs, 3)
                 .cell(j.summary.energyJ, 4)
                 .cell(static_cast<std::uint64_t>(j.summary.numTasks))
@@ -316,7 +325,9 @@ main(int argc, char **argv)
         }
         t.print(std::cout);
         std::cout << c.name << ": " << rep.jobs.size() << " points, "
-                  << rep.simulated << " simulated, " << rep.cacheHits
+                  << rep.simulated << " simulated, " << rep.fromForked
+                  << " forked (" << rep.warmupsShared
+                  << " warmups shared), " << rep.cacheHits
                   << " cache hits (" << rep.fromMemory << " memory, "
                   << rep.fromDisk << " disk, " << rep.fromInflight
                   << " inflight), " << rep.graphBuilds

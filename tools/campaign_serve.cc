@@ -172,6 +172,7 @@ main(int argc, char **argv)
         std::cout << "campaign_serve: served " << info.campaigns
                   << " campaigns, " << info.points << " points ("
                   << info.simulated << " simulated, "
+                  << info.fromForked << " forked, "
                   << info.fromMemory << " memory, " << info.fromDisk
                   << " disk, " << info.fromInflight << " inflight)\n";
         return 0;

@@ -11,6 +11,12 @@ carries every schema-required field with the right JSON type. Exits 0
 on success, 1 on a malformed frame / missing field / type mismatch /
 no frame of that type at all.
 
+Schema entries are "field": "type". A dotted field name ("served.forked")
+descends into nested objects. A type may also be an object
+{"type": "string", "enum": [...]} to additionally pin the value to an
+allowed set (e.g. the point source names, so a new source counts as a
+contract change, not drift).
+
 CI tails the stream during a live submit and runs this on the capture,
 so a field rename or type change in the SSE contract fails the build
 instead of silently breaking dashboard consumers.
@@ -80,14 +86,30 @@ def main():
             return 1
         bad = False
         for field, kind in schema[wanted].items():
-            if field not in payload:
+            # Dotted names descend into nested objects.
+            value, present = payload, True
+            for part in field.split("."):
+                if not isinstance(value, dict) or part not in value:
+                    present = False
+                    break
+                value = value[part]
+            enum = None
+            if isinstance(kind, dict):
+                enum = kind.get("enum")
+                kind = kind.get("type", "string")
+            if not present:
                 print(f"check_sse_event: '{wanted}' missing field "
                       f"'{field}'", file=sys.stderr)
                 bad = True
-            elif not TYPE_CHECKS[kind](payload[field]):
+            elif not TYPE_CHECKS[kind](value):
                 print(f"check_sse_event: '{wanted}.{field}' is "
-                      f"{type(payload[field]).__name__}, schema says "
+                      f"{type(value).__name__}, schema says "
                       f"{kind}", file=sys.stderr)
+                bad = True
+            elif enum is not None and value not in enum:
+                print(f"check_sse_event: '{wanted}.{field}' is "
+                      f"{value!r}, schema allows {enum}",
+                      file=sys.stderr)
                 bad = True
         if bad:
             return 1

@@ -14,7 +14,7 @@ const state = {
   refreshTimer: 0, // pending detail refresh (throttle)
 };
 
-const SOURCES = ["simulated", "memory", "disk", "inflight"];
+const SOURCES = ["simulated", "forked", "memory", "disk", "inflight"];
 
 function fmtMs(ms) {
   if (!isFinite(ms)) return "–";
@@ -55,6 +55,7 @@ async function refreshStatus() {
     card("campaigns", String(s.campaigns)),
     card("points", String(s.points)),
     card("simulated", String(s.served.simulated)),
+    card("forked", String(s.served.forked)),
     card("memory hits", String(s.served.memory)),
     card("disk hits", String(s.served.disk)),
     card("inflight hits", String(s.served.inflight)),
@@ -75,8 +76,9 @@ async function refreshStatus() {
 function progressBar(c) {
   const bar = el("div", "bar");
   const served = {
-    simulated: c.served.simulated, memory: c.served.memory,
-    disk: c.served.disk, inflight: c.served.inflight,
+    simulated: c.served.simulated, forked: c.served.forked,
+    memory: c.served.memory, disk: c.served.disk,
+    inflight: c.served.inflight,
   };
   for (const src of SOURCES) {
     if (!served[src]) continue;
